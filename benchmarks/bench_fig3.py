@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 3 (brand concentration inter vs intra).
+
+Reproduction claims: Electronics-like markets concentrate the top 80% of
+sales in far fewer brands than Sports-like markets, and intra-TC variance is
+smaller than inter-TC variance.
+"""
+
+from repro.experiments import fig3
+
+from .conftest import attach, run_once
+
+
+def test_fig3(benchmark, scale):
+    result = run_once(benchmark, lambda: fig3.run(scale))
+    attach(benchmark, result)
+    assert result.inter_std() > result.intra_std()
+    names = {result.category_names[c]: conc for c, conc in result.inter.items()}
+    if "Electronics" in names and "Sports" in names:
+        assert names["Electronics"].proportion < names["Sports"].proportion

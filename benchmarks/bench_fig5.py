@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 5 (AUC improvement by category-size bucket).
+
+Reproduction claim: the combined model's gain over DNN is larger on small
+categories than on large ones (the HSC data-sharing effect).
+"""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+from .conftest import attach, run_once
+
+
+def test_fig5(benchmark, scale):
+    result = run_once(benchmark, lambda: fig5.run(scale))
+    attach(benchmark, result)
+    small, large = result.small_vs_large_gain("adv-hsc-moe")
+    benchmark.extra_info["small_bucket_gain"] = round(float(small), 4)
+    benchmark.extra_info["large_bucket_gain"] = round(float(large), 4)
+    assert np.isfinite(small) and np.isfinite(large)

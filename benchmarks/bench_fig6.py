@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 6 (t-SNE clustering of gate vectors).
+
+Reproduction claim (quantified): gate-vector clustering by semantic group
+improves from MoE to the Adv/HSC variants — measured with silhouette scores
+instead of eyeballing the scatter plot.
+"""
+
+from repro.experiments import fig6
+
+from .conftest import attach, run_once
+
+
+def test_fig6(benchmark, scale):
+    result = run_once(benchmark, lambda: fig6.run(scale))
+    attach(benchmark, result)
+    panels = result.panels
+    assert set(panels) == {"moe", "adv-moe", "adv-hsc-moe"}
+    benchmark.extra_info["silhouette"] = {
+        name: round(a.silhouette_gate, 4) for name, a in panels.items()}
+    if scale.name != "ci":
+        # The combined model clusters at least as well as the vanilla MoE.
+        assert (panels["adv-hsc-moe"].silhouette_gate
+                >= panels["moe"].silhouette_gate - 0.05)

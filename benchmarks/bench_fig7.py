@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 7 ((N, K, D) hyper-parameter sweep).
+
+Reproduction claim: increasing K consistently helps (more expert capacity
+per example), while N and D show no monotone pattern.
+"""
+
+import numpy as np
+
+from repro.experiments import fig7
+
+from .conftest import attach, run_once
+
+
+def test_fig7(benchmark, scale):
+    result = run_once(benchmark, lambda: fig7.run(scale))
+    attach(benchmark, result)
+    effects = result.k_effect()
+    benchmark.extra_info["k4_minus_k2"] = {str(k): round(v, 4)
+                                           for k, v in effects.items()}
+    # K=4 at least matches K=2 on average over (N, D) pairs.
+    assert np.mean(list(effects.values())) > -0.01

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 8 / Table 7 (case-study expert scores).
+
+Reproduction claim: the Adv & HSC model's *selected* experts disagree more
+than the vanilla MoE's (the paper's qualitative §5.5 observation, quantified
+as the std of selected-expert scores).
+"""
+
+from repro.experiments import fig8
+from repro.experiments.fig8 import expert_score_spread
+
+from .conftest import attach, run_once
+
+
+def test_fig8(benchmark, scale):
+    result = run_once(benchmark, lambda: fig8.run(scale))
+    attach(benchmark, result)
+    baseline = expert_score_spread(result.baseline)
+    improved = expert_score_spread(result.improved)
+    benchmark.extra_info["spread_moe"] = round(baseline, 4)
+    benchmark.extra_info["spread_adv_hsc"] = round(improved, 4)
+    assert baseline >= 0 and improved >= 0

@@ -1,0 +1,15 @@
+"""Bench: the §4.1 BiGRU query→category classifier."""
+
+from repro.experiments import querycat_exp
+
+from .conftest import attach, run_once
+
+
+def test_querycat(benchmark, scale):
+    result = run_once(benchmark, lambda: querycat_exp.run(scale))
+    attach(benchmark, result)
+    # SC prediction far above chance; TC at least as accurate as SC since it
+    # only needs the right subtree (§4.1).
+    num_classes = result.num_classes
+    assert result.result.sc_accuracy > 3.0 / num_classes
+    assert result.result.tc_accuracy >= result.result.sc_accuracy

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the substrates (autograd, data generator, metrics).
+
+Not paper tables — these track the cost of the building blocks so
+regressions in the pure-numpy engine are visible.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data import LogConfig, WorldConfig, SyntheticWorld, simulate_log
+from repro.hierarchy import default_taxonomy
+from repro.metrics import session_auc, session_ndcg
+
+
+def test_mlp_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    tower = nn.MLP(64, [512, 256], 1, rng=rng)
+    x = nn.Tensor(rng.normal(size=(256, 64)))
+    y = rng.integers(0, 2, size=(256, 1)).astype(np.float64)
+
+    def step():
+        tower.zero_grad()
+        loss = nn.losses.bce_with_logits(tower(x), y)
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_embedding_lookup_backward(benchmark):
+    rng = np.random.default_rng(0)
+    table = nn.Embedding(10_000, 16, rng=rng)
+    ids = rng.integers(0, 10_000, size=4096)
+
+    def step():
+        table.zero_grad()
+        out = table(ids)
+        out.sum().backward()
+        return out.shape
+
+    assert benchmark(step) == (4096, 16)
+
+
+def test_world_and_log_generation(benchmark):
+    taxonomy = default_taxonomy()
+
+    def generate():
+        world = SyntheticWorld.generate(taxonomy, WorldConfig(seed=0))
+        log = simulate_log(world, LogConfig(seed=1, num_queries=1000))
+        return log.num_examples
+
+    examples = benchmark(generate)
+    assert examples > 5000
+
+
+def test_session_metrics(benchmark):
+    rng = np.random.default_rng(0)
+    n = 50_000
+    sessions = np.repeat(np.arange(n // 10), 10)
+    labels = (rng.random(n) < 0.1).astype(np.int64)
+    scores = rng.random(n)
+
+    def compute():
+        return (session_auc(scores, labels, sessions),
+                session_ndcg(scores, labels, sessions, k=10))
+
+    auc, ndcg = benchmark(compute)
+    assert 0.4 < auc < 0.6

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 1 (dataset statistics)."""
+
+from repro.experiments import table1
+
+from .conftest import attach, run_once
+
+
+def test_table1(benchmark, scale):
+    result = run_once(benchmark, lambda: table1.run(scale))
+    attach(benchmark, result)
+    train_stats, test_stats = result.complete
+    # Shape checks mirroring the paper's Table 1: the named slices are
+    # strict subsets and the category system is hierarchical.
+    assert train_stats.num_examples > test_stats.num_examples
+    assert train_stats.num_sub_categories > train_stats.num_top_categories
+    for name, (slice_train, _) in result.slices.items():
+        assert slice_train.num_examples < train_stats.num_examples, name

@@ -1,0 +1,31 @@
+"""Bench: regenerate Table 3 (per-category vs joint training).
+
+Reproduction claims: joint training helps the smallest category the most,
+and Joint-Ours (Adv & HSC-MoE) outperforms Joint-DNN overall.
+"""
+
+import numpy as np
+
+from repro.experiments import table3
+
+from .conftest import attach, run_once
+
+
+def test_table3(benchmark, scale):
+    result = run_once(benchmark, lambda: table3.run(scale))
+    attach(benchmark, result)
+    gains = result.joint_gain()
+    smallest = min(result.categories, key=result.sizes.get)
+    ours = np.mean([result.joint_ours[c] for c in result.categories])
+    dnn = np.mean([result.joint_dnn[c] for c in result.categories])
+    benchmark.extra_info["joint_gain_smallest"] = round(float(gains[smallest]), 4)
+    benchmark.extra_info["joint_ours_minus_joint_dnn"] = round(float(ours - dnn), 4)
+    # The paper's orderings (data-poor category gains most from joint
+    # training; Joint-Ours > Joint-DNN on every slice) are evaluated on test
+    # slices of only 10-40 mixed-label sessions at reduced scale, i.e. an
+    # AUC noise floor of ~±0.05-0.10 — far larger than the paper's deltas.
+    # They are therefore recorded in extra_info (and discussed per-run in
+    # EXPERIMENTS.md) rather than hard-asserted; only sanity is enforced.
+    for value in list(result.dedicated.values()) + list(result.joint_dnn.values()):
+        assert 0.0 <= value <= 1.0
+    assert ours > 0.5

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 5 (gate input feature ablation).
+
+Reproduction claim: feeding the gate query-side SC ids alone is at least as
+good as feeding it item-side / all features (item-side gate features create
+intra-session ranking noise — paper §5.4).
+"""
+
+from repro.experiments import table5
+
+from .conftest import attach, run_once
+
+
+def test_table5(benchmark, scale):
+    result = run_once(benchmark, lambda: table5.run(scale))
+    attach(benchmark, result)
+    assert set(result.auc) == set(table5.GATE_INPUT_ROWS)
+    benchmark.extra_info["sc_minus_all"] = round(
+        result.auc["SC"] - result.auc["all features"], 4)
+    if scale.name != "ci":
+        # SC-only gate beats the all-features gate (the paper's worst row).
+        assert result.auc["SC"] >= result.auc["all features"] - 0.01

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 6 (λ1 × λ2 sweep)."""
+
+from repro.experiments import table6
+
+from .conftest import attach, run_once
+
+
+def test_table6(benchmark, scale):
+    result = run_once(benchmark, lambda: table6.run(scale))
+    attach(benchmark, result)
+    assert len(result.auc) == 9
+    values = list(result.auc.values())
+    # All grid points train to something sane; the spread across λ settings
+    # is small (the paper's table spans ~0.8 AUC points).
+    assert min(values) > 0.55
+    assert max(values) - min(values) < 0.15
+    benchmark.extra_info["best_lambdas"] = result.best_point()

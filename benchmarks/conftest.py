@@ -1,0 +1,42 @@
+"""Benchmark configuration.
+
+Each bench regenerates one paper table/figure via ``repro.experiments`` and
+reports its wall-clock time through pytest-benchmark; the regenerated rows
+are attached to ``benchmark.extra_info`` and printed, so a
+``pytest benchmarks/ --benchmark-only`` run reproduces the paper's evaluation
+section end to end.
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+(``ci`` default — minutes for the whole suite; ``default`` — the scale used
+for the committed EXPERIMENTS.md numbers; ``paper`` — paper hyper-parameters,
+hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SCALES
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "ci")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def attach(benchmark, result) -> None:
+    """Record the regenerated table in the benchmark report and print it."""
+    text = result.format() if hasattr(result, "format") else str(result)
+    benchmark.extra_info["table"] = text
+    print()
+    print(text)

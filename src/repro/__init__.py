@@ -1,0 +1,33 @@
+"""repro — reproduction of "Adversarial Mixture Of Experts with Category
+Hierarchy Soft Constraint" (Xiao et al., ICDE 2021; arXiv:2007.12349).
+
+Top-level packages:
+
+* :mod:`repro.nn` — pure-numpy autograd + layers/optimizers substrate.
+* :mod:`repro.hierarchy` — the TC/SC category tree.
+* :mod:`repro.data` — synthetic e-commerce search log generator.
+* :mod:`repro.models` — DNN, MoE, MMoE, Adv-MoE, HSC-MoE, Adv & HSC-MoE.
+* :mod:`repro.training` — trainer / evaluation / grid search.
+* :mod:`repro.metrics` — session AUC, NDCG, FI(f), brand concentration.
+* :mod:`repro.analysis` — t-SNE, gate clustering, case studies.
+* :mod:`repro.querycat` — BiGRU query→category classifier (§4.1).
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from . import analysis, data, experiments, hierarchy, metrics, models, nn, querycat, training, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "hierarchy",
+    "data",
+    "models",
+    "training",
+    "metrics",
+    "analysis",
+    "querycat",
+    "experiments",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""``repro.analysis`` — t-SNE, gate clustering (Fig. 6), case study (Fig. 8)."""
+
+from .case_study import CaseStudy, CaseStudyItem, pick_case_session, run_case_study
+from .gates import GateAnalysis, analyze_gate_clustering, collect_gate_vectors
+from .tsne import TSNEConfig, conditional_probabilities, tsne
+
+__all__ = [
+    "tsne",
+    "TSNEConfig",
+    "conditional_probabilities",
+    "GateAnalysis",
+    "collect_gate_vectors",
+    "analyze_gate_clustering",
+    "CaseStudy",
+    "CaseStudyItem",
+    "pick_case_session",
+    "run_case_study",
+]

@@ -1,0 +1,80 @@
+"""Case study (paper Table 7 / Fig. 8): per-expert scores for one session.
+
+Picks a session with one purchased and several non-purchased items, and for
+each model reports every expert's sigmoid score, which experts the gate
+selected, and the final ensemble prediction — the data behind Fig. 8's bar
+charts and Table 7's score columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import LTRDataset
+from ..models.moe import MoERanker
+
+__all__ = ["CaseStudyItem", "CaseStudy", "pick_case_session", "run_case_study"]
+
+
+@dataclass
+class CaseStudyItem:
+    """One item in the case-study session."""
+
+    label: int
+    expert_scores: np.ndarray    # (N,) sigmoid outputs of every expert
+    selected: np.ndarray         # (N,) bool mask of gate-selected experts
+    prediction: float            # final ensemble purchase probability
+
+
+@dataclass
+class CaseStudy:
+    """Per-model expert breakdown of one session."""
+
+    model_name: str
+    session_id: int
+    items: list[CaseStudyItem]
+
+    def prediction_ranks_positive_first(self) -> bool:
+        """True when the purchased item receives the highest model score."""
+        best = max(range(len(self.items)), key=lambda i: self.items[i].prediction)
+        return self.items[best].label == 1
+
+
+def pick_case_session(dataset: LTRDataset, num_negatives: int = 2,
+                      seed: int = 0) -> np.ndarray:
+    """Row indices of a session with 1 positive and ``num_negatives`` negatives.
+
+    Mirrors the paper's example (one purchased necklace + two non-purchased).
+    """
+    rng = np.random.default_rng(seed)
+    candidates = dataset.sessions_with_label_mix()
+    rng.shuffle(candidates)
+    for session in candidates:
+        rows = np.flatnonzero(dataset.session_ids == session)
+        labels = dataset.labels[rows]
+        if labels.sum() == 1 and (labels == 0).sum() >= num_negatives:
+            positive = rows[labels == 1]
+            negatives = rows[labels == 0][:num_negatives]
+            return np.concatenate([positive, negatives])
+    raise ValueError("no suitable session found")
+
+
+def run_case_study(model: MoERanker, dataset: LTRDataset, rows: np.ndarray,
+                   model_name: str = "moe") -> CaseStudy:
+    """Expert-level breakdown of the given rows under one model."""
+    batch = dataset.batch(rows)
+    scores, topk_mask = model.expert_scores(batch)
+    predictions = model.predict(batch)
+    items = [
+        CaseStudyItem(
+            label=int(batch.labels[i]),
+            expert_scores=scores[i],
+            selected=topk_mask[i],
+            prediction=float(predictions[i]),
+        )
+        for i in range(len(batch))
+    ]
+    session = int(dataset.session_ids[rows[0]])
+    return CaseStudy(model_name=model_name, session_id=session, items=items)

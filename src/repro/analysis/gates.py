@@ -1,0 +1,86 @@
+"""Gate-vector analysis for Fig. 6.
+
+Collects inference-gate probability vectors on evaluation examples, embeds
+them with t-SNE, labels every point with its query's semantic category group
+(Table 4), and quantifies cluster quality with silhouette / intra-inter
+statistics so the figure's visual claim becomes a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import LTRDataset
+from ..metrics.clustering import intra_inter_ratio, silhouette_score
+from ..models.moe import MoERanker
+from .tsne import TSNEConfig, tsne
+
+__all__ = ["GateAnalysis", "collect_gate_vectors", "analyze_gate_clustering"]
+
+
+@dataclass
+class GateAnalysis:
+    """Result bundle for one model's Fig. 6 panel."""
+
+    model_name: str
+    gate_vectors: np.ndarray       # (n, N) gate probabilities
+    embedding: np.ndarray | None   # (n, 2) t-SNE points (None if skipped)
+    group_labels: np.ndarray       # (n,) semantic group index
+    group_names: list[str]
+    silhouette_gate: float         # cluster quality in gate space
+    silhouette_embedding: float | None  # cluster quality in t-SNE space
+    intra_inter: float             # intra/inter distance ratio in gate space
+
+
+def collect_gate_vectors(model: MoERanker, dataset: LTRDataset,
+                         max_examples: int = 1000, seed: int = 0,
+                         one_per_sc: bool = False) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Sample examples and return (gate vectors, group labels, group names).
+
+    ``one_per_sc`` collapses to one representative example per sub-category
+    (gate input depends only on the SC id, so per-SC vectors are identical
+    up to noise — this yields the cleanest Fig. 6 points).
+    """
+    rng = np.random.default_rng(seed)
+    taxonomy = dataset.taxonomy
+    if one_per_sc:
+        _, first_rows = np.unique(dataset.query_sc, return_index=True)
+        rows = first_rows
+    else:
+        rows = rng.choice(len(dataset), size=min(max_examples, len(dataset)), replace=False)
+    batch = dataset.batch(np.sort(rows))
+    vectors = model.gate_vectors(batch)
+
+    group_names = sorted({tc.semantic_group for tc in taxonomy.top_categories})
+    group_index = {name: i for i, name in enumerate(group_names)}
+    tc_ids = batch.sparse["query_tc"]
+    labels = np.array([group_index[taxonomy.semantic_group_of(int(t))] for t in tc_ids])
+    return vectors, labels, group_names
+
+
+def analyze_gate_clustering(model: MoERanker, dataset: LTRDataset,
+                            model_name: str = "moe", max_examples: int = 600,
+                            run_tsne: bool = True, seed: int = 0,
+                            tsne_config: TSNEConfig | None = None) -> GateAnalysis:
+    """Full Fig. 6 pipeline for one model."""
+    vectors, labels, names = collect_gate_vectors(model, dataset,
+                                                  max_examples=max_examples, seed=seed)
+    embedding = None
+    silhouette_embedded = None
+    if run_tsne:
+        config = tsne_config or TSNEConfig(seed=seed, n_iter=350)
+        embedding = tsne(vectors, config)
+        if np.unique(labels).size >= 2:
+            silhouette_embedded = silhouette_score(embedding, labels)
+    return GateAnalysis(
+        model_name=model_name,
+        gate_vectors=vectors,
+        embedding=embedding,
+        group_labels=labels,
+        group_names=names,
+        silhouette_gate=silhouette_score(vectors, labels),
+        silhouette_embedding=silhouette_embedded,
+        intra_inter=intra_inter_ratio(vectors, labels),
+    )

@@ -1,0 +1,139 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) in pure numpy.
+
+Used to reproduce Fig. 6: 2-D visualization of inference-gate probability
+vectors, colored by semantic category group.  sklearn is not available
+offline, so this implements the exact O(n^2) algorithm: perplexity-calibrated
+Gaussian affinities (binary search over precision), symmetrization, early
+exaggeration, and momentum gradient descent on the KL divergence with a
+Student-t low-dimensional kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TSNEConfig", "tsne", "conditional_probabilities"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class TSNEConfig:
+    """t-SNE hyper-parameters (defaults follow the original paper)."""
+
+    n_components: int = 2
+    perplexity: float = 30.0
+    learning_rate: float = 200.0
+    n_iter: int = 500
+    early_exaggeration: float = 12.0
+    exaggeration_iters: int = 100
+    initial_momentum: float = 0.5
+    final_momentum: float = 0.8
+    momentum_switch_iter: int = 250
+    min_gain: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        if self.n_iter < self.exaggeration_iters:
+            raise ValueError("n_iter must cover the exaggeration phase")
+
+
+def _squared_distances(x: np.ndarray) -> np.ndarray:
+    squared = (x ** 2).sum(axis=1)
+    d2 = squared[:, None] + squared[None, :] - 2.0 * x @ x.T
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def _row_affinities(distances_row: np.ndarray, target_entropy: float,
+                    tol: float = 1e-5, max_iter: int = 50) -> np.ndarray:
+    """Binary-search the Gaussian precision matching the target entropy."""
+    beta_low, beta_high = -np.inf, np.inf
+    beta = 1.0
+    probs = np.zeros_like(distances_row)
+    for _ in range(max_iter):
+        logits = -distances_row * beta
+        logits -= logits.max()
+        probs = np.exp(logits)
+        total = probs.sum()
+        if total <= 0:
+            probs = np.full_like(distances_row, 1.0 / len(distances_row))
+            break
+        probs /= total
+        entropy = -np.sum(probs * np.log(probs + _EPS))
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            beta_low = beta
+            beta = beta * 2.0 if beta_high == np.inf else 0.5 * (beta + beta_high)
+        else:
+            beta_high = beta
+            beta = beta * 0.5 if beta_low == -np.inf else 0.5 * (beta + beta_low)
+    return probs
+
+
+def conditional_probabilities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    """Symmetrized joint affinities P from high-dimensional points."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 4:
+        raise ValueError("t-SNE needs at least 4 points")
+    effective_perplexity = min(perplexity, (n - 1) / 3.0)
+    target_entropy = np.log(effective_perplexity)
+    d2 = _squared_distances(x)
+    conditional = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(d2[i], i)
+        probs = _row_affinities(row, target_entropy)
+        conditional[i, np.arange(n) != i] = probs
+    joint = (conditional + conditional.T) / (2.0 * n)
+    return np.maximum(joint, _EPS)
+
+
+def tsne(x: np.ndarray, config: TSNEConfig | None = None) -> np.ndarray:
+    """Embed points into ``config.n_components`` dimensions.
+
+    Returns an (n, n_components) array.  Deterministic given ``config.seed``.
+    """
+    config = config or TSNEConfig()
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    rng = np.random.default_rng(config.seed)
+
+    p = conditional_probabilities(x, config.perplexity)
+    p_effective = p * config.early_exaggeration
+
+    y = rng.normal(0.0, 1e-4, size=(n, config.n_components))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    for iteration in range(config.n_iter):
+        if iteration == config.exaggeration_iters:
+            p_effective = p
+        momentum = (config.initial_momentum if iteration < config.momentum_switch_iter
+                    else config.final_momentum)
+
+        d2 = _squared_distances(y)
+        student = 1.0 / (1.0 + d2)
+        np.fill_diagonal(student, 0.0)
+        q = np.maximum(student / max(student.sum(), _EPS), _EPS)
+
+        # KL gradient: 4 * sum_j (p_ij - q_ij) * (y_i - y_j) * student_ij
+        pq = (p_effective - q) * student
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+        # Adaptive per-coordinate gains (standard t-SNE trick).
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.maximum(gains, config.min_gain, out=gains)
+
+        velocity = momentum * velocity - config.learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0, keepdims=True)
+    return y

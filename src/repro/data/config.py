@@ -1,0 +1,75 @@
+"""Configuration for the synthetic e-commerce world and log generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WorldConfig", "LogConfig"]
+
+
+@dataclass
+class WorldConfig:
+    """Parameters of the synthetic product world.
+
+    The defaults are chosen so that the generated log exhibits the paper's
+    §3 phenomena: feature importance varies across top-categories but is
+    homogeneous within one, and brand concentration differs wildly by TC.
+    """
+
+    seed: int = 0
+    # Brand pools are per-TC (siblings share a brand market, as in a real
+    # catalog where e.g. phone brands appear across phone sub-categories).
+    brands_per_tc: int = 60
+    # Zipf exponent range for brand popularity; high = concentrated markets.
+    brand_zipf_range: tuple[float, float] = (1.05, 2.4)
+    # Minimum / per-weight-unit product counts per sub-category.
+    min_products_per_sc: int = 24
+    products_per_weight: int = 400
+    # Category size skew (Zipf exponent over TCs and over SCs within a TC).
+    tc_size_zipf: float = 1.05
+    sc_size_zipf: float = 0.9
+    # Std of the SC-level jitter applied to the parent TC utility weights.
+    # Small values reproduce the paper's intra-category homogeneity (Fig. 2b).
+    intra_tc_jitter: float = 0.08
+    # How strongly a TC's utility follows its semantic group's base profile
+    # (0 = fully independent TCs, 1 = pure family structure).  Low values
+    # maximize per-category idiosyncrasy (the Table 2 / Table 3 effects);
+    # high values maximize cross-category transfer (Fig. 5 / Fig. 6).
+    group_coupling: float = 0.25
+    # User population.
+    num_user_segments: int = 8
+    # Hash bucket count for the query-id sparse feature (Table 5 ablation).
+    num_query_buckets: int = 512
+
+
+@dataclass
+class LogConfig:
+    """Parameters of the simulated search log (sessions and labels)."""
+
+    seed: int = 1
+    num_queries: int = 4000
+    sessions_per_query: tuple[int, int] = (1, 3)
+    items_per_session: tuple[int, int] = (6, 14)
+    # Candidate mix: probability an item comes from the query SC, a sibling
+    # SC, or anywhere in the catalog (retrieval noise).
+    candidate_mix: tuple[float, float, float] = (0.78, 0.16, 0.06)
+    # Softmax temperature of the purchase decision: lower = more deterministic
+    # user behaviour = higher achievable AUC.
+    purchase_temperature: float = 0.9
+    # Probability a session converts (contains a purchase) at all.
+    conversion_rate: float = 0.85
+    # Observation noise added to the true signals before they become model
+    # features — keeps AUC away from 1.0, like real logged features.
+    observation_noise: float = 0.35
+    # Query text length range (tokens), for the §4.1 query classifier.
+    query_tokens: tuple[int, int] = (2, 6)
+
+    def __post_init__(self):
+        total = sum(self.candidate_mix)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("candidate_mix must sum to 1")
+        if self.num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        low, high = self.items_per_session
+        if low < 2 or high < low:
+            raise ValueError("items_per_session must satisfy 2 <= low <= high")

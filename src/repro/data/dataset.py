@@ -1,0 +1,202 @@
+"""``LTRDataset`` — the array container every model and metric consumes.
+
+Wraps the simulated log's per-example arrays with session structure, supports
+session-level train/test splits (never splitting a session across sides, so
+per-session AUC/NDCG stay well-defined) and category filtering for the
+Table 3 / Fig. 5 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hierarchy import Taxonomy
+from .schema import FeatureSpec
+from .sessions import SearchLog
+
+__all__ = ["LTRDataset", "Batch", "dataset_from_log", "train_test_split"]
+
+
+@dataclass
+class Batch:
+    """One minibatch of examples."""
+
+    numeric: np.ndarray
+    sparse: dict[str, np.ndarray]
+    labels: np.ndarray
+    session_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+
+@dataclass
+class LTRDataset:
+    """Learning-to-rank dataset: features + labels grouped into sessions."""
+
+    numeric: np.ndarray                  # (n, m) normalized numeric features
+    sparse: dict[str, np.ndarray]        # name -> (n,) int ids
+    labels: np.ndarray                   # (n,) {0,1}
+    session_ids: np.ndarray              # (n,) group key
+    query_ids: np.ndarray                # (n,)
+    spec: FeatureSpec
+    taxonomy: Taxonomy
+    name: str = "synthetic"
+    # Diagnostics (optional, not used by models).
+    true_utility: np.ndarray | None = None
+
+    def __post_init__(self):
+        n = self.labels.shape[0]
+        if self.numeric.shape[0] != n or self.session_ids.shape[0] != n:
+            raise ValueError("array length mismatch")
+        for name, values in self.sparse.items():
+            if values.shape[0] != n:
+                raise ValueError(f"sparse feature {name!r} length mismatch")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_sessions(self) -> int:
+        return int(np.unique(self.session_ids).shape[0])
+
+    @property
+    def num_queries(self) -> int:
+        return int(np.unique(self.query_ids).shape[0])
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.labels.mean()) if len(self) else 0.0
+
+    @property
+    def query_sc(self) -> np.ndarray:
+        return self.sparse["query_sc"]
+
+    @property
+    def query_tc(self) -> np.ndarray:
+        return self.sparse["query_tc"]
+
+    # ------------------------------------------------------------------
+    # Subsetting
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "LTRDataset":
+        """Row-subset keeping session/query ids intact."""
+        indices = np.asarray(indices)
+        return LTRDataset(
+            numeric=self.numeric[indices],
+            sparse={k: v[indices] for k, v in self.sparse.items()},
+            labels=self.labels[indices],
+            session_ids=self.session_ids[indices],
+            query_ids=self.query_ids[indices],
+            spec=self.spec,
+            taxonomy=self.taxonomy,
+            name=name or self.name,
+            true_utility=None if self.true_utility is None else self.true_utility[indices],
+        )
+
+    def filter_by_tc(self, tc_ids, name: str | None = None) -> "LTRDataset":
+        """Keep sessions whose query top-category is in ``tc_ids``."""
+        tc_ids = set(int(t) for t in np.atleast_1d(tc_ids))
+        mask = np.isin(self.sparse["query_tc"], list(tc_ids))
+        return self.subset(np.flatnonzero(mask), name=name)
+
+    def filter_by_sc(self, sc_ids, name: str | None = None) -> "LTRDataset":
+        """Keep sessions whose query sub-category is in ``sc_ids``."""
+        sc_ids = set(int(s) for s in np.atleast_1d(sc_ids))
+        mask = np.isin(self.sparse["query_sc"], list(sc_ids))
+        return self.subset(np.flatnonzero(mask), name=name)
+
+    def concat(self, other: "LTRDataset", name: str | None = None) -> "LTRDataset":
+        """Concatenate two datasets over the same spec/taxonomy."""
+        if self.spec is not other.spec and self.spec.sparse_names != other.spec.sparse_names:
+            raise ValueError("cannot concat datasets with different specs")
+        return LTRDataset(
+            numeric=np.concatenate([self.numeric, other.numeric]),
+            sparse={k: np.concatenate([self.sparse[k], other.sparse[k]]) for k in self.sparse},
+            labels=np.concatenate([self.labels, other.labels]),
+            session_ids=np.concatenate([self.session_ids, other.session_ids]),
+            query_ids=np.concatenate([self.query_ids, other.query_ids]),
+            spec=self.spec,
+            taxonomy=self.taxonomy,
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def batch(self, indices: np.ndarray) -> Batch:
+        """Materialize a batch from row indices."""
+        return Batch(
+            numeric=self.numeric[indices],
+            sparse={k: v[indices] for k, v in self.sparse.items()},
+            labels=self.labels[indices],
+            session_ids=self.session_ids[indices],
+        )
+
+    def full_batch(self) -> Batch:
+        """The whole dataset as one batch (used for evaluation)."""
+        return Batch(numeric=self.numeric, sparse=self.sparse,
+                     labels=self.labels, session_ids=self.session_ids)
+
+    def iter_batches(self, batch_size: int, rng: np.random.Generator | None = None,
+                     shuffle: bool = True):
+        """Yield shuffled minibatches of ``batch_size`` rows."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng if rng is not None else np.random.default_rng()
+            rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            yield self.batch(order[start:start + batch_size])
+
+    # ------------------------------------------------------------------
+    # Session utilities
+    # ------------------------------------------------------------------
+    def sessions_with_label_mix(self) -> np.ndarray:
+        """Session ids containing at least one positive and one negative.
+
+        Only these sessions contribute to per-session AUC (paper §5.1.2).
+        """
+        unique, inverse = np.unique(self.session_ids, return_inverse=True)
+        positives = np.bincount(inverse, weights=self.labels.astype(float))
+        counts = np.bincount(inverse)
+        mask = (positives > 0) & (positives < counts)
+        return unique[mask]
+
+
+def dataset_from_log(log: SearchLog, name: str = "synthetic") -> LTRDataset:
+    """Convert a simulated :class:`SearchLog` into an :class:`LTRDataset`."""
+    return LTRDataset(
+        numeric=log.numeric,
+        sparse=dict(log.sparse),
+        labels=log.labels,
+        session_ids=log.session_ids,
+        query_ids=log.query_ids,
+        spec=log.world.spec,
+        taxonomy=log.world.taxonomy,
+        name=name,
+        true_utility=log.true_utility,
+    )
+
+
+def train_test_split(dataset: LTRDataset, test_fraction: float = 0.2,
+                     seed: int = 7) -> tuple[LTRDataset, LTRDataset]:
+    """Split by *query* so no query leaks across sides (paper setup: train
+    and test sets are disjoint time/query slices of the log)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    queries = np.unique(dataset.query_ids)
+    rng.shuffle(queries)
+    cut = max(1, int(round(len(queries) * test_fraction)))
+    test_queries = set(queries[:cut].tolist())
+    mask = np.isin(dataset.query_ids, list(test_queries))
+    test = dataset.subset(np.flatnonzero(mask), name=f"{dataset.name}-test")
+    train = dataset.subset(np.flatnonzero(~mask), name=f"{dataset.name}-train")
+    return train, test

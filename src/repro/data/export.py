@@ -1,0 +1,91 @@
+"""Dataset import/export: persist an ``LTRDataset`` to NPZ or CSV.
+
+Lets downstream users materialize the synthetic log once and reload it, or
+ship slices to other tools.  NPZ roundtrips exactly; CSV is for inspection
+and interoperability (one row per (query, item) example).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..hierarchy import Taxonomy
+from .dataset import LTRDataset
+from .schema import FeatureSpec
+
+__all__ = ["save_dataset_npz", "load_dataset_npz", "export_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset_npz(dataset: LTRDataset, path: str | Path) -> Path:
+    """Write every array of the dataset to a compressed ``.npz`` file."""
+    path = Path(path).with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "numeric": dataset.numeric,
+        "labels": dataset.labels,
+        "session_ids": dataset.session_ids,
+        "query_ids": dataset.query_ids,
+    }
+    for name, values in dataset.sparse.items():
+        arrays[f"sparse__{name}"] = values
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset_npz(path: str | Path, spec: FeatureSpec, taxonomy: Taxonomy,
+                     name: str = "loaded") -> LTRDataset:
+    """Reload a dataset saved by :func:`save_dataset_npz`.
+
+    The schema and taxonomy are not serialized (they are code-defined);
+    the caller supplies the ones the dataset was generated with.
+    """
+    path = Path(path).with_suffix(".npz")
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported dataset format version {version}")
+        sparse = {key[len("sparse__"):]: archive[key].copy()
+                  for key in archive.files if key.startswith("sparse__")}
+        missing = set(spec.sparse_names) - set(sparse)
+        if missing:
+            raise ValueError(f"dataset file lacks sparse features: {sorted(missing)}")
+        return LTRDataset(
+            numeric=archive["numeric"].copy(),
+            sparse=sparse,
+            labels=archive["labels"].copy(),
+            session_ids=archive["session_ids"].copy(),
+            query_ids=archive["query_ids"].copy(),
+            spec=spec,
+            taxonomy=taxonomy,
+            name=name,
+        )
+
+
+def export_csv(dataset: LTRDataset, path: str | Path,
+               max_rows: int | None = None) -> Path:
+    """Write the dataset as CSV: ids, sparse features, numeric features, label."""
+    path = Path(path).with_suffix(".csv")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sparse_names = list(dataset.sparse)
+    numeric_names = dataset.spec.numeric_names
+    n = len(dataset) if max_rows is None else min(max_rows, len(dataset))
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["session_id", "query_id", *sparse_names,
+                         *numeric_names, "label"])
+        for row in range(n):
+            writer.writerow([
+                int(dataset.session_ids[row]),
+                int(dataset.query_ids[row]),
+                *(int(dataset.sparse[name][row]) for name in sparse_names),
+                *(f"{dataset.numeric[row, col]:.6g}"
+                  for col in range(len(numeric_names))),
+                int(dataset.labels[row]),
+            ])
+    return path

@@ -1,0 +1,141 @@
+"""Feature schema shared by the data generator and every ranking model.
+
+The paper's input (eq. 2) concatenates embedded sparse features with
+normalized numeric features.  :class:`FeatureSpec` is the single source of
+truth for which features exist, their cardinalities (embedding table sizes)
+and which side (query / user / item / two-sided) they belong to — the side
+matters for the Table 5 gate-input ablation and for the paper's conclusion
+that gates should only see query-side features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SparseFeature", "NumericFeature", "FeatureSpec", "Side",
+           "NUMERIC_FEATURE_NAMES"]
+
+
+class Side:
+    """Feature side constants."""
+
+    QUERY = "query"
+    USER = "user"
+    ITEM = "item"
+    BOTH = "both"  # two-sided features (e.g. historical query-item CTR)
+
+
+# Order matters: this is the column order of the numeric feature matrix.
+NUMERIC_FEATURE_NAMES = (
+    "price_z",            # z-scored log price within the item's category
+    "log_sales",          # log1p sales volume, normalized
+    "good_comments_ratio",  # fraction of positive reviews
+    "brand_popularity",   # log market share of the item's brand in its SC
+    "historical_ctr",     # two-sided: historical CTR of the item under the query
+    "relevance",          # query-item text match score
+)
+
+
+@dataclass(frozen=True)
+class SparseFeature:
+    """A categorical feature embedded via a lookup table."""
+
+    name: str
+    cardinality: int
+    side: str
+
+    def __post_init__(self):
+        if self.cardinality <= 0:
+            raise ValueError(f"sparse feature {self.name!r} needs positive cardinality")
+        if self.side not in (Side.QUERY, Side.USER, Side.ITEM, Side.BOTH):
+            raise ValueError(f"unknown side {self.side!r}")
+
+
+@dataclass(frozen=True)
+class NumericFeature:
+    """A dense scalar feature, fed to the model after normalization."""
+
+    name: str
+    side: str
+
+
+@dataclass
+class FeatureSpec:
+    """Full schema: ordered sparse + numeric features.
+
+    ``model_sparse`` lists the sparse features that enter the ranking model
+    input X (eq. 2).  ``query_tc``/``query_sc`` are always present because the
+    gates need them; whether they are part of X, of the gate input, or both is
+    a model-level decision.
+    """
+
+    sparse: list[SparseFeature] = field(default_factory=list)
+    numeric: list[NumericFeature] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = [f.name for f in self.sparse] + [f.name for f in self.numeric]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate feature names in spec")
+        self._sparse_by_name = {f.name: f for f in self.sparse}
+
+    @property
+    def sparse_names(self) -> list[str]:
+        return [f.name for f in self.sparse]
+
+    @property
+    def numeric_names(self) -> list[str]:
+        return [f.name for f in self.numeric]
+
+    @property
+    def num_numeric(self) -> int:
+        return len(self.numeric)
+
+    def sparse_feature(self, name: str) -> SparseFeature:
+        return self._sparse_by_name[name]
+
+    def cardinality(self, name: str) -> int:
+        """Embedding table size for a sparse feature."""
+        return self._sparse_by_name[name].cardinality
+
+    def sparse_on_side(self, *sides: str) -> list[str]:
+        """Names of sparse features belonging to any of ``sides``."""
+        return [f.name for f in self.sparse if f.side in sides]
+
+    def input_width(self, embedding_dim: int, sparse_names: list[str] | None = None) -> int:
+        """Width of the concatenated model input (eq. 2): k*q + m."""
+        names = self.sparse_names if sparse_names is None else sparse_names
+        return len(names) * embedding_dim + self.num_numeric
+
+
+def build_feature_spec(num_sub_categories: int, num_top_categories: int,
+                       num_brands: int, num_user_segments: int,
+                       num_query_buckets: int) -> FeatureSpec:
+    """Construct the canonical schema used by the synthetic world.
+
+    Sparse features:
+
+    * ``query_sc`` / ``query_tc`` — query-level category ids (§4.1); the
+      inference gate consumes ``query_sc``, the constraint gate ``query_tc``.
+    * ``brand`` — item brand id (the sparse feature analyzed in Fig. 3).
+    * ``item_sc`` — product-side category (only used in the "all features"
+      gate ablation; the paper found it *hurts*).
+    * ``user_segment`` — user feature for the Table 5 ablation.
+    * ``query_bucket`` — hashed query id, the "query" gate feature in Table 5.
+    """
+    sparse = [
+        SparseFeature("query_sc", num_sub_categories, Side.QUERY),
+        SparseFeature("query_tc", num_top_categories, Side.QUERY),
+        SparseFeature("brand", num_brands, Side.ITEM),
+        SparseFeature("item_sc", num_sub_categories, Side.ITEM),
+        SparseFeature("user_segment", num_user_segments, Side.USER),
+        SparseFeature("query_bucket", num_query_buckets, Side.QUERY),
+    ]
+    numeric = [
+        NumericFeature("price_z", Side.ITEM),
+        NumericFeature("log_sales", Side.ITEM),
+        NumericFeature("good_comments_ratio", Side.ITEM),
+        NumericFeature("brand_popularity", Side.ITEM),
+        NumericFeature("historical_ctr", Side.BOTH),
+        NumericFeature("relevance", Side.BOTH),
+    ]
+    return FeatureSpec(sparse=sparse, numeric=numeric)

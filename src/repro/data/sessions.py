@@ -1,0 +1,255 @@
+"""Search-session simulator: queries, candidate retrieval, purchase labels.
+
+Produces the learning-to-rank log that substitutes for the paper's in-house
+dataset (§5.1.1).  Each session is one ranked result list for a query; the
+binary label marks the purchased item.  The purchase decision follows the
+query category's utility weights from :class:`~repro.data.world.SyntheticWorld`,
+sampled with the Gumbel-max trick (equivalent to a per-session softmax
+choice), so per-category ranking strategies genuinely differ — the property
+the paper's MoE exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import LogConfig
+from .schema import NUMERIC_FEATURE_NAMES
+from .world import SyntheticWorld
+
+__all__ = ["QueryTable", "SearchLog", "simulate_log"]
+
+_NUM_SIGNALS = len(NUMERIC_FEATURE_NAMES)
+_PRICE, _SALES, _COMMENTS, _BRANDPOP, _CTR, _RELEVANCE = range(_NUM_SIGNALS)
+
+# Query text vocabulary layout (used by repro.querycat): each SC owns a
+# contiguous block of category-specific tokens after a shared generic block.
+GENERIC_TOKENS = 48
+TOKENS_PER_SC = 14
+
+
+@dataclass
+class QueryTable:
+    """Queries with their category intent and generated text tokens."""
+
+    sc_ids: np.ndarray          # (Q,) sub-category intent of each query
+    tc_ids: np.ndarray          # (Q,) parent top-category
+    buckets: np.ndarray         # (Q,) hashed query-id feature
+    tokens: np.ndarray          # (Q, max_len) padded token ids; 0 is PAD
+    lengths: np.ndarray         # (Q,) valid token counts
+    vocab_size: int
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.sc_ids.shape[0])
+
+
+@dataclass
+class SearchLog:
+    """Flat example arrays plus session/query structure.
+
+    Examples are (query, item) pairs grouped into sessions; this is the raw
+    material for :class:`~repro.data.dataset.LTRDataset`.
+    """
+
+    world: SyntheticWorld
+    queries: QueryTable
+    # Per-example arrays, all length n.
+    session_ids: np.ndarray
+    query_ids: np.ndarray
+    item_rows: np.ndarray        # indices into the world's product table
+    labels: np.ndarray           # {0, 1} purchase labels
+    true_utility: np.ndarray     # latent utility (for diagnostics only)
+    signals: np.ndarray          # (n, num_signals) true signals
+    numeric: np.ndarray          # (n, num_signals) observed, normalized
+    sparse: dict[str, np.ndarray]
+
+    @property
+    def num_examples(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_sessions(self) -> int:
+        return int(np.unique(self.session_ids).shape[0])
+
+
+def simulate_log(world: SyntheticWorld, config: LogConfig | None = None) -> SearchLog:
+    """Simulate a full search log from a world."""
+    config = config or LogConfig()
+    rng = np.random.default_rng(config.seed)
+    taxonomy = world.taxonomy
+
+    queries = _generate_queries(world, config, rng)
+
+    # --- sessions ------------------------------------------------------
+    low_s, high_s = config.sessions_per_query
+    sessions_per_query = rng.integers(low_s, high_s + 1, size=queries.num_queries)
+    num_sessions = int(sessions_per_query.sum())
+    session_query = np.repeat(np.arange(queries.num_queries), sessions_per_query)
+    session_user = rng.integers(0, world.config.num_user_segments, size=num_sessions)
+
+    low_i, high_i = config.items_per_session
+    items_per_session = rng.integers(low_i, high_i + 1, size=num_sessions)
+    n = int(items_per_session.sum())
+    ex_session = np.repeat(np.arange(num_sessions), items_per_session)
+    ex_query = session_query[ex_session]
+    ex_intent_sc = queries.sc_ids[ex_query]
+
+    item_rows, source = _sample_candidates(world, ex_intent_sc, config, rng)
+
+    # --- signals -------------------------------------------------------
+    signals = world.product_signal_matrix(item_rows)
+    quality = world.product_quality[item_rows]
+    relevance = _relevance_by_source(source, rng) + 0.15 * quality
+    signals[:, _RELEVANCE] = relevance
+    signals[:, _CTR] = np.clip(
+        0.6 * relevance + 0.35 * quality + rng.normal(0, 0.45, size=n), -4.0, 4.0)
+
+    # --- purchase decision (Gumbel-max softmax sampling per session) ----
+    # Utility is linear in the signals *plus* category-specific interaction
+    # terms — a nonlinear, per-category scoring function (world.py docstring).
+    weights = world.sc_utility[ex_intent_sc]
+    utility = (signals * weights).sum(axis=1) + 0.4 * quality
+    from .world import INTERACTION_PAIRS
+    interaction_weights = world.sc_interaction[ex_intent_sc]
+    for pair_index, (a, b) in enumerate(INTERACTION_PAIRS):
+        utility += interaction_weights[:, pair_index] * signals[:, a] * signals[:, b]
+    gumbel = rng.gumbel(size=n)
+    choice_score = utility / config.purchase_temperature + gumbel
+    winners = _segment_argmax(choice_score, ex_session, num_sessions)
+    converts = rng.random(num_sessions) < config.conversion_rate
+    labels = np.zeros(n, dtype=np.int64)
+    purchased = winners[converts]
+    labels[purchased] = 1
+
+    # --- observed features ----------------------------------------------
+    observed = signals + rng.normal(0, config.observation_noise, size=signals.shape)
+    observed[:, _COMMENTS] = np.clip(observed[:, _COMMENTS], 0.0, 1.0)
+    numeric = _normalize_columns(observed)
+
+    sparse = {
+        "query_sc": ex_intent_sc.astype(np.int64),
+        "query_tc": taxonomy.parents_of(ex_intent_sc),
+        "brand": world.product_brand[item_rows].astype(np.int64),
+        "item_sc": world.product_sc[item_rows].astype(np.int64),
+        "user_segment": session_user[ex_session].astype(np.int64),
+        "query_bucket": queries.buckets[ex_query].astype(np.int64),
+    }
+
+    return SearchLog(
+        world=world,
+        queries=queries,
+        session_ids=ex_session,
+        query_ids=ex_query,
+        item_rows=item_rows,
+        labels=labels,
+        true_utility=utility,
+        signals=signals,
+        numeric=numeric,
+        sparse=sparse,
+    )
+
+
+def _generate_queries(world: SyntheticWorld, config: LogConfig,
+                      rng: np.random.Generator) -> QueryTable:
+    """Sample query intents by category traffic and synthesize query text."""
+    taxonomy = world.taxonomy
+    num_sc = taxonomy.max_sc_id() + 1
+    sc_ids = rng.choice(num_sc, size=config.num_queries, p=world.sc_traffic)
+    tc_ids = taxonomy.parents_of(sc_ids)
+    buckets = rng.integers(0, world.config.num_query_buckets, size=config.num_queries)
+
+    low_t, high_t = config.query_tokens
+    lengths = rng.integers(low_t, high_t + 1, size=config.num_queries)
+    max_len = int(high_t)
+    vocab_size = 1 + GENERIC_TOKENS + TOKENS_PER_SC * num_sc  # 0 reserved for PAD
+    tokens = np.zeros((config.num_queries, max_len), dtype=np.int64)
+    specific = rng.random((config.num_queries, max_len)) < 0.7
+    generic_draw = rng.integers(1, 1 + GENERIC_TOKENS, size=(config.num_queries, max_len))
+    offsets = 1 + GENERIC_TOKENS + sc_ids * TOKENS_PER_SC
+    specific_draw = offsets[:, None] + rng.integers(0, TOKENS_PER_SC,
+                                                    size=(config.num_queries, max_len))
+    drawn = np.where(specific, specific_draw, generic_draw)
+    valid = np.arange(max_len)[None, :] < lengths[:, None]
+    tokens[valid] = drawn[valid]
+    return QueryTable(sc_ids=sc_ids, tc_ids=tc_ids, buckets=buckets,
+                      tokens=tokens, lengths=lengths, vocab_size=vocab_size)
+
+
+def _sample_candidates(world: SyntheticWorld, intent_sc: np.ndarray,
+                       config: LogConfig, rng: np.random.Generator
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Pick a product row for each example.
+
+    Source codes: 0 = query SC (in-category), 1 = sibling SC, 2 = random
+    catalog item (retrieval noise).
+    """
+    n = intent_sc.shape[0]
+    p_same, p_sibling, _ = config.candidate_mix
+    draw = rng.random(n)
+    source = np.full(n, 2, dtype=np.int64)
+    source[draw < p_same + p_sibling] = 1
+    source[draw < p_same] = 0
+
+    taxonomy = world.taxonomy
+    item_rows = np.zeros(n, dtype=np.int64)
+
+    # Resolve the SC each example samples from: own SC, or a random sibling
+    # (falling back to own SC when the category has no siblings).
+    sample_sc = intent_sc.copy()
+    sibling_mask = source == 1
+    if sibling_mask.any():
+        sibling_targets = np.empty(int(sibling_mask.sum()), dtype=np.int64)
+        sibling_scs = intent_sc[sibling_mask]
+        for position, sc_id in enumerate(sibling_scs):
+            siblings = taxonomy.siblings_of(int(sc_id))
+            sibling_targets[position] = (siblings[int(rng.integers(len(siblings)))]
+                                         if siblings else int(sc_id))
+        sample_sc[sibling_mask] = sibling_targets
+
+    in_category = source != 2
+    # Group by SC for vectorized gathers.
+    for sc_id in np.unique(sample_sc[in_category]):
+        members = np.flatnonzero(in_category & (sample_sc == sc_id))
+        pool = world.products_in_sc(int(sc_id))
+        item_rows[members] = pool[rng.integers(0, len(pool), size=members.shape[0])]
+
+    random_mask = source == 2
+    if random_mask.any():
+        item_rows[random_mask] = rng.integers(0, world.num_products,
+                                              size=int(random_mask.sum()))
+    return item_rows, source
+
+
+def _relevance_by_source(source: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Text-match scores: in-category items look relevant, noise does not."""
+    n = source.shape[0]
+    relevance = np.empty(n)
+    means = np.array([1.2, 0.45, -0.9])
+    stds = np.array([0.4, 0.45, 0.5])
+    relevance = rng.normal(means[source], stds[source])
+    return relevance
+
+
+def _segment_argmax(scores: np.ndarray, segments: np.ndarray, num_segments: int) -> np.ndarray:
+    """Vectorized per-segment argmax; segments must be sorted ascending."""
+    order = np.lexsort((scores, segments))
+    sorted_segments = segments[order]
+    # The last element of each segment run holds the segment max.
+    boundaries = np.flatnonzero(np.diff(sorted_segments)) if len(order) else np.array([], dtype=int)
+    last_positions = np.concatenate([boundaries, [len(order) - 1]]) if len(order) else boundaries
+    winners = np.full(num_segments, -1, dtype=np.int64)
+    winners[sorted_segments[last_positions]] = order[last_positions]
+    if np.any(winners < 0):
+        raise ValueError("every session must contain at least one example")
+    return winners
+
+
+def _normalize_columns(matrix: np.ndarray) -> np.ndarray:
+    """Z-score each column (the paper normalizes numeric features, eq. 2)."""
+    mean = matrix.mean(axis=0, keepdims=True)
+    std = matrix.std(axis=0, keepdims=True)
+    std = np.where(std < 1e-9, 1.0, std)
+    return (matrix - mean) / std

@@ -1,0 +1,62 @@
+"""Dataset statistics — reproduces the shape of the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import LTRDataset
+
+__all__ = ["DatasetStatistics", "compute_statistics", "format_table1"]
+
+
+@dataclass
+class DatasetStatistics:
+    """Counts mirroring the rows of the paper's Table 1."""
+
+    name: str
+    num_examples: int
+    num_top_categories: int
+    num_sub_categories: int
+    num_queries: int
+    num_query_item_pairs: int
+    num_sessions: int
+    positive_rate: float
+
+
+def compute_statistics(dataset: LTRDataset, name: str | None = None) -> DatasetStatistics:
+    """Compute Table-1-style statistics for a dataset (or a slice of one)."""
+    pairs = np.unique(np.stack([dataset.query_ids,
+                                dataset.sparse["brand"],
+                                dataset.sparse["item_sc"]]), axis=1).shape[1]
+    return DatasetStatistics(
+        name=name or dataset.name,
+        num_examples=len(dataset),
+        num_top_categories=int(np.unique(dataset.query_tc).shape[0]),
+        num_sub_categories=int(np.unique(dataset.query_sc).shape[0]),
+        num_queries=dataset.num_queries,
+        num_query_item_pairs=int(pairs),
+        num_sessions=dataset.num_sessions,
+        positive_rate=dataset.positive_rate,
+    )
+
+
+def format_table1(rows: list[tuple[str, DatasetStatistics, DatasetStatistics]]) -> str:
+    """Render (slice name, train stats, test stats) rows like Table 1."""
+    lines = [
+        "Table 1: Datasets statistics.",
+        f"{'Statistics':<28}{'Training Set':>16}{'Test Set':>14}",
+    ]
+    for label, train, test in rows:
+        lines.append(f"{label:<28}{train.num_examples:>16,}{test.num_examples:>14,}")
+    if rows:
+        train, test = rows[0][1], rows[0][2]
+        lines.append(f"{'# of Top Categories':<28}{train.num_top_categories:>16,}"
+                     f"{test.num_top_categories:>14,}")
+        lines.append(f"{'# of Sub Categories':<28}{train.num_sub_categories:>16,}"
+                     f"{test.num_sub_categories:>14,}")
+        lines.append(f"{'# of queries':<28}{train.num_queries:>16,}{test.num_queries:>14,}")
+        lines.append(f"{'# of query/item pairs':<28}{train.num_query_item_pairs:>16,}"
+                     f"{test.num_query_item_pairs:>14,}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Fig. 2 — feature importance across vs within top-categories.
+
+Computes FI(f) (eq. 1) for every numeric feature on (a) the paper's five
+named top-categories and (b) the sub-categories of one TC, then compares the
+cross-category dispersion: the inter-TC dispersion should dominate the
+intra-TC dispersion — the paper's §3 motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import feature_importance_by_category, importance_dispersion
+from .common import DEFAULT, Environment, Scale, build_environment
+
+__all__ = ["Fig2Result", "run", "NAMED_CATEGORIES", "INTRA_CATEGORY"]
+
+NAMED_CATEGORIES = ("Clothing", "Sports", "Foods", "Computer", "Electronics")
+INTRA_CATEGORY = "Foods"  # the paper drills into Foods for Fig. 2(b)
+
+
+@dataclass
+class Fig2Result:
+    """Per-category FI tables and their dispersions."""
+
+    inter: dict[int, dict[str, float]]    # TC id -> feature -> FI
+    intra: dict[int, dict[str, float]]    # SC id -> feature -> FI
+    inter_dispersion: dict[str, float]    # feature -> std across TCs
+    intra_dispersion: dict[str, float]    # feature -> std across sibling SCs
+    category_names: dict[int, str]
+
+    def format(self) -> str:
+        lines = ["Fig 2: feature importance FI(f) per category."]
+        features = sorted({f for row in self.inter.values() for f in row})
+        header = f"{'category':<16}" + "".join(f"{f[:12]:>14}" for f in features)
+        lines.append("(a) inter-categories")
+        lines.append(header)
+        for cat, row in self.inter.items():
+            name = self.category_names.get(cat, str(cat))
+            lines.append(f"{name:<16}" + "".join(
+                f"{row.get(f, float('nan')):>14.4f}" for f in features))
+        lines.append("(b) intra-categories (" + INTRA_CATEGORY + ")")
+        for cat, row in self.intra.items():
+            name = self.category_names.get(-cat - 1, str(cat))
+            lines.append(f"{name:<16}" + "".join(
+                f"{row.get(f, float('nan')):>14.4f}" for f in features))
+        lines.append("dispersion (std of FI across categories):")
+        for f in features:
+            inter = self.inter_dispersion.get(f, float("nan"))
+            intra = self.intra_dispersion.get(f, float("nan"))
+            lines.append(f"  {f:<22} inter={inter:.4f}  intra={intra:.4f}")
+        return "\n".join(lines)
+
+    def mean_dispersion_ratio(self) -> float:
+        """Mean over features of inter-dispersion / intra-dispersion (> 1
+        confirms the paper's claim)."""
+        ratios = []
+        for feature, inter in self.inter_dispersion.items():
+            intra = self.intra_dispersion.get(feature)
+            if intra and intra > 0:
+                ratios.append(inter / intra)
+        if not ratios:
+            raise ValueError("no comparable features")
+        return float(sum(ratios) / len(ratios))
+
+
+def _named_tc_ids(env: Environment, names: tuple[str, ...]) -> list[int]:
+    by_name = {tc.name: tc.tc_id for tc in env.taxonomy.top_categories}
+    return [by_name[n] for n in names if n in by_name]
+
+
+def run(scale: Scale = DEFAULT) -> Fig2Result:
+    """Regenerate Fig. 2's numbers at the given scale."""
+    env = build_environment(scale)
+    tc_ids = _named_tc_ids(env, NAMED_CATEGORIES)
+    inter = feature_importance_by_category(env.dataset, level="tc",
+                                           category_ids=tc_ids)
+    intra_parent = _named_tc_ids(env, (INTRA_CATEGORY,))[0]
+    children = env.taxonomy.children_of(intra_parent)
+    intra = feature_importance_by_category(env.dataset, level="sc",
+                                           category_ids=children)
+    names = {tc.tc_id: tc.name for tc in env.taxonomy.top_categories}
+    names.update({-sc.sc_id - 1: sc.name for sc in env.taxonomy.sub_categories})
+    return Fig2Result(
+        inter=inter,
+        intra=intra,
+        inter_dispersion=importance_dispersion(inter),
+        intra_dispersion=importance_dispersion(intra),
+        category_names=names,
+    )

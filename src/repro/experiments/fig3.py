@@ -1,0 +1,63 @@
+"""Fig. 3 — brand concentration: share of brands covering top 80% of sales.
+
+(a) across the named top-categories — Electronics-like markets should be far
+more concentrated than Sports-like ones; (b) across the sub-categories of
+one TC — intra-category variance should be small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import BrandConcentration, concentration_by_category
+from .common import DEFAULT, Scale, build_environment
+from .fig2 import INTRA_CATEGORY, NAMED_CATEGORIES
+
+__all__ = ["Fig3Result", "run"]
+
+
+@dataclass
+class Fig3Result:
+    """Concentration per TC (a) and per SC of one TC (b)."""
+
+    inter: dict[int, BrandConcentration]
+    intra: dict[int, BrandConcentration]
+    category_names: dict[int, str]
+
+    def format(self) -> str:
+        lines = ["Fig 3: brands covering the top 80% of sales."]
+        lines.append("(a) inter-categories")
+        lines.append(f"{'category':<16}{'proportion':>12}{'# brands':>10}")
+        for cat, conc in self.inter.items():
+            name = self.category_names.get(cat, str(cat))
+            lines.append(f"{name:<16}{conc.proportion:>12.3f}{conc.brands_for_top_share:>10}")
+        lines.append(f"(b) intra-categories ({INTRA_CATEGORY})")
+        for cat, conc in self.intra.items():
+            name = self.category_names.get(-cat - 1, str(cat))
+            lines.append(f"{name:<16}{conc.proportion:>12.3f}{conc.brands_for_top_share:>10}")
+        lines.append(f"inter std={self.inter_std():.4f}  intra std={self.intra_std():.4f}")
+        return "\n".join(lines)
+
+    def inter_std(self) -> float:
+        return float(np.std([c.proportion for c in self.inter.values()]))
+
+    def intra_std(self) -> float:
+        return float(np.std([c.proportion for c in self.intra.values()]))
+
+
+def run(scale: Scale = DEFAULT) -> Fig3Result:
+    """Regenerate Fig. 3's numbers."""
+    env = build_environment(scale)
+    by_name = {tc.name: tc.tc_id for tc in env.taxonomy.top_categories}
+    tc_ids = [by_name[n] for n in NAMED_CATEGORIES if n in by_name]
+    total = env.world.config.brands_per_tc  # full market size per TC
+    inter_sales = {t: s for t, s in env.world.brand_sales_by_tc().items() if t in tc_ids}
+    inter = concentration_by_category(inter_sales, total_brands=total)
+    intra_parent = by_name[INTRA_CATEGORY]
+    intra = concentration_by_category(env.world.brand_sales_by_sc(intra_parent),
+                                      total_brands=total)
+    names = {tc.tc_id: tc.name for tc in env.taxonomy.top_categories}
+    names.update({-sc.sc_id - 1: sc.name for sc in env.taxonomy.sub_categories})
+    return Fig3Result(inter=inter, intra=intra, category_names=names)

@@ -1,0 +1,58 @@
+"""Fig. 6 — t-SNE of inference gate vectors under MoE / Adv-MoE / Adv&HSC-MoE.
+
+Claims to reproduce (quantified with silhouette scores over the Table 4
+semantic groups): Adv-MoE clusters better than vanilla MoE, and Adv&HSC-MoE
+produces the cleanest separation of all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import GateAnalysis, TSNEConfig, analyze_gate_clustering
+from .common import DEFAULT, Scale, build_environment, model_config, train_and_eval
+
+__all__ = ["Fig6Result", "run"]
+
+_PANELS = ("moe", "adv-moe", "adv-hsc-moe")
+
+
+@dataclass
+class Fig6Result:
+    """One :class:`GateAnalysis` per Fig. 6 panel."""
+
+    panels: dict[str, GateAnalysis]
+
+    def format(self) -> str:
+        lines = ["Fig 6: gate-vector clustering by semantic group",
+                 f"{'model':<14}{'silhouette(gate)':>18}{'silhouette(tsne)':>18}"
+                 f"{'intra/inter':>13}"]
+        for name, analysis in self.panels.items():
+            tsne_s = (f"{analysis.silhouette_embedding:.4f}"
+                      if analysis.silhouette_embedding is not None else "n/a")
+            lines.append(f"{name:<14}{analysis.silhouette_gate:>18.4f}"
+                         f"{tsne_s:>18}{analysis.intra_inter:>13.4f}")
+        return "\n".join(lines)
+
+    def ordering_holds(self) -> bool:
+        """True when silhouette improves monotonically MoE → Adv → Adv&HSC."""
+        values = [self.panels[name].silhouette_gate for name in _PANELS]
+        return values[0] <= values[1] <= values[2] or values[0] < values[2]
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, run_tsne: bool = True) -> Fig6Result:
+    """Train the three panel models and analyze their gate vectors."""
+    env = build_environment(scale)
+    config = model_config(scale, seed=seed)
+    tsne_config = TSNEConfig(seed=seed, n_iter=scale.tsne_iters,
+                             exaggeration_iters=min(100, scale.tsne_iters // 3),
+                             perplexity=min(30.0, max(5.0, scale.tsne_examples / 8)))
+    panels: dict[str, GateAnalysis] = {}
+    for name in _PANELS:
+        _, model = train_and_eval(name, env, scale, config=config, seed=seed,
+                                  return_model=True)
+        panels[name] = analyze_gate_clustering(
+            model, env.test, model_name=name,
+            max_examples=scale.tsne_examples, run_tsne=run_tsne,
+            seed=seed, tsne_config=tsne_config)
+    return Fig6Result(panels=panels)

@@ -1,0 +1,61 @@
+"""Fig. 7 — (N, K, D) hyper-parameter sweep of the HSC & Adv-MoE model.
+
+The paper sweeps N ∈ {10, 16, 32}, K ∈ {2, 4}, D ∈ {1, 2} and observes that
+increasing K consistently helps while N and D show no monotonic pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import DEFAULT, Scale, build_environment, model_config, train_and_eval
+
+__all__ = ["Fig7Result", "run", "PAPER_GRID"]
+
+PAPER_GRID = {"num_experts": [10, 16, 32], "top_k": [2, 4], "num_disagreeing": [1, 2]}
+
+
+@dataclass
+class Fig7Result:
+    """AUC per (N, K, D) triple."""
+
+    auc: dict[tuple[int, int, int], float]
+
+    def format(self) -> str:
+        lines = ["Fig 7: (N, K, D) sweep of HSC & Adv-MoE (AUC).",
+                 f"{'N':>4}{'K':>4}{'D':>4}{'AUC':>9}"]
+        for (n, k, d), value in sorted(self.auc.items()):
+            lines.append(f"{n:>4}{k:>4}{d:>4}{value:>9.4f}")
+        return "\n".join(lines)
+
+    def k_effect(self) -> dict[tuple[int, int], float]:
+        """AUC(K=4) - AUC(K=2) per (N, D): positive = higher K helps."""
+        effect: dict[tuple[int, int], float] = {}
+        for (n, k, d), value in self.auc.items():
+            if k == 4 and (n, 2, d) in self.auc:
+                effect[(n, d)] = value - self.auc[(n, 2, d)]
+        return effect
+
+    def best_triple(self) -> tuple[int, int, int]:
+        return max(self.auc, key=self.auc.get)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0,
+        grid: dict[str, list[int]] | None = None) -> Fig7Result:
+    """Regenerate Fig. 7."""
+    env = build_environment(scale)
+    grid = grid or PAPER_GRID
+    results: dict[tuple[int, int, int], float] = {}
+    for n in grid["num_experts"]:
+        for k in grid["top_k"]:
+            for d in grid["num_disagreeing"]:
+                if k > n or d > n - k:
+                    continue
+                config = model_config(scale, seed=seed, num_experts=n,
+                                      top_k=k, num_disagreeing=d)
+                metrics = train_and_eval("adv-hsc-moe", env, scale,
+                                         config=config, seed=seed)
+                results[(n, k, d)] = metrics["auc"]
+    return Fig7Result(auc=results)

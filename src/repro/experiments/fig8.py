@@ -1,0 +1,68 @@
+"""Fig. 8 / Table 7 — case study: per-expert scores under MoE vs Adv&HSC-MoE.
+
+Reproduces the paper's qualitative comparison: one session with a purchased
+item and two non-purchased items; for each model, the sigmoid score of every
+expert and which experts the gate selected.  The paper's observation: under
+the improved model the active experts *disagree* (some score negatives low
+even when others score them high), fixing the baseline's unanimous mistakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import CaseStudy, pick_case_session, run_case_study
+from .common import DEFAULT, Scale, build_environment, model_config, train_and_eval
+
+__all__ = ["Fig8Result", "run", "expert_score_spread"]
+
+
+def expert_score_spread(case: CaseStudy) -> float:
+    """Mean std of the *selected* experts' scores across items.
+
+    Higher spread = more disagreement among active experts, the quantity
+    AdvLoss is designed to increase.
+    """
+    spreads = [float(np.std(item.expert_scores[item.selected])) for item in case.items]
+    return float(np.mean(spreads))
+
+
+@dataclass
+class Fig8Result:
+    """Case studies for the two compared models on the same session."""
+
+    baseline: CaseStudy
+    improved: CaseStudy
+
+    def format(self) -> str:
+        lines = ["Fig 8 / Table 7: per-expert scores on one session",
+                 f"(session {self.baseline.session_id}; item 0 is the purchase)"]
+        for case in (self.baseline, self.improved):
+            lines.append(f"model: {case.model_name} "
+                         f"(selected-expert score spread {expert_score_spread(case):.4f})")
+            for index, item in enumerate(case.items):
+                marks = "".join("*" if s else " " for s in item.selected)
+                scores = " ".join(f"{v:.2f}" for v in item.expert_scores)
+                lines.append(f"  item {index} label={item.label} "
+                             f"pred={item.prediction:.4f}  experts=[{scores}] sel=[{marks}]")
+        return "\n".join(lines)
+
+    def improved_has_more_disagreement(self) -> bool:
+        return expert_score_spread(self.improved) > expert_score_spread(self.baseline)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> Fig8Result:
+    """Regenerate the Fig. 8 case study."""
+    env = build_environment(scale)
+    config = model_config(scale, seed=seed)
+    _, baseline = train_and_eval("moe", env, scale, config=config, seed=seed,
+                                 return_model=True)
+    _, improved = train_and_eval("adv-hsc-moe", env, scale, config=config,
+                                 seed=seed, return_model=True)
+    rows = pick_case_session(env.test, num_negatives=2, seed=seed)
+    return Fig8Result(
+        baseline=run_case_study(baseline, env.test, rows, model_name="moe"),
+        improved=run_case_study(improved, env.test, rows, model_name="adv-hsc-moe"),
+    )

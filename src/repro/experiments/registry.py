@@ -1,0 +1,63 @@
+"""Registry mapping experiment ids (table/figure numbers) to runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import (fig2, fig3, fig5, fig6, fig7, fig8, querycat_exp, table1,
+               table2, table3, table5, table6)
+from .common import DEFAULT, SCALES, Scale
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[Scale], object]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "querycat": querycat_exp.run,
+}
+
+
+def run_experiment(name: str, scale: Scale = DEFAULT):
+    """Run one experiment by id (e.g. "table2", "fig6")."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choices: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](scale)
+
+
+def run_all(scale: Scale = DEFAULT, names: list[str] | None = None) -> dict[str, object]:
+    """Run every (or the named) experiments and return id → result."""
+    selected = names or list(EXPERIMENTS)
+    return {name: run_experiment(name, scale) for name in selected}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.experiments.registry [experiment] [--scale s]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run paper experiments")
+    parser.add_argument("experiment", nargs="?", default=None,
+                        choices=sorted(EXPERIMENTS) + [None],
+                        help="experiment id; omit to run all")
+    parser.add_argument("--scale", default="default", choices=sorted(SCALES),
+                        help="scale preset")
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+    names = [args.experiment] if args.experiment else None
+    for name, result in run_all(scale, names).items():
+        print(f"==== {name} ====")
+        print(result.format() if hasattr(result, "format") else result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

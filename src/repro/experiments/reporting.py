@@ -1,0 +1,86 @@
+"""Render experiment results into a single markdown report.
+
+``python -m repro.experiments.reporting --scale default -o report.md``
+regenerates every table/figure and writes one document — the mechanical part
+of EXPERIMENTS.md (the paper-vs-measured commentary stays hand-written).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .common import DEFAULT, SCALES, Scale
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["render_report", "write_report"]
+
+_TITLES = {
+    "table1": "Table 1 — dataset statistics",
+    "table2": "Table 2 — model comparison",
+    "table3": "Table 3 — per-category vs joint training",
+    "table5": "Table 5 — gate input features",
+    "table6": "Table 6 — λ1 × λ2 sweep",
+    "fig2": "Fig. 2 — feature importance inter vs intra categories",
+    "fig3": "Fig. 3 — brand concentration",
+    "fig5": "Fig. 5 — AUC improvement by category-size bucket",
+    "fig6": "Fig. 6 — gate-vector clustering",
+    "fig7": "Fig. 7 — (N, K, D) sweep",
+    "fig8": "Fig. 8 / Table 7 — case-study expert scores",
+    "querycat": "§4.1 — query → category classifier",
+}
+
+
+def render_report(scale: Scale = DEFAULT, names: list[str] | None = None) -> str:
+    """Run the selected experiments and return the markdown report text."""
+    selected = names or list(EXPERIMENTS)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Scale preset: `{scale.name}` ({scale.num_queries} queries, "
+        f"{scale.epochs} epochs, towers {scale.hidden_sizes}, "
+        f"embedding {scale.embedding_dim}).",
+        "",
+    ]
+    for name in selected:
+        started = time.time()
+        result = run_experiment(name, scale)
+        body = result.format() if hasattr(result, "format") else str(result)
+        lines.append(f"## {_TITLES.get(name, name)}")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append(f"_(regenerated in {time.time() - started:.0f}s)_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: str | Path, scale: Scale = DEFAULT,
+                 names: list[str] | None = None) -> Path:
+    """Render and write the report; returns the output path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(scale, names))
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Write a reproduction report")
+    parser.add_argument("-o", "--output", default="report.md")
+    parser.add_argument("--scale", default="default", choices=sorted(SCALES))
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to include (default: all)")
+    args = parser.parse_args(argv)
+    path = write_report(args.output, SCALES[args.scale], args.only)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Table 1 — dataset statistics.
+
+Reports the size of the full training/test sets plus the three named
+category slices the paper uses (Mobile Phone, Books, Clothing), along with
+category/query counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import DatasetStatistics, compute_statistics, format_table1
+from .common import DEFAULT, Environment, Scale, build_environment
+
+__all__ = ["Table1Result", "run", "SLICE_CATEGORIES"]
+
+# The paper's named slices; these exist in the default taxonomy.
+SLICE_CATEGORIES = ("Mobile Phone", "Books", "Clothing")
+
+
+@dataclass
+class Table1Result:
+    """Statistics for the complete dataset and each named slice."""
+
+    complete: tuple[DatasetStatistics, DatasetStatistics]
+    slices: dict[str, tuple[DatasetStatistics, DatasetStatistics]]
+
+    def format(self) -> str:
+        rows = [("Complete", *self.complete)]
+        rows += [(name, train, test) for name, (train, test) in self.slices.items()]
+        return format_table1(rows)
+
+
+def _tc_id_by_name(env: Environment, name: str) -> int:
+    for tc in env.taxonomy.top_categories:
+        if tc.name == name:
+            return tc.tc_id
+    raise KeyError(f"top category {name!r} not in taxonomy")
+
+
+def run(scale: Scale = DEFAULT) -> Table1Result:
+    """Regenerate Table 1 at the given scale."""
+    env = build_environment(scale)
+    complete = (compute_statistics(env.train, "complete-train"),
+                compute_statistics(env.test, "complete-test"))
+    slices: dict[str, tuple[DatasetStatistics, DatasetStatistics]] = {}
+    for name in SLICE_CATEGORIES:
+        tc_id = _tc_id_by_name(env, name)
+        slices[name] = (
+            compute_statistics(env.train.filter_by_tc(tc_id), f"{name}-train"),
+            compute_statistics(env.test.filter_by_tc(tc_id), f"{name}-test"),
+        )
+    return Table1Result(complete=complete, slices=slices)

@@ -1,0 +1,75 @@
+"""Table 2 — full model comparison: AUC / NDCG@10 / NDCG for all 7 models.
+
+Paper setting: N=10 experts, K=4, D=1; MMoE variants with 4 and 10 experts;
+every model trained on the same log with the same optimizer settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.factory import MODEL_NAMES
+from .common import DEFAULT, Scale, build_environment, model_config, train_and_eval
+
+__all__ = ["Table2Result", "run"]
+
+
+@dataclass
+class Table2Result:
+    """Metrics per model, in the paper's row order.
+
+    When ``run`` is given multiple seeds, ``metrics`` holds the seed means
+    and ``spread`` the per-metric std across seeds (the noise floor the
+    EXPERIMENTS.md discussion is calibrated against).
+    """
+
+    metrics: dict[str, dict[str, float]]
+    spread: dict[str, dict[str, float]] = field(default_factory=dict)
+    num_seeds: int = 1
+
+    def format(self) -> str:
+        suffix = f" (mean of {self.num_seeds} seeds)" if self.num_seeds > 1 else ""
+        lines = [f"Table 2: Performance on Different Models.{suffix}",
+                 f"{'Model':<16}{'AUC':>9}{'NDCG@10':>10}{'NDCG':>9}"]
+        for name in MODEL_NAMES:
+            if name not in self.metrics:
+                continue
+            m = self.metrics[name]
+            row = f"{name:<16}{m['auc']:>9.4f}{m['ndcg@10']:>10.4f}{m['ndcg']:>9.4f}"
+            if name in self.spread:
+                row += f"  (±{self.spread[name]['auc']:.4f} AUC)"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def improvement_over_dnn(self, metric: str = "auc") -> dict[str, float]:
+        """Absolute gain of every model over the DNN baseline."""
+        base = self.metrics["dnn"][metric]
+        return {name: m[metric] - base for name, m in self.metrics.items() if name != "dnn"}
+
+
+def run(scale: Scale = DEFAULT, models: tuple[str, ...] = MODEL_NAMES,
+        seed: int = 0, seeds: tuple[int, ...] | None = None) -> Table2Result:
+    """Train and evaluate every model in ``models`` at the given scale.
+
+    Pass ``seeds`` to average each model over several initializations — the
+    paper's Adv/HSC deltas (0.02-0.5% AUC) sit near the single-run noise
+    floor at reduced scale, so multi-seed means are the honest way to
+    compare variants (see EXPERIMENTS.md, Table 2 discussion).
+    """
+    env = build_environment(scale)
+    seed_list = tuple(seeds) if seeds else (seed,)
+    per_seed: dict[str, list[dict[str, float]]] = {name: [] for name in models}
+    for s in seed_list:
+        for name in models:
+            config = model_config(scale, seed=s)
+            per_seed[name].append(train_and_eval(name, env, scale, config=config, seed=s))
+    metrics: dict[str, dict[str, float]] = {}
+    spread: dict[str, dict[str, float]] = {}
+    for name, runs in per_seed.items():
+        keys = runs[0].keys()
+        metrics[name] = {k: float(np.mean([r[k] for r in runs])) for k in keys}
+        if len(runs) > 1:
+            spread[name] = {k: float(np.std([r[k] for r in runs])) for k in keys}
+    return Table2Result(metrics=metrics, spread=spread, num_seeds=len(seed_list))

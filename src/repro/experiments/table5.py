@@ -1,0 +1,58 @@
+"""Table 5 — gate input feature ablation.
+
+The paper feeds the inference gate different feature sets (SC alone; TC+SC;
+query+TC+SC; user+TC+SC; all features) and finds SC alone is best — item-side
+gate features cause intra-session prediction variance ("ranking noise").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.base import GATE_FEATURE_PRESETS
+from .common import DEFAULT, Scale, build_environment, model_config, train_and_eval
+
+__all__ = ["Table5Result", "run", "GATE_INPUT_ROWS"]
+
+# Paper row label → (preset key, include numeric features in gate input).
+GATE_INPUT_ROWS: dict[str, tuple[str, bool]] = {
+    "SC": ("sc", False),
+    "(TC, SC)": ("tc_sc", False),
+    "(query, TC, SC)": ("query_tc_sc", False),
+    "(user feature, TC, SC)": ("user_tc_sc", False),
+    "all features": ("all", True),
+}
+
+
+@dataclass
+class Table5Result:
+    """AUC per gate-input configuration."""
+
+    auc: dict[str, float]
+
+    def format(self) -> str:
+        lines = ["Table 5: model performance by gate input feature.",
+                 f"{'gate input feature':<26}{'AUC':>9}"]
+        for label, value in self.auc.items():
+            lines.append(f"{label:<26}{value:>9.4f}")
+        return "\n".join(lines)
+
+    def best_row(self) -> str:
+        return max(self.auc, key=self.auc.get)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0,
+        rows: dict[str, tuple[str, bool]] | None = None) -> Table5Result:
+    """Regenerate Table 5 (Adv & HSC-MoE with varying gate inputs)."""
+    env = build_environment(scale)
+    rows = rows or GATE_INPUT_ROWS
+    results: dict[str, float] = {}
+    for label, (preset, include_numeric) in rows.items():
+        config = model_config(
+            scale, seed=seed,
+            gate_features=GATE_FEATURE_PRESETS[preset],
+            gate_include_numeric=include_numeric,
+        )
+        metrics = train_and_eval("adv-hsc-moe", env, scale, config=config, seed=seed)
+        results[label] = metrics["auc"]
+    return Table5Result(auc=results)

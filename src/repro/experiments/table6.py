@@ -1,0 +1,41 @@
+"""Table 6 — λ1 × λ2 sweep (HSC and AdvLoss weights, powers of 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..training import lambda_grid
+from .common import DEFAULT, Scale, build_environment, model_config, train_and_eval
+
+__all__ = ["Table6Result", "run"]
+
+
+@dataclass
+class Table6Result:
+    """AUC per (λ1, λ2) grid point."""
+
+    auc: dict[tuple[float, float], float]
+
+    def format(self) -> str:
+        lines = ["Table 6: λ1 / λ2 sweep (AUC).",
+                 f"{'λ1':>8}{'λ2':>8}{'AUC':>9}"]
+        for (l1, l2), value in sorted(self.auc.items(), reverse=True):
+            lines.append(f"{l1:>8.0e}{l2:>8.0e}{value:>9.4f}")
+        return "\n".join(lines)
+
+    def best_point(self) -> tuple[float, float]:
+        return max(self.auc, key=self.auc.get)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0,
+        lambdas: list[float] | None = None) -> Table6Result:
+    """Regenerate Table 6 with Adv & HSC-MoE."""
+    env = build_environment(scale)
+    values = lambdas if lambdas is not None else lambda_grid(-3, -1)
+    results: dict[tuple[float, float], float] = {}
+    for l1 in values:
+        for l2 in values:
+            config = model_config(scale, seed=seed, lambda_hsc=l1, lambda_adv=l2)
+            metrics = train_and_eval("adv-hsc-moe", env, scale, config=config, seed=seed)
+            results[(l1, l2)] = metrics["auc"]
+    return Table6Result(auc=results)

@@ -1,0 +1,13 @@
+"""``repro.hierarchy`` — the TC/SC category tree (paper Figure 1, Table 4)."""
+
+from .builder import SEMANTIC_GROUPS, default_taxonomy, random_taxonomy
+from .taxonomy import SubCategory, Taxonomy, TopCategory
+
+__all__ = [
+    "Taxonomy",
+    "TopCategory",
+    "SubCategory",
+    "default_taxonomy",
+    "random_taxonomy",
+    "SEMANTIC_GROUPS",
+]

@@ -1,0 +1,81 @@
+"""Builders for e-commerce taxonomies.
+
+``default_taxonomy`` hand-writes the named categories the paper discusses
+(Clothing, Sports, Foods, Computer, Electronics, Mobile Phone, Books, ...)
+grouped into the Table 4 semantic classes, and ``random_taxonomy`` extends a
+base taxonomy to arbitrary TC/SC counts for scale experiments (the paper's
+log has 38 TCs and 3,479 SCs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .taxonomy import SubCategory, Taxonomy, TopCategory
+
+__all__ = ["default_taxonomy", "random_taxonomy", "SEMANTIC_GROUPS"]
+
+# Table 4 of the paper: semantic classes for Fig. 6 coloring.
+SEMANTIC_GROUPS = ("daily_necessities", "electronics", "fashion")
+
+# name → (semantic_group, sub-category names).  Named categories from the
+# paper's §3, §5.1 and Table 4 plus enough filler to exercise the hierarchy.
+_DEFAULT_SPEC: dict[str, tuple[str, tuple[str, ...]]] = {
+    "Foods": ("daily_necessities", ("Snacks", "Beverages", "Grain & Oil", "Fresh Produce", "Dairy", "Instant Food")),
+    "Kitchenware": ("daily_necessities", ("Cookware", "Tableware", "Kitchen Storage", "Bakeware")),
+    "Furniture": ("daily_necessities", ("Sofas", "Beds", "Tables", "Chairs", "Wardrobes")),
+    "Household": ("daily_necessities", ("Cleaning", "Laundry", "Paper Goods", "Storage")),
+    "Books": ("daily_necessities", ("Fiction", "Children's Books", "Textbooks", "Comics", "Biography")),
+    "Mobile Phone": ("electronics", ("Smartphones", "Feature Phones", "Phone Cases", "Chargers", "Screen Protectors")),
+    "Computer": ("electronics", ("Laptops", "Desktops", "Monitors", "Keyboards", "Mice", "Components")),
+    "Electronics": ("electronics", ("TV", "Refrigerator", "Washing Machine", "Air Conditioner", "Cameras", "Audio")),
+    "Smart Devices": ("electronics", ("Smart Watches", "Smart Speakers", "Drones", "VR Headsets")),
+    "Clothing": ("fashion", ("Dresses", "T-Shirts", "Jeans", "Coats", "Sportswear", "Underwear")),
+    "Shoes": ("fashion", ("Sneakers", "Boots", "Sandals", "Dress Shoes")),
+    "Jewelry": ("fashion", ("Necklaces", "Rings", "Earrings", "Bracelets")),
+    "Leather": ("fashion", ("Handbags", "Wallets", "Belts", "Luggage")),
+    "Sports": ("fashion", ("Fitness Gear", "Outdoor", "Ball Sports", "Cycling", "Swimming")),
+}
+
+
+def default_taxonomy() -> Taxonomy:
+    """The hand-written 14-TC taxonomy covering every category the paper names."""
+    tops: list[TopCategory] = []
+    subs: list[SubCategory] = []
+    sc_id = 0
+    for tc_id, (name, (group, children)) in enumerate(_DEFAULT_SPEC.items()):
+        tops.append(TopCategory(tc_id=tc_id, name=name, semantic_group=group))
+        for child in children:
+            subs.append(SubCategory(sc_id=sc_id, name=child, tc_id=tc_id))
+            sc_id += 1
+    return Taxonomy(top_categories=tops, sub_categories=subs)
+
+
+def random_taxonomy(num_top: int, subs_per_top: tuple[int, int],
+                    rng: np.random.Generator) -> Taxonomy:
+    """Generate a synthetic taxonomy of ``num_top`` TCs.
+
+    Parameters
+    ----------
+    num_top:
+        Number of top categories (the paper's log has 38).
+    subs_per_top:
+        Inclusive (low, high) range for children counts per TC.
+    rng:
+        Random generator for reproducibility.
+    """
+    if num_top <= 0:
+        raise ValueError("num_top must be positive")
+    low, high = subs_per_top
+    if low <= 0 or high < low:
+        raise ValueError("subs_per_top must satisfy 0 < low <= high")
+    tops: list[TopCategory] = []
+    subs: list[SubCategory] = []
+    sc_id = 0
+    for tc_id in range(num_top):
+        group = SEMANTIC_GROUPS[int(rng.integers(len(SEMANTIC_GROUPS)))]
+        tops.append(TopCategory(tc_id=tc_id, name=f"TC-{tc_id}", semantic_group=group))
+        for child_index in range(int(rng.integers(low, high + 1))):
+            subs.append(SubCategory(sc_id=sc_id, name=f"SC-{tc_id}-{child_index}", tc_id=tc_id))
+            sc_id += 1
+    return Taxonomy(top_categories=tops, sub_categories=subs)

@@ -1,0 +1,138 @@
+"""Two-level category taxonomy: top-categories (TC) and sub-categories (SC).
+
+The paper's category system "has a hierarchical tree structure, with the
+parent nodes given by the top-categories (TC) and child nodes by the
+sub-categories (SC)" (§5.1.1, Figure 1).  This module is the canonical
+representation used by the data generator, the HSC gate (TC ids derived from
+SC ids), and the Fig. 6 semantic-group coloring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TopCategory", "SubCategory", "Taxonomy"]
+
+
+@dataclass(frozen=True)
+class TopCategory:
+    """A top-level category node (e.g. "Electronics")."""
+
+    tc_id: int
+    name: str
+    semantic_group: str = "other"
+
+
+@dataclass(frozen=True)
+class SubCategory:
+    """A leaf category node (e.g. "Mobile Phone" under "Electronics")."""
+
+    sc_id: int
+    name: str
+    tc_id: int
+
+
+@dataclass
+class Taxonomy:
+    """An immutable-after-build TC → SC tree with id-based lookups."""
+
+    top_categories: list[TopCategory] = field(default_factory=list)
+    sub_categories: list[SubCategory] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._validate()
+        self._tc_by_id = {tc.tc_id: tc for tc in self.top_categories}
+        self._sc_by_id = {sc.sc_id: sc for sc in self.sub_categories}
+        self._children: dict[int, list[int]] = {tc.tc_id: [] for tc in self.top_categories}
+        for sc in self.sub_categories:
+            self._children[sc.tc_id].append(sc.sc_id)
+        # Dense arrays for vectorized parent lookups during training.
+        max_sc = max((sc.sc_id for sc in self.sub_categories), default=-1)
+        self._parent_array = np.full(max_sc + 1, -1, dtype=np.int64)
+        for sc in self.sub_categories:
+            self._parent_array[sc.sc_id] = sc.tc_id
+
+    def _validate(self) -> None:
+        tc_ids = [tc.tc_id for tc in self.top_categories]
+        sc_ids = [sc.sc_id for sc in self.sub_categories]
+        if len(set(tc_ids)) != len(tc_ids):
+            raise ValueError("duplicate top-category ids")
+        if len(set(sc_ids)) != len(sc_ids):
+            raise ValueError("duplicate sub-category ids")
+        if any(i < 0 for i in tc_ids) or any(i < 0 for i in sc_ids):
+            raise ValueError("category ids must be non-negative")
+        known_tcs = set(tc_ids)
+        for sc in self.sub_categories:
+            if sc.tc_id not in known_tcs:
+                raise ValueError(f"sub-category {sc.name!r} references unknown TC id {sc.tc_id}")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def num_top_categories(self) -> int:
+        return len(self.top_categories)
+
+    @property
+    def num_sub_categories(self) -> int:
+        return len(self.sub_categories)
+
+    def top_category(self, tc_id: int) -> TopCategory:
+        return self._tc_by_id[tc_id]
+
+    def sub_category(self, sc_id: int) -> SubCategory:
+        return self._sc_by_id[sc_id]
+
+    def parent_of(self, sc_id: int) -> int:
+        """Return the TC id of a sub-category."""
+        return self._sc_by_id[sc_id].tc_id
+
+    def parents_of(self, sc_ids: np.ndarray) -> np.ndarray:
+        """Vectorized SC → TC mapping (used every forward pass of HSC)."""
+        sc_ids = np.asarray(sc_ids, dtype=np.int64)
+        out_of_range = (sc_ids < 0) | (sc_ids >= self._parent_array.shape[0])
+        if np.any(out_of_range):
+            raise KeyError(f"unknown sub-category ids: {np.unique(sc_ids[out_of_range])[:5]}")
+        parents = self._parent_array[sc_ids]
+        if np.any(parents < 0):
+            bad = sc_ids[parents < 0]
+            raise KeyError(f"unknown sub-category ids: {np.unique(bad)[:5]}")
+        return parents
+
+    def children_of(self, tc_id: int) -> list[int]:
+        """Return the SC ids under a top-category."""
+        return list(self._children[tc_id])
+
+    def siblings_of(self, sc_id: int) -> list[int]:
+        """Return sibling SC ids (sharing the parent TC, excluding itself)."""
+        return [c for c in self._children[self.parent_of(sc_id)] if c != sc_id]
+
+    def semantic_group_of(self, tc_id: int) -> str:
+        """Return the Fig. 6 / Table 4 semantic group of a top-category."""
+        return self._tc_by_id[tc_id].semantic_group
+
+    def semantic_groups(self) -> dict[str, list[int]]:
+        """Map semantic group name → list of TC ids."""
+        groups: dict[str, list[int]] = {}
+        for tc in self.top_categories:
+            groups.setdefault(tc.semantic_group, []).append(tc.tc_id)
+        return groups
+
+    def max_sc_id(self) -> int:
+        """Largest SC id (embedding tables size off this)."""
+        return int(self._parent_array.shape[0] - 1) if self.sub_categories else -1
+
+    def max_tc_id(self) -> int:
+        """Largest TC id."""
+        return max(tc.tc_id for tc in self.top_categories) if self.top_categories else -1
+
+    def describe(self) -> str:
+        """Human-readable tree summary."""
+        lines = [f"Taxonomy: {self.num_top_categories} top categories, "
+                 f"{self.num_sub_categories} sub categories"]
+        for tc in self.top_categories:
+            children = self._children[tc.tc_id]
+            lines.append(f"  [{tc.tc_id}] {tc.name} ({tc.semantic_group}): {len(children)} sub-categories")
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""``repro.metrics`` — evaluation metrics from the paper (§3, §5.1.2)."""
+
+from .auc import global_auc, iter_sessions, pairwise_auc, session_auc
+from .brand import BrandConcentration, brand_concentration, concentration_by_category
+from .clustering import intra_inter_ratio, pairwise_distances, silhouette_score
+from .feature_importance import (feature_importance, feature_importance_by_category,
+                                 importance_dispersion)
+from .ndcg import dcg, ndcg, session_ndcg
+
+__all__ = [
+    "pairwise_auc",
+    "session_auc",
+    "global_auc",
+    "iter_sessions",
+    "dcg",
+    "ndcg",
+    "session_ndcg",
+    "feature_importance",
+    "feature_importance_by_category",
+    "importance_dispersion",
+    "BrandConcentration",
+    "brand_concentration",
+    "concentration_by_category",
+    "silhouette_score",
+    "intra_inter_ratio",
+    "pairwise_distances",
+]

@@ -1,0 +1,71 @@
+"""ROC-AUC metrics.
+
+The paper evaluates "on a per session basis and averaged over all sessions"
+(§5.1.2): within each search session, AUC measures how often the model ranks
+the purchased item above non-purchased ones; ties count half.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_auc", "session_auc", "global_auc", "iter_sessions"]
+
+
+def pairwise_auc(scores: np.ndarray, labels: np.ndarray) -> float | None:
+    """AUC of one group via the rank-sum (Mann-Whitney) formulation.
+
+    Returns None when the group lacks both a positive and a negative —
+    such sessions are skipped by the session average, as in the paper.
+    Ties contribute 1/2, the standard convention.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    positives = int((labels == 1).sum())
+    negatives = int(labels.shape[0] - positives)
+    if positives == 0 or negatives == 0:
+        return None
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over score ties.
+    sorted_scores = scores[order]
+    tie_starts = np.flatnonzero(np.r_[True, sorted_scores[1:] != sorted_scores[:-1]])
+    tie_ends = np.r_[tie_starts[1:], len(scores)]
+    for start, stop in zip(tie_starts, tie_ends):
+        if stop - start > 1:
+            ranks[order[start:stop]] = 0.5 * (start + 1 + stop)
+    rank_sum = ranks[labels == 1].sum()
+    return float((rank_sum - positives * (positives + 1) / 2.0) / (positives * negatives))
+
+
+def iter_sessions(session_ids: np.ndarray, *arrays: np.ndarray):
+    """Yield (session_id, array_slices...) grouped by session id."""
+    session_ids = np.asarray(session_ids)
+    order = np.argsort(session_ids, kind="mergesort")
+    sorted_ids = session_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    chunks = [np.split(np.asarray(a)[order], boundaries) for a in arrays]
+    ids = [sorted_ids[i] for i in np.r_[0, boundaries]] if len(sorted_ids) else []
+    for index, session in enumerate(ids):
+        yield session, *(chunk[index] for chunk in chunks)
+
+
+def session_auc(scores: np.ndarray, labels: np.ndarray, session_ids: np.ndarray) -> float:
+    """Mean per-session AUC over sessions with both label classes."""
+    values = []
+    for _, s, l in iter_sessions(session_ids, scores, labels):
+        auc = pairwise_auc(s, l)
+        if auc is not None:
+            values.append(auc)
+    if not values:
+        raise ValueError("no session contains both a positive and a negative example")
+    return float(np.mean(values))
+
+
+def global_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Dataset-level AUC ignoring session structure (diagnostic only)."""
+    auc = pairwise_auc(scores, labels)
+    if auc is None:
+        raise ValueError("labels contain a single class")
+    return auc

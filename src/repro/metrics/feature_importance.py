@@ -1,0 +1,97 @@
+"""Feature importance (paper eq. 1) and the Fig. 2 inter/intra analysis.
+
+``FI(f)`` is the per-session fraction of (purchased, non-purchased) item
+pairs on which feature f alone ranks the purchased item higher, averaged
+over sessions — i.e. the session AUC of the raw feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import LTRDataset
+from .auc import iter_sessions
+
+__all__ = ["feature_importance", "feature_importance_by_category",
+           "importance_dispersion"]
+
+
+def feature_importance(feature_values: np.ndarray, labels: np.ndarray,
+                       session_ids: np.ndarray) -> float:
+    """Compute FI(f) (eq. 1) over all sessions with both label classes.
+
+    Pairs ``(i_a, i_b)`` with ``y_a = 1, y_b = 0`` are counted within each
+    session; the numerator counts pairs where ``f_a > f_b`` (strict, per the
+    paper's formula — ties favour neither side).
+    """
+    total = 0.0
+    sessions = 0
+    for _, values, session_labels in iter_sessions(session_ids, feature_values, labels):
+        positives = values[session_labels == 1]
+        negatives = values[session_labels == 0]
+        if positives.size == 0 or negatives.size == 0:
+            continue
+        wins = (positives[:, None] > negatives[None, :]).sum()
+        total += wins / (positives.size * negatives.size)
+        sessions += 1
+    if sessions == 0:
+        raise ValueError("no session contains both label classes")
+    return float(total / sessions)
+
+
+def feature_importance_by_category(dataset: LTRDataset, level: str = "tc",
+                                   category_ids: list[int] | None = None,
+                                   min_sessions: int = 5) -> dict[int, dict[str, float]]:
+    """FI(f) for every numeric feature, per category (Fig. 2).
+
+    Parameters
+    ----------
+    level:
+        "tc" groups sessions by query top-category (Fig. 2a);
+        "sc" by sub-category (Fig. 2b).
+    category_ids:
+        Restrict to these ids (e.g. the children of one TC for Fig. 2b).
+    min_sessions:
+        Skip categories with fewer usable sessions than this.
+    """
+    if level not in ("tc", "sc"):
+        raise ValueError("level must be 'tc' or 'sc'")
+    key = dataset.query_tc if level == "tc" else dataset.query_sc
+    ids = np.unique(key) if category_ids is None else np.asarray(category_ids)
+    result: dict[int, dict[str, float]] = {}
+    for cat in ids:
+        mask = key == cat
+        if not mask.any():
+            continue
+        subset_sessions = dataset.session_ids[mask]
+        labels = dataset.labels[mask]
+        # Count usable sessions once.
+        usable = 0
+        for _, l in iter_sessions(subset_sessions, labels):
+            if 0 < l.sum() < l.size:
+                usable += 1
+        if usable < min_sessions:
+            continue
+        per_feature: dict[str, float] = {}
+        for column, name in enumerate(dataset.spec.numeric_names):
+            try:
+                per_feature[name] = feature_importance(
+                    dataset.numeric[mask][:, column], labels, subset_sessions)
+            except ValueError:
+                continue
+        if per_feature:
+            result[int(cat)] = per_feature
+    return result
+
+
+def importance_dispersion(table: dict[int, dict[str, float]]) -> dict[str, float]:
+    """Std of FI(f) across categories, per feature.
+
+    The paper's Fig. 2 claim is that this dispersion is large across
+    top-categories and small across sibling sub-categories.
+    """
+    features: dict[str, list[float]] = {}
+    for per_feature in table.values():
+        for name, value in per_feature.items():
+            features.setdefault(name, []).append(value)
+    return {name: float(np.std(values)) for name, values in features.items() if len(values) > 1}

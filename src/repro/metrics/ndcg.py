@@ -1,0 +1,55 @@
+"""NDCG (Järvelin & Kekäläinen 2002), per session, as in the paper (§5.1.2).
+
+"NDCG@N is computed with top N items in rank list" (Table 2 caption); plain
+NDCG uses the full list.  Binary purchase labels are the relevance grades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .auc import iter_sessions
+
+__all__ = ["dcg", "ndcg", "session_ndcg"]
+
+
+def dcg(relevance_in_rank_order: np.ndarray, k: int | None = None) -> float:
+    """Discounted cumulative gain of a relevance list already in rank order.
+
+    Uses the standard gain ``2^rel - 1`` and log2 position discount.
+    """
+    rel = np.asarray(relevance_in_rank_order, dtype=np.float64)
+    if k is not None:
+        rel = rel[:k]
+    if rel.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, rel.size + 2))
+    gains = np.power(2.0, rel) - 1.0
+    return float((gains * discounts).sum())
+
+
+def ndcg(scores: np.ndarray, labels: np.ndarray, k: int | None = None) -> float | None:
+    """NDCG of one session; None when the session has no relevant item."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if labels.sum() == 0:
+        return None
+    order = np.argsort(-scores, kind="mergesort")
+    ideal = np.sort(labels)[::-1]
+    denominator = dcg(ideal, k)
+    if denominator == 0.0:
+        return None
+    return dcg(labels[order], k) / denominator
+
+
+def session_ndcg(scores: np.ndarray, labels: np.ndarray, session_ids: np.ndarray,
+                 k: int | None = None) -> float:
+    """Mean per-session NDCG(@k) over sessions containing a purchase."""
+    values = []
+    for _, s, l in iter_sessions(session_ids, scores, labels):
+        value = ndcg(s, l, k)
+        if value is not None:
+            values.append(value)
+    if not values:
+        raise ValueError("no session contains a relevant item")
+    return float(np.mean(values))

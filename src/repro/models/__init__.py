@@ -1,0 +1,44 @@
+"""``repro.models`` — the paper's model zoo (§4, §5.1.3).
+
+* :class:`DNNRanker` — single-tower baseline.
+* :class:`MoERanker` — Noisy Top-K MoE; flags enable AdvLoss and/or HSC,
+  yielding MoE / Adv-MoE / HSC-MoE / Adv & HSC-MoE.
+* :class:`MMoERanker` — multi-gate MoE over category-bucket tasks.
+"""
+
+from .base import (DEFAULT_INPUT_FEATURES, GATE_FEATURE_PRESETS, FeatureEmbedder,
+                   ModelOutput, RankingModel)
+from .config import PAPER_CONFIG, ModelConfig
+from .dnn import DNNRanker
+from .extraction import DedicatedRanker, expert_utilization, extract_dedicated_model
+from .factory import MODEL_NAMES, build_model
+from .gates import GateOutput, NoisyTopKGate
+from .mmoe import MMoERanker, assign_category_buckets
+from .moe import MoERanker
+from .regularizers import (adversarial_loss, hsc_loss, load_balancing_loss,
+                           sample_disagreeing_experts)
+
+__all__ = [
+    "RankingModel",
+    "ModelOutput",
+    "FeatureEmbedder",
+    "ModelConfig",
+    "PAPER_CONFIG",
+    "DNNRanker",
+    "DedicatedRanker",
+    "extract_dedicated_model",
+    "expert_utilization",
+    "MoERanker",
+    "MMoERanker",
+    "assign_category_buckets",
+    "NoisyTopKGate",
+    "GateOutput",
+    "hsc_loss",
+    "load_balancing_loss",
+    "adversarial_loss",
+    "sample_disagreeing_experts",
+    "build_model",
+    "MODEL_NAMES",
+    "DEFAULT_INPUT_FEATURES",
+    "GATE_FEATURE_PRESETS",
+]

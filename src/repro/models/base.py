@@ -1,0 +1,134 @@
+"""Base classes shared by every ranking model.
+
+``FeatureEmbedder`` implements the paper's input construction (eq. 2): each
+sparse feature id is embedded (dimension q, 16 in the paper) and concatenated
+with the normalized numeric features into one input vector X.  All models —
+and all gate networks — share the same embedding tables, reflecting
+"x_sc ∈ X is SC embedding vector, a part of all input vector defined in (2)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Batch
+from ..data.schema import FeatureSpec
+
+__all__ = ["ModelOutput", "FeatureEmbedder", "RankingModel",
+           "DEFAULT_INPUT_FEATURES", "GATE_FEATURE_PRESETS"]
+
+# Sparse features entering the model input X by default.  The query TC is
+# omitted (derivable from SC — §4.3); the query hash bucket is available but
+# excluded by default since it mostly adds vocabulary noise.
+DEFAULT_INPUT_FEATURES = ("query_sc", "brand", "item_sc", "user_segment")
+
+# Table 5 gate-input presets.  "all" additionally appends the numeric vector.
+GATE_FEATURE_PRESETS: dict[str, tuple[str, ...]] = {
+    "sc": ("query_sc",),
+    "tc_sc": ("query_tc", "query_sc"),
+    "query_tc_sc": ("query_bucket", "query_tc", "query_sc"),
+    "user_tc_sc": ("user_segment", "query_tc", "query_sc"),
+    "all": ("query_sc", "query_tc", "brand", "item_sc", "user_segment", "query_bucket"),
+}
+
+
+@dataclass
+class ModelOutput:
+    """Everything a forward pass produces.
+
+    ``logits`` drive the loss; the gate fields are populated by MoE variants
+    and consumed by the regularizers and the Fig. 6 / Fig. 8 analyses.
+    """
+
+    logits: nn.Tensor                       # (b,) ensemble prediction logits
+    expert_logits: nn.Tensor | None = None  # (b, N) per-expert logits
+    gate_probs: nn.Tensor | None = None     # (b, N) top-K masked probabilities
+    gate_logits_clean: nn.Tensor | None = None  # (b, N) noiseless gate logits
+    topk_indices: np.ndarray | None = None  # (b, K)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Predicted purchase probabilities as a plain array."""
+        return 1.0 / (1.0 + np.exp(-self.logits.data))
+
+
+class FeatureEmbedder(nn.Module):
+    """Shared embedding tables + input concatenation (paper eq. 2)."""
+
+    def __init__(self, spec: FeatureSpec, embedding_dim: int,
+                 input_features: tuple[str, ...] = DEFAULT_INPUT_FEATURES,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.spec = spec
+        self.embedding_dim = embedding_dim
+        self.input_features = tuple(input_features)
+        unknown = [f for f in input_features if f not in spec.sparse_names]
+        if unknown:
+            raise ValueError(f"unknown input features: {unknown}")
+        self.tables = nn.ModuleList()
+        self._table_index: dict[str, int] = {}
+        # Embeddings start at std ~1/sqrt(q) so gate logits (a linear map of
+        # the SC embedding, eq. 5) have a workable scale from step one.
+        std = 1.0 / float(embedding_dim) ** 0.5
+        for feature in spec.sparse:
+            self._table_index[feature.name] = len(self.tables)
+            self.tables.append(nn.Embedding(feature.cardinality, embedding_dim,
+                                            rng=rng, std=std))
+
+    @property
+    def input_width(self) -> int:
+        """Width of X: k*q + m (eq. 2)."""
+        return len(self.input_features) * self.embedding_dim + self.spec.num_numeric
+
+    def gate_input_width(self, gate_features: tuple[str, ...], include_numeric: bool) -> int:
+        """Width of a gate's input vector for a given feature preset."""
+        width = len(gate_features) * self.embedding_dim
+        if include_numeric:
+            width += self.spec.num_numeric
+        return width
+
+    def embed(self, name: str, ids: np.ndarray) -> nn.Tensor:
+        """Embed one sparse feature column."""
+        return self.tables[self._table_index[name]](ids)
+
+    def model_input(self, batch: Batch) -> nn.Tensor:
+        """Build X = [embeddings | numeric] for the ranking towers."""
+        parts = [self.embed(name, batch.sparse[name]) for name in self.input_features]
+        parts.append(nn.Tensor(batch.numeric))
+        return nn.concatenate(parts, axis=1)
+
+    def gate_input(self, batch: Batch, gate_features: tuple[str, ...],
+                   include_numeric: bool = False) -> nn.Tensor:
+        """Build the gate input vector (x_sc in the default configuration)."""
+        parts = [self.embed(name, batch.sparse[name]) for name in gate_features]
+        if include_numeric:
+            parts.append(nn.Tensor(batch.numeric))
+        return parts[0] if len(parts) == 1 and not include_numeric else nn.concatenate(parts, axis=1)
+
+
+class RankingModel(nn.Module):
+    """Interface all ranking models implement."""
+
+    def forward(self, batch: Batch) -> ModelOutput:
+        raise NotImplementedError
+
+    def loss(self, batch: Batch, rng: np.random.Generator | None = None
+             ) -> tuple[nn.Tensor, dict[str, float]]:
+        """Return (total loss tensor, scalar diagnostics)."""
+        raise NotImplementedError
+
+    def predict(self, batch: Batch) -> np.ndarray:
+        """Predicted purchase probabilities (no graph construction)."""
+        with nn.no_grad():
+            was_training = self.training
+            self.eval()
+            try:
+                output = self.forward(batch)
+            finally:
+                self.train(was_training)
+        return output.scores

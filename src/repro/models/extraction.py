@@ -1,0 +1,109 @@
+"""Expert extraction and transfer: category-dedicated models from the MoE.
+
+Implements the paper's §1/§6 aspiration: "this opens up the possibility for
+subsequent extraction and tweaking of category-dedicated models from the
+unified ensemble" and "it is desirable to fine-tune individual expert models
+to suit evolving business requirement".
+
+:func:`extract_dedicated_model` snapshots the experts a trained MoE's gate
+selects for one sub-category, together with their gate weights, into a
+standalone :class:`DedicatedRanker` — a fixed mixture of K towers that can
+be served or fine-tuned on category data without the rest of the ensemble.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Batch, LTRDataset
+from .base import ModelOutput, RankingModel
+from .moe import MoERanker
+
+__all__ = ["DedicatedRanker", "extract_dedicated_model", "expert_utilization"]
+
+
+class DedicatedRanker(RankingModel):
+    """A frozen-gate mixture of the K experts one category routes to.
+
+    The gate weights are constants (the parent gate's probabilities for the
+    category), so prediction is ``σ(Σ_k w_k E_k(X))``.  Experts and the
+    embedder are deep copies — fine-tuning a dedicated model never mutates
+    the parent ensemble.
+    """
+
+    def __init__(self, embedder, experts: list[nn.Module], gate_weights: np.ndarray,
+                 expert_ids: list[int], sc_id: int):
+        super().__init__()
+        if len(experts) != gate_weights.shape[0]:
+            raise ValueError("one gate weight per extracted expert required")
+        if not np.isclose(gate_weights.sum(), 1.0, atol=1e-6):
+            raise ValueError("gate weights must sum to 1 (a softmax slice)")
+        self.embedder = embedder
+        self.experts = nn.ModuleList(experts)
+        self.gate_weights = np.asarray(gate_weights, dtype=np.float64)
+        self.expert_ids = list(expert_ids)
+        self.sc_id = sc_id
+
+    def forward(self, batch: Batch) -> ModelOutput:
+        x = self.embedder.model_input(batch)
+        expert_logits = nn.concatenate([expert(x) for expert in self.experts], axis=1)
+        logits = (expert_logits * nn.Tensor(self.gate_weights)).sum(axis=1)
+        return ModelOutput(logits=logits, expert_logits=expert_logits)
+
+    def loss(self, batch: Batch, rng: np.random.Generator | None = None
+             ) -> tuple[nn.Tensor, dict[str, float]]:
+        output = self.forward(batch)
+        ce = nn.losses.bce_with_logits(output.logits, batch.labels.astype(np.float64))
+        return ce, {"ce": ce.item()}
+
+    def freeze_embedder(self) -> None:
+        """Stop embedding updates during fine-tuning (tower-only transfer)."""
+        for param in self.embedder.parameters():
+            param.requires_grad = False
+
+    def trainable_parameters(self):
+        """Parameters still marked trainable (for optimizer construction)."""
+        return (p for p in self.parameters() if p.requires_grad)
+
+
+def extract_dedicated_model(model: MoERanker, sc_id: int,
+                            dataset: LTRDataset) -> DedicatedRanker:
+    """Extract the dedicated model for sub-category ``sc_id``.
+
+    Uses one example of the category from ``dataset`` to read the gate's
+    (noise-free) top-K selection and probabilities, then deep-copies the
+    selected expert towers and the embedder.
+    """
+    rows = np.flatnonzero(dataset.query_sc == sc_id)
+    if rows.size == 0:
+        raise ValueError(f"dataset contains no example of sub-category {sc_id}")
+    probe = dataset.batch(rows[:1])
+    vector = model.gate_vectors(probe)[0]
+    selected = np.flatnonzero(vector > 0)
+    weights = vector[selected]
+    weights = weights / weights.sum()
+    experts = [copy.deepcopy(model.experts[int(i)]) for i in selected]
+    embedder = copy.deepcopy(model.embedder)
+    return DedicatedRanker(embedder=embedder, experts=experts,
+                           gate_weights=weights,
+                           expert_ids=[int(i) for i in selected], sc_id=int(sc_id))
+
+
+def expert_utilization(model: MoERanker, dataset: LTRDataset,
+                       max_examples: int = 5000,
+                       seed: int = 0) -> np.ndarray:
+    """Fraction of total gate mass each expert receives on a dataset.
+
+    A diagnostic for load skew: a healthy ensemble spreads traffic, a
+    collapsed one routes everything through one tower.
+    """
+    rng = np.random.default_rng(seed)
+    rows = np.arange(len(dataset))
+    if rows.size > max_examples:
+        rows = rng.choice(rows, size=max_examples, replace=False)
+    vectors = model.gate_vectors(dataset.batch(np.sort(rows)))
+    mass = vectors.sum(axis=0)
+    return mass / mass.sum()

@@ -1,0 +1,55 @@
+"""Build the paper's seven models by name (§5.1.3 model comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import LTRDataset
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
+from .config import ModelConfig
+from .dnn import DNNRanker
+from .mmoe import MMoERanker, assign_category_buckets
+from .moe import MoERanker
+
+__all__ = ["MODEL_NAMES", "build_model"]
+
+# The seven models of Table 2, in paper order.
+MODEL_NAMES = ("dnn", "moe", "4-mmoe", "10-mmoe", "adv-moe", "hsc-moe", "adv-hsc-moe")
+
+
+def build_model(name: str, spec: FeatureSpec, taxonomy: Taxonomy,
+                config: ModelConfig | None = None,
+                train_dataset: LTRDataset | None = None):
+    """Instantiate a model by its Table 2 name.
+
+    ``train_dataset`` is required for the MMoE variants, whose task buckets
+    are built from training-set category counts (§5.1.4).
+    """
+    config = config or ModelConfig()
+    key = name.lower()
+    if key == "dnn":
+        return DNNRanker(spec, config)
+    if key == "moe":
+        return MoERanker(spec, taxonomy, config)
+    if key == "adv-moe":
+        return MoERanker(spec, taxonomy, config, use_adv=True)
+    if key == "hsc-moe":
+        return MoERanker(spec, taxonomy, config, use_hsc=True)
+    if key == "adv-hsc-moe":
+        return MoERanker(spec, taxonomy, config, use_hsc=True, use_adv=True)
+    if key in ("4-mmoe", "10-mmoe"):
+        num_experts = 4 if key == "4-mmoe" else 10
+        mmoe_config = config.with_updates(num_experts=num_experts,
+                                          top_k=min(config.top_k, num_experts),
+                                          num_disagreeing=0)
+        if train_dataset is not None:
+            tc_ids = train_dataset.query_tc
+        else:
+            tc_ids = np.arange(taxonomy.max_tc_id() + 1)
+        buckets = assign_category_buckets(tc_ids, mmoe_config.num_tasks)
+        # Ensure every TC in the taxonomy has a bucket even if unseen in training.
+        for tc in taxonomy.top_categories:
+            buckets.setdefault(tc.tc_id, 0)
+        return MMoERanker(spec, buckets, mmoe_config)
+    raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")

@@ -1,0 +1,87 @@
+"""Gate networks: the Noisy Top-K inference gate and the HSC constraint gate.
+
+The inference gate is eq. (5)-(7): a bias-free linear map from the gate input
+embedding to one logit per expert, with Shazeer-style trainable noise for
+differentiable top-K selection, followed by a top-K-masked softmax.  The
+constraint gate (§4.3.2) is "identical in structure" but fed the TC embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["NoisyTopKGate", "GateOutput"]
+
+
+class GateOutput:
+    """Bundle of gate tensors one forward pass produces."""
+
+    __slots__ = ("clean_logits", "noisy_logits", "topk_mask", "topk_indices", "probs", "full_softmax")
+
+    def __init__(self, clean_logits: nn.Tensor, noisy_logits: nn.Tensor,
+                 topk_mask: np.ndarray, topk_indices: np.ndarray,
+                 probs: nn.Tensor, full_softmax: nn.Tensor):
+        self.clean_logits = clean_logits      # G^I(x) — eq. (5)
+        self.noisy_logits = noisy_logits      # G^I(x) + noise (training only)
+        self.topk_mask = topk_mask            # bool (b, N)
+        self.topk_indices = topk_indices      # int (b, K), unsorted
+        self.probs = probs                    # P(x, K) — eq. (7), masked softmax
+        self.full_softmax = full_softmax      # p^I(x) — eq. (9), full support
+
+
+class NoisyTopKGate(nn.Module):
+    """Noisy Top-K Gating (Shazeer et al. 2017) as used in the paper.
+
+    ``G^I(x) = x W^I`` (bias-free, eq. 5).  During training a noise term
+    ``ε · softplus(x W_noise)`` with ε ~ N(0,1) is added before the top-K
+    selection "to ensure differentiability of the top K operation" (§4.3.1).
+    At evaluation time selection uses the clean logits.
+    """
+
+    def __init__(self, input_width: int, num_experts: int, k: int,
+                 noisy: bool = True, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0 < k <= num_experts:
+            raise ValueError(f"k must be in [1, {num_experts}], got {k}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_experts = num_experts
+        self.k = k
+        self.noisy = noisy
+        self.weight = nn.Parameter(nn.init.xavier_uniform((input_width, num_experts), rng))
+        self.noise_weight = nn.Parameter(np.zeros((input_width, num_experts)))
+        # Shazeer et al. use softplus(x W_noise) as the noise scale with
+        # W_noise = 0 at init, i.e. a constant 0.69 — larger than the initial
+        # gate logits at our reduced scale, which would keep routing random
+        # for many epochs.  A trainable bias initialized at -2 starts the
+        # noise at softplus(-2) ≈ 0.13 instead; the model can grow it back.
+        self.noise_bias = nn.Parameter(np.full((num_experts,), -2.0))
+        self._rng = rng
+
+    def forward(self, x: nn.Tensor, k: int | None = None) -> GateOutput:
+        """Compute gate values for input embeddings ``x`` of shape (b, d)."""
+        k = self.k if k is None else k
+        clean = x @ self.weight
+        if self.noisy and self.training:
+            raw_noise = x @ self.noise_weight + self.noise_bias
+            # softplus(z) = log(1 + e^z), stable form.
+            softplus = (1.0 + (-(raw_noise.abs())).exp()).log() + raw_noise.relu()
+            epsilon = nn.Tensor(self._rng.standard_normal(clean.shape))
+            noisy = clean + epsilon * softplus
+        else:
+            noisy = clean
+        mask = F.scatter_topk_mask(noisy.data, k)
+        indices = _mask_to_indices(mask, k)
+        probs = F.masked_softmax(noisy, mask, axis=1)
+        full = F.softmax(clean, axis=1)
+        return GateOutput(clean_logits=clean, noisy_logits=noisy, topk_mask=mask,
+                          topk_indices=indices, probs=probs, full_softmax=full)
+
+
+def _mask_to_indices(mask: np.ndarray, k: int) -> np.ndarray:
+    """Convert a boolean (b, N) top-k mask to an int (b, k) index matrix."""
+    rows, cols = np.nonzero(mask)
+    # nonzero returns row-major order: each row contributes exactly k columns.
+    return cols.reshape(-1, k)

@@ -1,0 +1,174 @@
+"""MoE ranking models: vanilla MoE, Adv-MoE, HSC-MoE, and Adv & HSC-MoE.
+
+One class covers all four variants — the regularizers are switched on by
+setting λ1 (HSC) and/or λ2 (AdvLoss) to non-zero, exactly mirroring how the
+paper builds its model zoo (§5.1.3).  The combined objective is eq. (14):
+
+    J(Θ) = mean( CE + λ1·HSC(x_sc, x_tc) − λ2·AdvLoss(X, x_sc) )
+
+Implementation notes
+--------------------
+* Every expert is evaluated on every example (dense computation).  The
+  paper's top-K sparsity is a *serving* optimization; at reproduction scale
+  dense evaluation is faster in numpy and is anyway required by AdvLoss
+  (idle experts' outputs are part of the loss) and by the Fig. 8 case study.
+  The prediction itself uses only the top-K probabilities — non-selected
+  experts receive exactly zero weight from the masked softmax.
+* Gradient routing (eq. 15-16) holds structurally; see
+  :mod:`repro.models.regularizers`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Batch
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
+from .base import FeatureEmbedder, ModelOutput, RankingModel
+from .config import ModelConfig
+from .gates import NoisyTopKGate
+from .regularizers import (adversarial_loss, hsc_loss, load_balancing_loss,
+                           sample_disagreeing_experts)
+
+__all__ = ["MoERanker"]
+
+
+class MoERanker(RankingModel):
+    """Noisy top-K mixture-of-experts ranker with optional HSC / AdvLoss.
+
+    Parameters
+    ----------
+    spec:
+        Feature schema (embedding cardinalities).
+    taxonomy:
+        Category tree; required when ``use_hsc`` (the constraint gate needs
+        TC ids, which are derived from SC ids through the hierarchy).
+    config:
+        Hyper-parameters; ``config.lambda_hsc`` / ``config.lambda_adv``
+        only take effect when the corresponding ``use_*`` flag is set.
+    use_hsc / use_adv:
+        Enable the Hierarchical Soft Constraint and/or the adversarial
+        regularizer.
+    """
+
+    def __init__(self, spec: FeatureSpec, taxonomy: Taxonomy | None = None,
+                 config: ModelConfig | None = None,
+                 use_hsc: bool = False, use_adv: bool = False):
+        super().__init__()
+        self.config = config or ModelConfig()
+        self.use_hsc = use_hsc
+        self.use_adv = use_adv
+        if use_hsc and taxonomy is None:
+            raise ValueError("HSC requires a taxonomy to map SC ids to TC ids")
+        self.taxonomy = taxonomy
+        rng = np.random.default_rng(self.config.seed)
+        self._rng = np.random.default_rng(self.config.seed + 1)
+
+        self.embedder = FeatureEmbedder(spec, self.config.embedding_dim,
+                                        input_features=self.config.input_features, rng=rng)
+        self.experts = nn.ModuleList([
+            nn.MLP(self.embedder.input_width, list(self.config.hidden_sizes), 1, rng=rng)
+            for _ in range(self.config.num_experts)
+        ])
+        gate_width = self.embedder.gate_input_width(
+            self.config.gate_features, self.config.gate_include_numeric)
+        self.inference_gate = NoisyTopKGate(gate_width, self.config.num_experts,
+                                            k=self.config.top_k,
+                                            noisy=self.config.noisy_gating, rng=rng)
+        if use_hsc:
+            # "The constraint gate and inference gate have the same structure"
+            # (§4.3.2) but its input is the TC embedding.
+            self.constraint_gate = NoisyTopKGate(self.config.embedding_dim,
+                                                 self.config.num_experts,
+                                                 k=self.config.top_k,
+                                                 noisy=False, rng=rng)
+        else:
+            self.constraint_gate = None
+
+    # ------------------------------------------------------------------
+    def expert_outputs(self, x: nn.Tensor) -> nn.Tensor:
+        """All expert logits, shape (b, N)."""
+        return nn.concatenate([expert(x) for expert in self.experts], axis=1)
+
+    def forward(self, batch: Batch) -> ModelOutput:
+        x = self.embedder.model_input(batch)
+        gate_in = self.embedder.gate_input(batch, self.config.gate_features,
+                                           self.config.gate_include_numeric)
+        gate = self.inference_gate(gate_in)
+        expert_logits = self.expert_outputs(x)
+        # yhat logit = sum_i P_i(x_sc, K) * E_i(X)  (eq. 8; masked softmax
+        # zeroes non-selected experts, so only top-K contribute).
+        logits = (gate.probs * expert_logits).sum(axis=1)
+        return ModelOutput(
+            logits=logits,
+            expert_logits=expert_logits,
+            gate_probs=gate.probs,
+            gate_logits_clean=gate.clean_logits,
+            topk_indices=gate.topk_indices,
+            extras={"gate": gate},
+        )
+
+    def loss(self, batch: Batch, rng: np.random.Generator | None = None
+             ) -> tuple[nn.Tensor, dict[str, float]]:
+        rng = rng if rng is not None else self._rng
+        output = self.forward(batch)
+        gate = output.extras["gate"]
+        ce = nn.losses.bce_with_logits(output.logits, batch.labels.astype(np.float64))
+        total = ce
+        diagnostics = {"ce": ce.item()}
+
+        if self.use_hsc:
+            tc_ids = batch.sparse["query_tc"]
+            x_tc = self.embedder.embed("query_tc", tc_ids)
+            constraint = self.constraint_gate(x_tc)
+            hsc = hsc_loss(gate, constraint.full_softmax,
+                           restrict_to_topk=self.config.hsc_restrict_topk)
+            total = total + self.config.lambda_hsc * hsc
+            diagnostics["hsc"] = hsc.item()
+
+        if self.config.lambda_load > 0:
+            balance = load_balancing_loss(gate.probs)
+            total = total + self.config.lambda_load * balance
+            diagnostics["load_balance"] = balance.item()
+
+        if self.use_adv and self.config.num_disagreeing > 0:
+            disagreeing = sample_disagreeing_experts(
+                gate.topk_mask, self.config.num_disagreeing, rng)
+            adv = adversarial_loss(output.expert_logits, gate.topk_indices,
+                                   disagreeing, on_sigmoid=self.config.adv_on_sigmoid)
+            total = total - self.config.lambda_adv * adv
+            diagnostics["adv"] = adv.item()
+
+        diagnostics["total"] = total.item()
+        return total, diagnostics
+
+    # ------------------------------------------------------------------
+    def gate_vectors(self, batch: Batch) -> np.ndarray:
+        """Inference gate probability vectors for analysis (Fig. 6).
+
+        Evaluated without noise (eval mode) and without graph construction.
+        """
+        with nn.no_grad():
+            was_training = self.training
+            self.eval()
+            try:
+                gate_in = self.embedder.gate_input(batch, self.config.gate_features,
+                                                   self.config.gate_include_numeric)
+                gate = self.inference_gate(gate_in)
+            finally:
+                self.train(was_training)
+        return gate.probs.data.copy()
+
+    def expert_scores(self, batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+        """Per-expert sigmoid scores and the top-K mask (Fig. 8 case study)."""
+        with nn.no_grad():
+            was_training = self.training
+            self.eval()
+            try:
+                output = self.forward(batch)
+            finally:
+                self.train(was_training)
+        sigma = 1.0 / (1.0 + np.exp(-output.expert_logits.data))
+        return sigma, output.extras["gate"].topk_mask

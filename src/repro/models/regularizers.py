@@ -1,0 +1,89 @@
+"""The paper's two regularizers: HSC (eq. 9-11) and AdvLoss (eq. 12).
+
+Gradient routing (eq. 15-16) is obtained *structurally*: HSC is computed from
+gate outputs only, so expert weights are simply absent from its autograd
+graph; AdvLoss involves expert outputs but not the gate probabilities (the
+top-K/disagreeing index selection is discrete), so the gate weight gradient
+of AdvLoss is identically zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .gates import GateOutput
+
+__all__ = ["hsc_loss", "adversarial_loss", "sample_disagreeing_experts",
+           "load_balancing_loss"]
+
+
+def hsc_loss(inference_gate: GateOutput, constraint_full_softmax: nn.Tensor,
+             restrict_to_topk: bool = True) -> nn.Tensor:
+    """Hierarchical Soft Constraint (eq. 11), averaged over the batch.
+
+    ``HSC = sum_{i in U_topK} (p^I_i - p^C_i)^2`` where both distributions are
+    *full-support* softmaxes (eq. 9-10) but the sum runs only over the
+    inference gate's top-K support.  ``restrict_to_topk=False`` gives the
+    full-support ablation studied in ``benchmarks/bench_ablation.py``.
+    """
+    diff = inference_gate.full_softmax - constraint_full_softmax
+    squared = diff ** 2
+    if restrict_to_topk:
+        picked = F.take_along_axis(squared, inference_gate.topk_indices, axis=1)
+        return picked.sum(axis=1).mean()
+    return squared.sum(axis=1).mean()
+
+
+def sample_disagreeing_experts(topk_mask: np.ndarray, num_disagreeing: int,
+                               rng: np.random.Generator) -> np.ndarray:
+    """Sample D disagreeing expert indices per example from the idle pool.
+
+    Guarantees ``U_D ∩ U_topK = ∅`` (§4.4) by drawing from the complement of
+    the top-K set, uniformly without replacement per row (vectorized via
+    random keys + argpartition).
+    """
+    batch, num_experts = topk_mask.shape
+    k = int(topk_mask[0].sum())
+    if num_disagreeing > num_experts - k:
+        raise ValueError(
+            f"cannot sample D={num_disagreeing} disagreeing experts from "
+            f"{num_experts - k} idle experts (N={num_experts}, K={k})")
+    keys = rng.random((batch, num_experts))
+    keys[topk_mask] = np.inf  # never select an active expert
+    return np.argpartition(keys, num_disagreeing - 1, axis=1)[:, :num_disagreeing]
+
+
+def load_balancing_loss(gate_probs: nn.Tensor) -> nn.Tensor:
+    """Importance-based load balancing (Shazeer et al. 2017, eq. 4 there).
+
+    ``CV(importance)^2`` where importance_i = Σ_batch P_i: penalizes gates
+    that concentrate all traffic on a few experts.  The paper "extends the
+    load-balancing idea" with HSC (§2.0.2); this classic form is provided
+    for the ablation benches and as an optional extra regularizer
+    (``ModelConfig.lambda_load``).
+    """
+    importance = gate_probs.sum(axis=0)
+    mean = importance.mean()
+    variance = ((importance - mean) ** 2).mean()
+    return variance / (mean ** 2 + 1e-10)
+
+
+def adversarial_loss(expert_logits: nn.Tensor, topk_indices: np.ndarray,
+                     disagreeing_indices: np.ndarray,
+                     on_sigmoid: bool = True) -> nn.Tensor:
+    """Adversarial regularizer (eq. 12), averaged over the batch.
+
+    ``AdvLoss = sum_{i in U_topK, j in U_D} (σ(E_i) − σ(E_j))^2`` — the L2
+    distance between active and disagreeing expert predictions, *subtracted*
+    from the training loss to reward disagreement.  ``on_sigmoid=False``
+    computes the distance on raw logits (ablation).
+    """
+    outputs = expert_logits.sigmoid() if on_sigmoid else expert_logits
+    selected = F.take_along_axis(outputs, topk_indices, axis=1)        # (b, K)
+    disagreeing = F.take_along_axis(outputs, disagreeing_indices, axis=1)  # (b, D)
+    batch, k = selected.shape
+    d = disagreeing.shape[1]
+    diff = selected.reshape(batch, k, 1) - disagreeing.reshape(batch, 1, d)
+    return (diff ** 2).sum(axis=(1, 2)).mean()

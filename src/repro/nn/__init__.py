@@ -1,0 +1,39 @@
+"""``repro.nn`` — pure-numpy neural network substrate.
+
+A compact deep-learning framework (tensors with reverse-mode autodiff,
+layers, recurrent cells, losses, optimizers) sufficient to train every model
+in the paper on CPU.  See DESIGN.md §3 for the inventory.
+"""
+
+from . import functional, init, losses, optim
+from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sigmoid, Tanh
+from .module import Module, ModuleList, Sequential
+from .rnn import GRU, BiGRU, GRUCell
+from .tensor import Parameter, Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "MLP",
+    "GRUCell",
+    "GRU",
+    "BiGRU",
+    "functional",
+    "init",
+    "losses",
+    "optim",
+]

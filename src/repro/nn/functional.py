@@ -1,0 +1,168 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+These cover everything the paper's models need: stable (masked) softmax for
+the noisy top-k gate, log-softmax/cross-entropy for the query classifier,
+dropout, and axis-wise gathers used to pick top-K expert weights per example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "masked_softmax",
+    "dropout",
+    "take_along_axis",
+    "scatter_topk_mask",
+    "one_hot",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    Implemented as a primitive with the analytic Jacobian-vector product
+    ``dx = y * (g - sum(g * y, axis))`` which is both faster and more stable
+    than composing exp/sum ops.  Entries equal to ``-inf`` receive probability
+    exactly 0 and zero gradient, which the top-K gate relies on (eq. 6-7).
+    """
+    x = as_tensor(x)
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    # exp(-inf - max) -> exp(-inf) = 0 handled naturally; guard NaN from
+    # all -inf rows by treating them as uniform-zero.
+    with np.errstate(invalid="ignore"):
+        exps = np.exp(shifted)
+    total = exps.sum(axis=axis, keepdims=True)
+    probs = np.where(total > 0, exps / np.where(total == 0, 1.0, total), 0.0)
+    out = x._make_child(probs, (x,), "softmax")
+    if out.requires_grad:
+        def _backward():
+            g = out.grad
+            y = out.data
+            dot = (g * y).sum(axis=axis, keepdims=True)
+            x._accumulate(y * (g - dot))
+        out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_z
+    out = x._make_child(value, (x,), "log_softmax")
+    if out.requires_grad:
+        def _backward():
+            g = out.grad
+            softmax_vals = np.exp(out.data)
+            x._accumulate(g - softmax_vals * g.sum(axis=axis, keepdims=True))
+        out._backward = _backward
+    return out
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax over positions where ``mask`` is True; masked entries get 0.
+
+    This is the paper's eq. (6)-(7): non-top-K gate logits are set to
+    :math:`-\\infty` before the softmax so only the selected experts receive
+    positive probability (and gradient).
+    """
+    x = as_tensor(x)
+    mask = np.asarray(mask, dtype=bool)
+    neg_inf = np.full_like(x.data, -np.inf)
+    masked_data = np.where(mask, x.data, neg_inf)
+    masked = x._make_child(masked_data, (x,), "mask_fill")
+    if masked.requires_grad:
+        mask_f = mask.astype(np.float64)
+        def _backward():
+            x._accumulate(masked.grad * mask_f)
+        masked._backward = _backward
+    return softmax(masked, axis=axis)
+
+
+def dropout(x: Tensor, p: float, training: bool = True, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) during training."""
+    x = as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def take_along_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
+    """Differentiable ``np.take_along_axis`` (gather along an axis).
+
+    Used to pull out per-example top-K gate values or expert predictions.
+    """
+    x = as_tensor(x)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = np.take_along_axis(x.data, indices, axis=axis)
+    out = x._make_child(out_data, (x,), "take_along_axis")
+    if out.requires_grad:
+        def _backward():
+            grad = np.zeros_like(x.data)
+            # np.put_along_axis overwrites on duplicate indices; use explicit
+            # scatter-add to stay correct when an index repeats.
+            expanded = np.indices(indices.shape)
+            idx = list(expanded)
+            idx[axis] = indices
+            np.add.at(grad, tuple(idx), out.grad)
+            x._accumulate(grad)
+        out._backward = _backward
+    return out
+
+
+def scatter_topk_mask(logits: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of the top-``k`` entries per row of a 2-D array.
+
+    Ties are broken by index order (``argpartition`` semantics), matching the
+    behaviour of a "keep the K largest gate values" rule.
+    """
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ValueError("scatter_topk_mask expects a 2-D array")
+    n = logits.shape[1]
+    if not 0 < k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if k == n:
+        return np.ones_like(logits, dtype=bool)
+    idx = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    mask = np.zeros_like(logits, dtype=bool)
+    np.put_along_axis(mask, idx, True, axis=1)
+    return mask
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Plain numpy one-hot encoding (labels are never differentiated)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.min(initial=0) < 0 or (indices.size and indices.max() >= num_classes):
+        raise ValueError("index out of range for one_hot")
+    out = np.zeros((indices.size, num_classes), dtype=np.float64)
+    out[np.arange(indices.size), indices.reshape(-1)] = 1.0
+    return out.reshape(*indices.shape, num_classes)

@@ -1,0 +1,73 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+experiment in the benchmark harness is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_uniform", "he_normal", "normal", "uniform", "zeros", "ones"]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight shape."""
+    if len(shape) < 1:
+        raise ValueError("cannot compute fan of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = shape[0]
+    fan_out = shape[1]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initializer."""
+    fan_in, fan_out = _fan(shape)
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) normal initializer."""
+    fan_in, fan_out = _fan(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He et al. (2015) uniform initializer, suited to ReLU towers."""
+    fan_in, _ = _fan(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He et al. (2015) normal initializer, suited to ReLU towers."""
+    fan_in, _ = _fan(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Zero-mean Gaussian initializer (default for embeddings)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    """Uniform initializer."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initializer (default for biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-ones initializer."""
+    return np.ones(shape)

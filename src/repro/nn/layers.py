@@ -1,0 +1,148 @@
+"""Core layers: Linear, Embedding, Dropout, activations, and the MLP tower.
+
+The paper's expert towers and DNN baseline are ``512 x 256 x 1`` ReLU MLPs
+(§5.1.4); :class:`MLP` builds exactly that shape from a list of hidden sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module
+from .tensor import Parameter, Tensor, as_tensor
+
+__all__ = ["Linear", "Embedding", "Dropout", "ReLU", "Sigmoid", "Tanh", "MLP"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` with He initialization."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.he_normal((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"Linear expected last dim {self.in_features}, got {x.shape[-1]}")
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    The paper uses embedding dimension 16 for every sparse feature (§5.1.4).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None, std: float = 0.05):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=std))
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}) "
+                f"(got min={indices.min()}, max={indices.max()})")
+        return self.weight.take_rows(indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout layer; inert in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout p must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Sigmoid(Module):
+    """Sigmoid activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations.
+
+    ``MLP(n, [512, 256], 1)`` reproduces the paper's expert tower / DNN
+    structure.  The output layer is linear (logits); sigmoid is applied by
+    the loss or by the ensemble combination, matching eq. (12)-(13).
+    """
+
+    def __init__(self, in_features: int, hidden_sizes: list[int], out_features: int = 1,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden_sizes = list(hidden_sizes)
+        self.layers = []
+        sizes = [in_features] + self.hidden_sizes + [out_features]
+        items = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            items.append(Linear(fan_in, fan_out, rng=rng))
+            is_last = index == len(sizes) - 2
+            if not is_last:
+                items.append(ReLU())
+                if dropout > 0.0:
+                    items.append(Dropout(dropout, rng=rng))
+        self._items = items
+        for index, module in enumerate(items):
+            self.add_module(str(index), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __repr__(self) -> str:
+        arch = " -> ".join(str(s) for s in [self.in_features, *self.hidden_sizes, self.out_features])
+        return f"MLP({arch})"

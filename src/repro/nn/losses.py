@@ -1,0 +1,73 @@
+"""Loss functions.
+
+The paper trains with per-example binary cross entropy on the purchase label
+(eq. 13); the query-category classifier (§4.1) uses multi-class cross entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, as_tensor
+
+__all__ = ["bce_with_logits", "binary_cross_entropy", "cross_entropy", "mse_loss"]
+
+
+def bce_with_logits(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Numerically stable binary cross entropy on raw logits.
+
+    Uses the identity ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``
+    which never overflows, unlike composing sigmoid + log.
+    """
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    positive_part = logits.relu()
+    loss = positive_part - logits * targets + (1.0 + (-(logits.abs())).exp()).log()
+    return _reduce(loss, reduction)
+
+
+def binary_cross_entropy(probs: Tensor, targets, reduction: str = "mean",
+                         eps: float = 1e-12) -> Tensor:
+    """Binary cross entropy on probabilities (eq. 13).
+
+    The MoE ensemble output :math:`\\hat y` is already a probability
+    (a gate-weighted sum of sigmoid expert outputs), so the paper's CE term
+    operates on probabilities rather than logits.  ``eps`` clamps the input
+    away from {0, 1} for numerical safety.
+    """
+    probs = as_tensor(probs).clip(eps, 1.0 - eps)
+    targets = as_tensor(targets)
+    loss = -(targets * probs.log() + (1.0 - targets) * (1.0 - probs).log())
+    return _reduce(loss, reduction)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Multi-class cross entropy from logits and integer class targets."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits (batch, classes)")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError("targets must be a 1-D array of class indices matching the batch")
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = F.take_along_axis(log_probs, targets.reshape(-1, 1), axis=1)
+    return _reduce(-picked, reduction)
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    loss = (prediction - target) ** 2
+    return _reduce(loss, reduction)
+
+
+def _reduce(loss: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

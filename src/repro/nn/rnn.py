@@ -1,0 +1,128 @@
+"""Recurrent layers: GRU cell, unidirectional GRU, and bidirectional GRU.
+
+The paper's query→category classifier (§4.1) is "a bidirectional GRU model
+... with a softmax output layer"; :class:`BiGRU` plus a Linear head in
+:mod:`repro.querycat.classifier` reproduces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module
+from .tensor import Parameter, Tensor, as_tensor, concatenate
+
+__all__ = ["GRUCell", "GRU", "BiGRU"]
+
+
+class GRUCell(Module):
+    """Single gated recurrent unit step (Cho et al. 2014).
+
+    Update equations::
+
+        r = sigmoid(x W_r + h U_r + b_r)
+        z = sigmoid(x W_z + h U_z + b_z)
+        n = tanh(x W_n + r * (h U_n) + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("GRUCell sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Fused weights for the three gates: columns [r | z | n].
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
+        self.bias_ih = Parameter(init.zeros((3 * hidden_size,)))
+        self.bias_hh = Parameter(init.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        x = as_tensor(x)
+        h = as_tensor(h)
+        hs = self.hidden_size
+        gates_x = x @ self.weight_ih + self.bias_ih
+        gates_h = h @ self.weight_hh + self.bias_hh
+        r = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        z = (gates_x[:, hs:2 * hs] + gates_h[:, hs:2 * hs]).sigmoid()
+        n = (gates_x[:, 2 * hs:3 * hs] + r * gates_h[:, 2 * hs:3 * hs]).tanh()
+        return (1.0 - z) * n + z * h
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        """Zero hidden state for a batch."""
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRU(Module):
+    """Unidirectional GRU over a (batch, time, features) sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
+                 reverse: bool = False):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None) -> tuple[list[Tensor], Tensor]:
+        """Run the GRU over time.
+
+        Parameters
+        ----------
+        x:
+            Input of shape (batch, time, features).
+        lengths:
+            Optional per-example valid lengths.  Steps past an example's
+            length leave its hidden state frozen (masked update), so padded
+            positions do not pollute the final state.
+
+        Returns
+        -------
+        (outputs, final_state):
+            ``outputs`` is a list of per-step hidden states (each
+            (batch, hidden)), in the original time order; ``final_state``
+            is the state after each example's last valid step.
+        """
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError("GRU expects (batch, time, features) input")
+        batch, time, _ = x.shape
+        h = self.cell.initial_state(batch)
+        steps = range(time - 1, -1, -1) if self.reverse else range(time)
+        outputs: list[Tensor | None] = [None] * time
+        for t in steps:
+            h_new = self.cell(x[:, t, :], h)
+            if lengths is not None:
+                mask = (np.asarray(lengths) > t).astype(np.float64).reshape(-1, 1)
+                h = h_new * Tensor(mask) + h * Tensor(1.0 - mask)
+            else:
+                h = h_new
+            outputs[t] = h
+        return outputs, h
+
+
+class BiGRU(Module):
+    """Bidirectional GRU; final representation concatenates both directions."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.forward_gru = GRU(input_size, hidden_size, rng=rng, reverse=False)
+        self.backward_gru = GRU(input_size, hidden_size, rng=rng, reverse=True)
+        self.hidden_size = hidden_size
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    def forward(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
+        """Return the concatenated final states, shape (batch, 2*hidden).
+
+        For the backward direction with variable lengths the "final" state is
+        the state at t=0 after scanning right-to-left, which by the masked
+        update corresponds to having read only the valid suffix.
+        """
+        _, h_forward = self.forward_gru(x, lengths=lengths)
+        _, h_backward = self.backward_gru(x, lengths=lengths)
+        return concatenate([h_forward, h_backward], axis=1)

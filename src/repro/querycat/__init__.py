@@ -1,0 +1,11 @@
+"""``repro.querycat`` — BiGRU query→category classifier (paper §4.1)."""
+
+from .classifier import (ClassifierResult, QueryCategoryClassifier,
+                         QueryClassifierConfig, train_classifier)
+
+__all__ = [
+    "QueryCategoryClassifier",
+    "QueryClassifierConfig",
+    "ClassifierResult",
+    "train_classifier",
+]

@@ -1,0 +1,114 @@
+"""Query → category classifier (paper §4.1).
+
+"A bidirectional GRU model is then trained with a softmax output layer to
+predict the most likely product category a given input query belongs to.
+Once the model predicts the sub-categories for a given query, the
+top-categories are determined automatically via the category hierarchy."
+
+The human annotation step is replaced by construction: the synthetic query
+generator knows each query's true sub-category (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..data.sessions import QueryTable
+from ..hierarchy import Taxonomy
+
+__all__ = ["QueryCategoryClassifier", "QueryClassifierConfig", "train_classifier",
+           "ClassifierResult"]
+
+
+@dataclass
+class QueryClassifierConfig:
+    """Hyper-parameters for the BiGRU query classifier."""
+
+    embedding_dim: int = 16
+    hidden_size: int = 24
+    learning_rate: float = 5e-3
+    epochs: int = 4
+    batch_size: int = 128
+    seed: int = 0
+
+
+@dataclass
+class ClassifierResult:
+    """Training outcome."""
+
+    sc_accuracy: float
+    tc_accuracy: float
+    history: list[float]
+
+
+class QueryCategoryClassifier(nn.Module):
+    """Token embedding → BiGRU → linear softmax over sub-categories."""
+
+    def __init__(self, vocab_size: int, num_sub_categories: int,
+                 config: QueryClassifierConfig | None = None):
+        super().__init__()
+        self.config = config or QueryClassifierConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.embedding = nn.Embedding(vocab_size, self.config.embedding_dim, rng=rng)
+        self.encoder = nn.BiGRU(self.config.embedding_dim, self.config.hidden_size, rng=rng)
+        self.head = nn.Linear(self.encoder.output_size, num_sub_categories, rng=rng)
+
+    def forward(self, tokens: np.ndarray, lengths: np.ndarray) -> nn.Tensor:
+        """Return (batch, num_sc) logits for padded token id sequences."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        batch, max_len = tokens.shape
+        embedded = self.embedding(tokens.reshape(-1)).reshape(batch, max_len,
+                                                              self.config.embedding_dim)
+        encoded = self.encoder(embedded, lengths=np.asarray(lengths))
+        return self.head(encoded)
+
+    def predict_sc(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Most likely sub-category id per query."""
+        with nn.no_grad():
+            logits = self.forward(tokens, lengths)
+        return logits.data.argmax(axis=1)
+
+    def predict_tc(self, tokens: np.ndarray, lengths: np.ndarray,
+                   taxonomy: Taxonomy) -> np.ndarray:
+        """Top-category via the hierarchy, as in §4.1."""
+        sc = self.predict_sc(tokens, lengths)
+        return taxonomy.parents_of(sc)
+
+
+def train_classifier(model: QueryCategoryClassifier, queries: QueryTable,
+                     taxonomy: Taxonomy, test_fraction: float = 0.2
+                     ) -> ClassifierResult:
+    """Train on the query table and report SC / TC accuracies on held-out
+    queries (the paper reports that TC follows automatically from SC)."""
+    config = model.config
+    rng = np.random.default_rng(config.seed)
+    n = queries.num_queries
+    order = rng.permutation(n)
+    cut = max(1, int(round(n * test_fraction)))
+    test_rows, train_rows = order[:cut], order[cut:]
+
+    optimizer = nn.optim.AdamW(model.parameters(), lr=config.learning_rate,
+                               weight_decay=1e-4)
+    history: list[float] = []
+    for _ in range(config.epochs):
+        rng.shuffle(train_rows)
+        losses = []
+        for start in range(0, len(train_rows), config.batch_size):
+            rows = train_rows[start:start + config.batch_size]
+            optimizer.zero_grad()
+            logits = model(queries.tokens[rows], queries.lengths[rows])
+            loss = nn.losses.cross_entropy(logits, queries.sc_ids[rows])
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+
+    predicted_sc = model.predict_sc(queries.tokens[test_rows], queries.lengths[test_rows])
+    sc_accuracy = float((predicted_sc == queries.sc_ids[test_rows]).mean())
+    predicted_tc = taxonomy.parents_of(predicted_sc)
+    tc_accuracy = float((predicted_tc == queries.tc_ids[test_rows]).mean())
+    return ClassifierResult(sc_accuracy=sc_accuracy, tc_accuracy=tc_accuracy,
+                            history=history)

@@ -1,0 +1,17 @@
+"""``repro.training`` — trainer, evaluation, and grid search."""
+
+from .grid import GridPoint, grid_search, lambda_grid
+from .trainer import (EpochRecord, TrainConfig, Trainer, TrainResult, evaluate,
+                      predict_dataset)
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "EpochRecord",
+    "evaluate",
+    "predict_dataset",
+    "GridPoint",
+    "grid_search",
+    "lambda_grid",
+]

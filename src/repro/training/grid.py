@@ -1,0 +1,67 @@
+"""Grid search over hyper-parameters.
+
+The paper grid-searches λ1 and λ2 "in powers of 10" (§4.5, Table 6) and
+sweeps (N, K, D) in Fig. 7; :func:`grid_search` runs any such sweep with a
+model-builder callback and collects the evaluation metric per point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from ..data.dataset import LTRDataset
+from ..models.base import RankingModel
+from .trainer import TrainConfig, Trainer, evaluate
+
+__all__ = ["GridPoint", "grid_search", "lambda_grid"]
+
+
+@dataclass
+class GridPoint:
+    """One evaluated configuration."""
+
+    params: dict
+    auc: float
+    ndcg: float
+    ndcg_at_k: float
+
+
+def lambda_grid(low_exp: int = -3, high_exp: int = -1) -> list[float]:
+    """Powers of 10 from 10^low_exp to 10^high_exp inclusive (Table 6)."""
+    if low_exp > high_exp:
+        raise ValueError("low_exp must be <= high_exp")
+    return [10.0 ** e for e in range(low_exp, high_exp + 1)]
+
+
+def grid_search(param_grid: dict[str, list],
+                build_model: Callable[[dict], RankingModel],
+                train: LTRDataset, test: LTRDataset,
+                train_config: TrainConfig | None = None,
+                verbose: bool = False) -> list[GridPoint]:
+    """Evaluate every combination in ``param_grid``.
+
+    ``build_model`` receives one ``{name: value}`` dict per grid point and
+    must return a fresh model.  Combinations that raise ``ValueError`` at
+    construction (e.g. D > N - K) are skipped, mirroring the infeasible
+    cells absent from the paper's Fig. 7.
+    """
+    train_config = train_config or TrainConfig()
+    names = list(param_grid)
+    results: list[GridPoint] = []
+    for values in itertools.product(*(param_grid[n] for n in names)):
+        params = dict(zip(names, values))
+        try:
+            model = build_model(params)
+        except ValueError:
+            continue
+        trainer = Trainer(model, train_config)
+        trainer.fit(train, eval_dataset=None)
+        metrics = evaluate(model, test, ndcg_k=train_config.ndcg_k)
+        point = GridPoint(params=params, auc=metrics["auc"], ndcg=metrics["ndcg"],
+                          ndcg_at_k=metrics[f"ndcg@{train_config.ndcg_k}"])
+        results.append(point)
+        if verbose:
+            print(f"{params} -> auc={point.auc:.4f}")
+    return results

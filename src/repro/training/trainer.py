@@ -1,0 +1,203 @@
+"""Training loop for ranking models.
+
+Implements the paper's setup (§5.1.4): AdamW optimizer, lr 1e-4 default,
+minibatch SGD over the log, with per-epoch evaluation of session AUC and
+NDCG on a held-out set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import LTRDataset
+from ..metrics import session_auc, session_ndcg
+from ..models.base import RankingModel
+
+__all__ = ["TrainConfig", "EpochRecord", "TrainResult", "Trainer", "evaluate"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 3
+    batch_size: int = 256
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-4
+    optimizer: str = "adamw"          # "adamw" | "adam" | "sgd"
+    grad_clip: float | None = 5.0
+    seed: int = 0
+    eval_every_epoch: bool = True
+    ndcg_k: int = 10
+    verbose: bool = False
+    # Stop when eval AUC has not improved for this many epochs and restore
+    # the best-epoch weights.  None disables early stopping.
+    early_stop_patience: int | None = None
+    # Optional per-epoch LR schedule: None | "step" | "cosine".
+    lr_schedule: str | None = None
+    lr_step_size: int = 2
+    lr_gamma: float = 0.5
+
+    def __post_init__(self):
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.optimizer not in ("adamw", "adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.lr_schedule not in (None, "step", "cosine"):
+            raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.early_stop_patience is not None and self.early_stop_patience <= 0:
+            raise ValueError("early_stop_patience must be positive")
+
+
+@dataclass
+class EpochRecord:
+    """Metrics recorded after one epoch."""
+
+    epoch: int
+    train_loss: float
+    eval_auc: float | None = None
+    eval_ndcg: float | None = None
+    eval_ndcg_at_k: float | None = None
+    seconds: float = 0.0
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a full training run."""
+
+    history: list[EpochRecord]
+    final_auc: float | None
+    final_ndcg: float | None
+    final_ndcg_at_k: float | None
+    total_seconds: float
+
+    @property
+    def best_auc(self) -> float | None:
+        aucs = [r.eval_auc for r in self.history if r.eval_auc is not None]
+        return max(aucs) if aucs else None
+
+
+def evaluate(model: RankingModel, dataset: LTRDataset, ndcg_k: int = 10,
+             batch_size: int = 8192) -> dict[str, float]:
+    """Session AUC / NDCG / NDCG@k of a model on a dataset."""
+    scores = predict_dataset(model, dataset, batch_size=batch_size)
+    return {
+        "auc": session_auc(scores, dataset.labels, dataset.session_ids),
+        "ndcg": session_ndcg(scores, dataset.labels, dataset.session_ids),
+        f"ndcg@{ndcg_k}": session_ndcg(scores, dataset.labels, dataset.session_ids, k=ndcg_k),
+    }
+
+
+def predict_dataset(model: RankingModel, dataset: LTRDataset,
+                    batch_size: int = 8192) -> np.ndarray:
+    """Model scores over the full dataset, batched to bound memory."""
+    chunks = []
+    for start in range(0, len(dataset), batch_size):
+        indices = np.arange(start, min(start + batch_size, len(dataset)))
+        chunks.append(model.predict(dataset.batch(indices)))
+    return np.concatenate(chunks) if chunks else np.empty(0)
+
+
+class Trainer:
+    """Minibatch trainer with per-epoch evaluation."""
+
+    def __init__(self, model: RankingModel, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = self._build_optimizer()
+        self.scheduler = self._build_scheduler()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def _build_scheduler(self) -> nn.optim.LRScheduler | None:
+        if self.config.lr_schedule == "step":
+            return nn.optim.StepLR(self.optimizer, self.config.lr_step_size,
+                                   self.config.lr_gamma)
+        if self.config.lr_schedule == "cosine":
+            return nn.optim.CosineAnnealingLR(self.optimizer, self.config.epochs)
+        return None
+
+    def _build_optimizer(self) -> nn.optim.Optimizer:
+        params = list(self.model.parameters())
+        cfg = self.config
+        if cfg.optimizer == "adamw":
+            return nn.optim.AdamW(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
+        if cfg.optimizer == "adam":
+            return nn.optim.Adam(params, lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
+        return nn.optim.SGD(params, lr=cfg.learning_rate, momentum=0.9,
+                            weight_decay=cfg.weight_decay)
+
+    def train_epoch(self, train: LTRDataset) -> tuple[float, dict[str, float]]:
+        """One pass over the training set; returns (mean loss, diagnostics)."""
+        self.model.train()
+        losses: list[float] = []
+        diagnostics: dict[str, list[float]] = {}
+        for batch in train.iter_batches(self.config.batch_size, rng=self._rng):
+            self.optimizer.zero_grad()
+            loss, info = self.model.loss(batch, rng=self._rng)
+            loss.backward()
+            if self.config.grad_clip is not None:
+                nn.optim.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            losses.append(loss.item())
+            for key, value in info.items():
+                diagnostics.setdefault(key, []).append(value)
+        mean_info = {k: float(np.mean(v)) for k, v in diagnostics.items()}
+        return float(np.mean(losses)), mean_info
+
+    def fit(self, train: LTRDataset, eval_dataset: LTRDataset | None = None) -> TrainResult:
+        """Train for ``config.epochs`` epochs, evaluating after each one."""
+        history: list[EpochRecord] = []
+        started = time.time()
+        best_auc = -np.inf
+        best_state: dict[str, np.ndarray] | None = None
+        epochs_since_best = 0
+        patience = self.config.early_stop_patience
+        for epoch in range(1, self.config.epochs + 1):
+            epoch_start = time.time()
+            train_loss, info = self.train_epoch(train)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            record = EpochRecord(epoch=epoch, train_loss=train_loss,
+                                 seconds=time.time() - epoch_start, diagnostics=info)
+            if eval_dataset is not None and self.config.eval_every_epoch:
+                metrics = evaluate(self.model, eval_dataset, ndcg_k=self.config.ndcg_k)
+                record.eval_auc = metrics["auc"]
+                record.eval_ndcg = metrics["ndcg"]
+                record.eval_ndcg_at_k = metrics[f"ndcg@{self.config.ndcg_k}"]
+            history.append(record)
+            if self.config.verbose:
+                auc = f"{record.eval_auc:.4f}" if record.eval_auc is not None else "n/a"
+                print(f"epoch {epoch}: loss={train_loss:.4f} auc={auc} "
+                      f"({record.seconds:.1f}s)")
+            if patience is not None and record.eval_auc is not None:
+                if record.eval_auc > best_auc:
+                    best_auc = record.eval_auc
+                    best_state = self.model.state_dict()
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if epochs_since_best >= patience:
+                        break
+        if best_state is not None:
+            # Restore the best epoch; report its metrics as the final ones.
+            self.model.load_state_dict(best_state)
+            final = max(history, key=lambda r: (r.eval_auc is not None, r.eval_auc))
+        else:
+            final = history[-1] if history else None
+        if eval_dataset is not None and final is not None and final.eval_auc is None:
+            metrics = evaluate(self.model, eval_dataset, ndcg_k=self.config.ndcg_k)
+            final.eval_auc = metrics["auc"]
+            final.eval_ndcg = metrics["ndcg"]
+            final.eval_ndcg_at_k = metrics[f"ndcg@{self.config.ndcg_k}"]
+        return TrainResult(
+            history=history,
+            final_auc=final.eval_auc if final else None,
+            final_ndcg=final.eval_ndcg if final else None,
+            final_ndcg_at_k=final.eval_ndcg_at_k if final else None,
+            total_seconds=time.time() - started,
+        )

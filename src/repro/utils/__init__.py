@@ -1,0 +1,5 @@
+"""``repro.utils`` — checkpointing and shared helpers."""
+
+from .serialization import load_checkpoint, load_model, save_checkpoint
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_model"]

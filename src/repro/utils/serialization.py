@@ -1,0 +1,109 @@
+"""Model checkpointing: save/load parameters + config as .npz / JSON.
+
+The paper's conclusions motivate "extraction and tweaking of
+category-dedicated models from the unified ensemble" — which requires being
+able to persist and reload trained models.  Checkpoints store the flat
+parameter state dict (``numpy.savez``) plus a JSON sidecar with the model
+name and :class:`~repro.models.config.ModelConfig` fields, so
+:func:`load_model` can rebuild the exact architecture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
+from ..models import ModelConfig, build_model
+from ..models.base import RankingModel
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: RankingModel, path: str | Path,
+                    model_name: str, extra: dict | None = None) -> Path:
+    """Persist a model to ``<path>.npz`` + ``<path>.json``.
+
+    Returns the weights path.  ``extra`` (JSON-serializable) is stored in
+    the sidecar, e.g. training metrics.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    weights_path = path.with_suffix(".npz")
+    meta_path = path.with_suffix(".json")
+
+    state = model.state_dict()
+    np.savez(weights_path, **state)
+
+    config = getattr(model, "config", None)
+    if not isinstance(config, ModelConfig):
+        raise TypeError("model has no ModelConfig; cannot serialize architecture")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "model_name": model_name,
+        "config": dataclasses.asdict(config),
+        "extra": extra or {},
+    }
+    # MMoE's task routing lives outside the parameter arrays; persist it so
+    # the rebuilt model routes examples identically.
+    buckets = getattr(model, "bucket_assignment", None)
+    if buckets is not None:
+        meta["bucket_assignment"] = {str(k): int(v) for k, v in buckets.items()}
+    meta_path.write_text(json.dumps(meta, indent=2, default=_json_default))
+    return weights_path
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load (state dict, metadata) from a checkpoint base path."""
+    path = Path(path)
+    weights_path = path.with_suffix(".npz")
+    meta_path = path.with_suffix(".json")
+    if not weights_path.exists() or not meta_path.exists():
+        raise FileNotFoundError(f"checkpoint incomplete at {path}")
+    with np.load(weights_path) as archive:
+        state = {key: archive[key].copy() for key in archive.files}
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {meta.get('format_version')}")
+    return state, meta
+
+
+def load_model(path: str | Path, spec: FeatureSpec, taxonomy: Taxonomy,
+               train_dataset=None) -> RankingModel:
+    """Rebuild a model from a checkpoint and restore its weights.
+
+    ``spec``/``taxonomy`` must structurally match the ones the model was
+    trained with (same cardinalities); mismatches surface as shape errors.
+    """
+    state, meta = load_checkpoint(path)
+    config_fields = dict(meta["config"])
+    # JSON turns tuples into lists; restore the tuple-typed fields.
+    for key in ("hidden_sizes", "gate_features", "input_features"):
+        if key in config_fields and isinstance(config_fields[key], list):
+            config_fields[key] = tuple(config_fields[key])
+    config = ModelConfig(**config_fields)
+    if "bucket_assignment" in meta:
+        from ..models.mmoe import MMoERanker
+        buckets = {int(k): int(v) for k, v in meta["bucket_assignment"].items()}
+        model: RankingModel = MMoERanker(spec, buckets, config)
+    else:
+        model = build_model(meta["model_name"], spec, taxonomy, config,
+                            train_dataset=train_dataset)
+    model.load_state_dict(state)
+    return model
+
+
+def _json_default(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value)}")

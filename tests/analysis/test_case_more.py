@@ -1,0 +1,49 @@
+"""Additional behavioural tests: expert disagreement statistic and the
+Fig. 8 spread helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.case_study import CaseStudy, CaseStudyItem
+from repro.experiments.fig8 import expert_score_spread
+
+
+def make_case(score_rows, selected_mask):
+    items = [
+        CaseStudyItem(label=1 if i == 0 else 0,
+                      expert_scores=np.asarray(row, dtype=float),
+                      selected=np.asarray(selected_mask, dtype=bool),
+                      prediction=float(np.mean(row)))
+        for i, row in enumerate(score_rows)
+    ]
+    return CaseStudy(model_name="m", session_id=0, items=items)
+
+
+class TestExpertScoreSpread:
+    def test_unanimous_experts_zero_spread(self):
+        case = make_case([[0.5, 0.5, 0.5, 0.9]], [True, True, True, False])
+        assert expert_score_spread(case) == 0.0
+
+    def test_disagreeing_experts_positive_spread(self):
+        case = make_case([[0.1, 0.9, 0.5, 0.0]], [True, True, True, False])
+        assert expert_score_spread(case) > 0.2
+
+    def test_only_selected_experts_count(self):
+        """Idle experts' scores must not affect the spread."""
+        base = make_case([[0.5, 0.5, 0.0, 0.0]], [True, True, False, False])
+        noisy_idle = make_case([[0.5, 0.5, 0.99, 0.01]], [True, True, False, False])
+        assert expert_score_spread(base) == expert_score_spread(noisy_idle)
+
+    def test_mean_over_items(self):
+        case = make_case([[0.0, 1.0], [0.5, 0.5]], [True, True])
+        assert expert_score_spread(case) == pytest.approx(0.25)
+
+
+class TestCaseStudyHelpers:
+    def test_ranks_positive_first_true(self):
+        case = make_case([[0.9, 0.9], [0.1, 0.1]], [True, True])
+        assert case.prediction_ranks_positive_first()
+
+    def test_ranks_positive_first_false(self):
+        case = make_case([[0.1, 0.1], [0.9, 0.9]], [True, True])
+        assert not case.prediction_ranks_positive_first()

@@ -1,0 +1,78 @@
+"""Tests for gate clustering analysis (Fig. 6) and the case study (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (analyze_gate_clustering, collect_gate_vectors,
+                            pick_case_session, run_case_study)
+from repro.models import MoERanker
+
+
+@pytest.fixture()
+def model(train_dataset, taxonomy, tiny_model_config):
+    return MoERanker(train_dataset.spec, taxonomy, tiny_model_config,
+                     use_hsc=True, use_adv=True)
+
+
+class TestCollectGateVectors:
+    def test_shapes_and_labels(self, model, test_dataset, tiny_model_config):
+        vectors, labels, names = collect_gate_vectors(model, test_dataset,
+                                                      max_examples=100, seed=0)
+        assert vectors.shape == (100, tiny_model_config.num_experts)
+        assert labels.shape == (100,)
+        assert set(labels.tolist()) <= set(range(len(names)))
+
+    def test_one_per_sc_mode(self, model, test_dataset):
+        vectors, labels, _ = collect_gate_vectors(model, test_dataset,
+                                                  one_per_sc=True)
+        seen_sc = np.unique(test_dataset.query_sc)
+        assert vectors.shape[0] == seen_sc.size
+
+    def test_vectors_are_distributions(self, model, test_dataset):
+        vectors, _, _ = collect_gate_vectors(model, test_dataset, max_examples=50)
+        np.testing.assert_allclose(vectors.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestAnalyzeGateClustering:
+    def test_without_tsne(self, model, test_dataset):
+        analysis = analyze_gate_clustering(model, test_dataset, model_name="m",
+                                           max_examples=80, run_tsne=False)
+        assert analysis.embedding is None
+        assert analysis.silhouette_embedding is None
+        assert np.isfinite(analysis.silhouette_gate)
+        assert np.isfinite(analysis.intra_inter)
+
+    def test_with_tsne(self, model, test_dataset):
+        from repro.analysis import TSNEConfig
+        analysis = analyze_gate_clustering(
+            model, test_dataset, max_examples=40, run_tsne=True,
+            tsne_config=TSNEConfig(n_iter=120, exaggeration_iters=40, perplexity=8))
+        assert analysis.embedding.shape == (40, 2)
+
+
+class TestCaseStudy:
+    def test_pick_session_structure(self, test_dataset):
+        rows = pick_case_session(test_dataset, num_negatives=2, seed=0)
+        assert rows.shape == (3,)
+        labels = test_dataset.labels[rows]
+        assert labels[0] == 1 and (labels[1:] == 0).all()
+        sessions = test_dataset.session_ids[rows]
+        assert np.unique(sessions).size == 1
+
+    def test_run_case_study(self, model, test_dataset, tiny_model_config):
+        rows = pick_case_session(test_dataset, seed=0)
+        case = run_case_study(model, test_dataset, rows, model_name="test")
+        assert len(case.items) == 3
+        for item in case.items:
+            assert item.expert_scores.shape == (tiny_model_config.num_experts,)
+            assert item.selected.sum() == tiny_model_config.top_k
+            assert 0.0 < item.prediction < 1.0
+
+    def test_ranks_positive_first_flag(self, model, test_dataset):
+        rows = pick_case_session(test_dataset, seed=0)
+        case = run_case_study(model, test_dataset, rows)
+        assert case.prediction_ranks_positive_first() in (True, False)
+
+    def test_impossible_request_raises(self, test_dataset):
+        with pytest.raises(ValueError):
+            pick_case_session(test_dataset, num_negatives=10_000)

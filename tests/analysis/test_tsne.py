@@ -1,0 +1,74 @@
+"""Tests for the numpy t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TSNEConfig, conditional_probabilities, tsne
+from repro.metrics import silhouette_score
+
+
+class TestAffinities:
+    def test_valid_joint_distribution(self):
+        x = np.random.default_rng(0).normal(size=(20, 5))
+        p = conditional_probabilities(x, perplexity=5.0)
+        assert p.shape == (20, 20)
+        np.testing.assert_allclose(p, p.T, atol=1e-12)
+        assert p.min() > 0
+        np.testing.assert_allclose(p.sum(), 1.0, atol=1e-6)
+
+    def test_nearest_neighbors_get_higher_mass(self):
+        x = np.array([[0.0], [0.1], [10.0], [10.1]])
+        p = conditional_probabilities(x, perplexity=1.5)
+        assert p[0, 1] > p[0, 2]
+        assert p[2, 3] > p[2, 0]
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            conditional_probabilities(np.zeros((3, 2)), perplexity=5.0)
+
+
+class TestTSNEConfigValidation:
+    def test_perplexity(self):
+        with pytest.raises(ValueError):
+            TSNEConfig(perplexity=1.0)
+
+    def test_iters_cover_exaggeration(self):
+        with pytest.raises(ValueError):
+            TSNEConfig(n_iter=50, exaggeration_iters=100)
+
+
+class TestEmbedding:
+    def test_output_shape(self):
+        x = np.random.default_rng(0).normal(size=(30, 8))
+        y = tsne(x, TSNEConfig(n_iter=120, exaggeration_iters=50, perplexity=8, seed=0))
+        assert y.shape == (30, 2)
+        assert np.isfinite(y).all()
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(0).normal(size=(20, 4))
+        config = TSNEConfig(n_iter=120, exaggeration_iters=50, perplexity=5, seed=3)
+        np.testing.assert_allclose(tsne(x, config), tsne(x, config))
+
+    def test_centered_output(self):
+        x = np.random.default_rng(0).normal(size=(25, 4))
+        y = tsne(x, TSNEConfig(n_iter=120, exaggeration_iters=50, perplexity=5))
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_separates_well_separated_clusters(self):
+        """Two far-apart Gaussian blobs must stay separated in 2-D."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.3, size=(25, 10))
+        b = rng.normal(8.0, 0.3, size=(25, 10))
+        x = np.vstack([a, b])
+        labels = np.r_[np.zeros(25), np.ones(25)]
+        y = tsne(x, TSNEConfig(n_iter=300, exaggeration_iters=80, perplexity=10, seed=0))
+        # t-SNE spreads within-cluster points, so the silhouette is modest in
+        # absolute terms but far above the ~0 of unstructured data.
+        assert silhouette_score(y, labels) > 0.25
+        # Nearest-neighbor purity: almost every point's closest neighbor in
+        # the embedding shares its blob label.
+        from repro.metrics import pairwise_distances
+        distances = pairwise_distances(y)
+        np.fill_diagonal(distances, np.inf)
+        nearest = distances.argmin(axis=1)
+        assert (labels[nearest] == labels).mean() > 0.9

@@ -1,0 +1,61 @@
+"""Shared fixtures: a small synthetic world/log reused across test modules.
+
+Session-scoped so the (cheap but not free) generation happens once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (LogConfig, WorldConfig, SyntheticWorld, dataset_from_log,
+                        simulate_log, train_test_split)
+from repro.hierarchy import default_taxonomy
+from repro.models import ModelConfig
+
+
+@pytest.fixture(scope="session")
+def taxonomy():
+    return default_taxonomy()
+
+
+@pytest.fixture(scope="session")
+def world(taxonomy):
+    return SyntheticWorld.generate(taxonomy, WorldConfig(seed=0))
+
+
+@pytest.fixture(scope="session")
+def log(world):
+    return simulate_log(world, LogConfig(seed=1, num_queries=600))
+
+
+@pytest.fixture(scope="session")
+def dataset(log):
+    return dataset_from_log(log)
+
+
+@pytest.fixture(scope="session")
+def splits(dataset):
+    return train_test_split(dataset, test_fraction=0.25, seed=3)
+
+
+@pytest.fixture(scope="session")
+def train_dataset(splits):
+    return splits[0]
+
+
+@pytest.fixture(scope="session")
+def test_dataset(splits):
+    return splits[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_model_config():
+    """Small but structurally faithful model config for fast tests."""
+    return ModelConfig(embedding_dim=4, hidden_sizes=(8,), num_experts=6,
+                       top_k=2, num_disagreeing=1, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

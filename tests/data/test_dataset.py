@@ -1,0 +1,129 @@
+"""Tests for LTRDataset: subsetting, splitting, batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import LTRDataset, train_test_split
+
+
+class TestBasics:
+    def test_length_and_rates(self, dataset):
+        assert len(dataset) == dataset.labels.shape[0]
+        assert 0.0 < dataset.positive_rate < 0.5
+
+    def test_length_mismatch_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            LTRDataset(numeric=dataset.numeric[:-1], sparse=dataset.sparse,
+                       labels=dataset.labels, session_ids=dataset.session_ids,
+                       query_ids=dataset.query_ids, spec=dataset.spec,
+                       taxonomy=dataset.taxonomy)
+
+    def test_sparse_mismatch_rejected(self, dataset):
+        bad_sparse = dict(dataset.sparse)
+        bad_sparse["brand"] = bad_sparse["brand"][:-1]
+        with pytest.raises(ValueError):
+            LTRDataset(numeric=dataset.numeric, sparse=bad_sparse,
+                       labels=dataset.labels, session_ids=dataset.session_ids,
+                       query_ids=dataset.query_ids, spec=dataset.spec,
+                       taxonomy=dataset.taxonomy)
+
+    def test_query_accessors(self, dataset):
+        np.testing.assert_array_equal(dataset.query_sc, dataset.sparse["query_sc"])
+        np.testing.assert_array_equal(dataset.query_tc, dataset.sparse["query_tc"])
+
+
+class TestSubset:
+    def test_subset_rows(self, dataset):
+        indices = np.arange(0, 50)
+        subset = dataset.subset(indices, name="slice")
+        assert len(subset) == 50
+        assert subset.name == "slice"
+        np.testing.assert_array_equal(subset.labels, dataset.labels[:50])
+
+    def test_filter_by_tc_keeps_only_tc(self, dataset):
+        tc = int(dataset.query_tc[0])
+        filtered = dataset.filter_by_tc(tc)
+        assert np.all(filtered.query_tc == tc)
+        assert len(filtered) > 0
+
+    def test_filter_by_tc_multiple(self, dataset):
+        tcs = np.unique(dataset.query_tc)[:2]
+        filtered = dataset.filter_by_tc(tcs)
+        assert set(np.unique(filtered.query_tc)) <= set(tcs.tolist())
+
+    def test_filter_by_sc(self, dataset):
+        sc = int(dataset.query_sc[0])
+        filtered = dataset.filter_by_sc(sc)
+        assert np.all(filtered.query_sc == sc)
+
+    def test_filter_keeps_whole_sessions(self, dataset):
+        """query TC is constant within a session, so no session is split."""
+        tc = int(dataset.query_tc[0])
+        filtered = dataset.filter_by_tc(tc)
+        kept = set(np.unique(filtered.session_ids).tolist())
+        for session in kept:
+            original = (dataset.session_ids == session).sum()
+            assert (filtered.session_ids == session).sum() == original
+
+    def test_concat(self, dataset):
+        tcs = np.unique(dataset.query_tc)
+        a = dataset.filter_by_tc(tcs[0])
+        b = dataset.filter_by_tc(tcs[1])
+        joined = a.concat(b)
+        assert len(joined) == len(a) + len(b)
+
+
+class TestSplit:
+    def test_no_query_leak(self, dataset):
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=0)
+        assert not set(np.unique(train.query_ids)) & set(np.unique(test.query_ids))
+
+    def test_fraction_respected(self, dataset):
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=0)
+        queries = len(np.unique(dataset.query_ids))
+        assert abs(len(np.unique(test.query_ids)) / queries - 0.3) < 0.02
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=0.0)
+
+    def test_deterministic(self, dataset):
+        a = train_test_split(dataset, seed=5)[1]
+        b = train_test_split(dataset, seed=5)[1]
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestBatching:
+    def test_iter_batches_covers_everything(self, dataset, rng):
+        total = sum(len(b) for b in dataset.iter_batches(128, rng=rng))
+        assert total == len(dataset)
+
+    def test_batch_size_respected(self, dataset, rng):
+        sizes = [len(b) for b in dataset.iter_batches(100, rng=rng)]
+        assert all(s == 100 for s in sizes[:-1])
+        assert sizes[-1] <= 100
+
+    def test_no_shuffle_is_ordered(self, dataset):
+        batch = next(dataset.iter_batches(10, shuffle=False))
+        np.testing.assert_array_equal(batch.labels, dataset.labels[:10])
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            next(dataset.iter_batches(0))
+
+    def test_full_batch(self, dataset):
+        batch = dataset.full_batch()
+        assert len(batch) == len(dataset)
+
+
+class TestSessionUtilities:
+    def test_sessions_with_label_mix(self, dataset):
+        mixed = dataset.sessions_with_label_mix()
+        assert mixed.size > 0
+        for session in mixed[:20]:
+            labels = dataset.labels[dataset.session_ids == session]
+            assert 0 < labels.sum() < labels.size
+
+    def test_num_sessions_and_queries(self, dataset):
+        assert dataset.num_sessions == np.unique(dataset.session_ids).size
+        assert dataset.num_queries == np.unique(dataset.query_ids).size

@@ -1,0 +1,66 @@
+"""Tests for dataset NPZ/CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.data import export_csv, load_dataset_npz, save_dataset_npz
+
+
+class TestNpzRoundtrip:
+    def test_exact_roundtrip(self, dataset, tmp_path):
+        path = save_dataset_npz(dataset, tmp_path / "log")
+        restored = load_dataset_npz(path, dataset.spec, dataset.taxonomy)
+        np.testing.assert_array_equal(restored.labels, dataset.labels)
+        np.testing.assert_allclose(restored.numeric, dataset.numeric)
+        np.testing.assert_array_equal(restored.session_ids, dataset.session_ids)
+        for name in dataset.sparse:
+            np.testing.assert_array_equal(restored.sparse[name], dataset.sparse[name])
+
+    def test_restored_dataset_usable(self, dataset, tmp_path):
+        path = save_dataset_npz(dataset, tmp_path / "log")
+        restored = load_dataset_npz(path, dataset.spec, dataset.taxonomy)
+        assert restored.num_sessions == dataset.num_sessions
+        batch = next(restored.iter_batches(32, shuffle=False))
+        assert len(batch) == 32
+
+    def test_version_check(self, dataset, tmp_path):
+        path = save_dataset_npz(dataset, tmp_path / "log")
+        arrays = dict(np.load(path))
+        arrays["format_version"] = np.array(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_dataset_npz(path, dataset.spec, dataset.taxonomy)
+
+    def test_missing_sparse_feature_detected(self, dataset, tmp_path):
+        path = save_dataset_npz(dataset, tmp_path / "log")
+        arrays = dict(np.load(path))
+        del arrays["sparse__brand"]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_dataset_npz(path, dataset.spec, dataset.taxonomy)
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, dataset, tmp_path):
+        path = export_csv(dataset, tmp_path / "log", max_rows=50)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "session_id" and header[-1] == "label"
+        assert set(dataset.sparse) <= set(header)
+        assert len(data) == 50
+
+    def test_values_match(self, dataset, tmp_path):
+        path = export_csv(dataset, tmp_path / "log", max_rows=5)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        for index, row in enumerate(rows):
+            assert int(row["label"]) == dataset.labels[index]
+            assert int(row["brand"]) == dataset.sparse["brand"][index]
+
+    def test_full_export_row_count(self, dataset, tmp_path):
+        path = export_csv(dataset.subset(np.arange(200)), tmp_path / "log")
+        with open(path) as handle:
+            assert sum(1 for _ in handle) == 201

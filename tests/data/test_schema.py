@@ -1,0 +1,57 @@
+"""Tests for the feature schema."""
+
+import pytest
+
+from repro.data.schema import (NUMERIC_FEATURE_NAMES, FeatureSpec, NumericFeature,
+                               Side, SparseFeature, build_feature_spec)
+
+
+class TestSparseFeature:
+    def test_cardinality_validation(self):
+        with pytest.raises(ValueError):
+            SparseFeature("x", 0, Side.ITEM)
+
+    def test_side_validation(self):
+        with pytest.raises(ValueError):
+            SparseFeature("x", 5, "bogus")
+
+
+class TestFeatureSpec:
+    @pytest.fixture()
+    def spec(self):
+        return build_feature_spec(num_sub_categories=20, num_top_categories=5,
+                                  num_brands=50, num_user_segments=4,
+                                  num_query_buckets=32)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSpec(sparse=[SparseFeature("a", 2, Side.ITEM)],
+                        numeric=[NumericFeature("a", Side.ITEM)])
+
+    def test_canonical_features_present(self, spec):
+        assert set(spec.sparse_names) >= {"query_sc", "query_tc", "brand",
+                                          "item_sc", "user_segment", "query_bucket"}
+        assert tuple(spec.numeric_names) == NUMERIC_FEATURE_NAMES
+
+    def test_cardinalities(self, spec):
+        assert spec.cardinality("query_sc") == 20
+        assert spec.cardinality("query_tc") == 5
+        assert spec.cardinality("brand") == 50
+
+    def test_sides(self, spec):
+        assert "query_sc" in spec.sparse_on_side(Side.QUERY)
+        assert "brand" in spec.sparse_on_side(Side.ITEM)
+        assert "user_segment" not in spec.sparse_on_side(Side.QUERY, Side.ITEM)
+
+    def test_input_width_formula(self, spec):
+        """Eq. 2: n = k*q + m."""
+        q = 16
+        names = ["query_sc", "brand"]
+        assert spec.input_width(q, names) == 2 * q + spec.num_numeric
+
+    def test_input_width_default_all_sparse(self, spec):
+        assert spec.input_width(8) == len(spec.sparse) * 8 + spec.num_numeric
+
+    def test_sparse_feature_lookup(self, spec):
+        feature = spec.sparse_feature("brand")
+        assert feature.name == "brand" and feature.side == Side.ITEM

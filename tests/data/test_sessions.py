@@ -1,0 +1,130 @@
+"""Tests for the search-session simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import LogConfig, simulate_log
+from repro.data.sessions import _normalize_columns, _segment_argmax
+from repro.metrics import session_auc
+
+
+class TestLogStructure:
+    def test_example_arrays_aligned(self, log):
+        n = log.num_examples
+        assert log.session_ids.shape == (n,)
+        assert log.labels.shape == (n,)
+        assert log.numeric.shape == (n, 6)
+        for values in log.sparse.values():
+            assert values.shape == (n,)
+
+    def test_session_sizes_in_range(self, log):
+        _, counts = np.unique(log.session_ids, return_counts=True)
+        assert counts.min() >= 6 and counts.max() <= 14
+
+    def test_at_most_one_purchase_per_session(self, log):
+        _, inverse = np.unique(log.session_ids, return_inverse=True)
+        per_session = np.bincount(inverse, weights=log.labels.astype(float))
+        assert per_session.max() <= 1.0
+
+    def test_conversion_rate_close_to_config(self, log):
+        _, inverse = np.unique(log.session_ids, return_inverse=True)
+        per_session = np.bincount(inverse, weights=log.labels.astype(float))
+        assert abs((per_session > 0).mean() - 0.85) < 0.05
+
+    def test_query_tc_consistent_with_sc(self, log):
+        parents = log.world.taxonomy.parents_of(log.sparse["query_sc"])
+        np.testing.assert_array_equal(parents, log.sparse["query_tc"])
+
+    def test_session_shares_query_category(self, log):
+        """All items in a session share the query's SC/TC ids (query-side)."""
+        sessions = log.session_ids
+        for name in ("query_sc", "query_tc", "user_segment", "query_bucket"):
+            values = log.sparse[name]
+            order = np.argsort(sessions, kind="stable")
+            boundaries = np.flatnonzero(np.diff(sessions[order])) + 1
+            for chunk in np.split(values[order], boundaries):
+                assert np.unique(chunk).size == 1
+
+    def test_purchase_prefers_high_utility(self, log):
+        oracle = session_auc(log.true_utility, log.labels, log.session_ids)
+        assert oracle > 0.75
+
+    def test_observed_features_noisy_but_informative(self, log):
+        """Observation noise keeps feature AUC between chance and oracle."""
+        relevance_auc = session_auc(log.numeric[:, 5], log.labels, log.session_ids)
+        assert 0.55 < relevance_auc < 0.9
+
+    def test_deterministic_given_seed(self, world):
+        a = simulate_log(world, LogConfig(seed=5, num_queries=100))
+        b = simulate_log(world, LogConfig(seed=5, num_queries=100))
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.numeric, b.numeric)
+
+    def test_majority_of_candidates_in_category(self, log):
+        same = (log.world.product_sc[log.item_rows] == log.sparse["query_sc"])
+        assert same.mean() > 0.6
+
+
+class TestQueryTable:
+    def test_tokens_padded_with_zero(self, log):
+        queries = log.queries
+        for i in range(min(50, queries.num_queries)):
+            length = queries.lengths[i]
+            assert np.all(queries.tokens[i, :length] > 0)
+            assert np.all(queries.tokens[i, length:] == 0)
+
+    def test_tokens_within_vocab(self, log):
+        assert log.queries.tokens.max() < log.queries.vocab_size
+
+    def test_category_specific_tokens_dominate(self, log):
+        """~70% of tokens come from the query SC's private block."""
+        from repro.data.sessions import GENERIC_TOKENS, TOKENS_PER_SC
+        queries = log.queries
+        hits, total = 0, 0
+        for i in range(queries.num_queries):
+            offset = 1 + GENERIC_TOKENS + queries.sc_ids[i] * TOKENS_PER_SC
+            tokens = queries.tokens[i, :queries.lengths[i]]
+            hits += ((tokens >= offset) & (tokens < offset + TOKENS_PER_SC)).sum()
+            total += tokens.size
+        assert 0.6 < hits / total < 0.8
+
+
+class TestHelpers:
+    def test_segment_argmax(self):
+        scores = np.array([1.0, 5.0, 2.0, 7.0, 3.0])
+        segments = np.array([0, 0, 1, 1, 1])
+        winners = _segment_argmax(scores, segments, 2)
+        np.testing.assert_array_equal(winners, [1, 3])
+
+    def test_segment_argmax_single_item_segments(self):
+        winners = _segment_argmax(np.array([1.0, 2.0]), np.array([0, 1]), 2)
+        np.testing.assert_array_equal(winners, [0, 1])
+
+    def test_segment_argmax_missing_segment_raises(self):
+        with pytest.raises(ValueError):
+            _segment_argmax(np.array([1.0]), np.array([0]), 2)
+
+    def test_normalize_columns(self):
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(100, 4))
+        normalized = _normalize_columns(x)
+        np.testing.assert_allclose(normalized.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normalized.std(axis=0), 1.0, atol=1e-9)
+
+    def test_normalize_constant_column_safe(self):
+        x = np.ones((10, 2))
+        normalized = _normalize_columns(x)
+        assert np.all(np.isfinite(normalized))
+
+
+class TestLogConfigValidation:
+    def test_candidate_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LogConfig(candidate_mix=(0.5, 0.2, 0.2))
+
+    def test_positive_queries(self):
+        with pytest.raises(ValueError):
+            LogConfig(num_queries=0)
+
+    def test_items_per_session_bounds(self):
+        with pytest.raises(ValueError):
+            LogConfig(items_per_session=(1, 5))

@@ -1,0 +1,44 @@
+"""Tests for dataset statistics (Table 1 machinery)."""
+
+from repro.data import compute_statistics, format_table1
+
+
+class TestComputeStatistics:
+    def test_counts_match_dataset(self, dataset):
+        stats = compute_statistics(dataset)
+        assert stats.num_examples == len(dataset)
+        assert stats.num_queries == dataset.num_queries
+        assert stats.num_sessions == dataset.num_sessions
+        assert 0 < stats.positive_rate < 1
+
+    def test_category_counts(self, dataset, taxonomy):
+        stats = compute_statistics(dataset)
+        assert stats.num_top_categories <= taxonomy.num_top_categories
+        assert stats.num_sub_categories <= taxonomy.num_sub_categories
+        assert stats.num_top_categories > 1
+
+    def test_pairs_at_most_examples(self, dataset):
+        stats = compute_statistics(dataset)
+        assert 0 < stats.num_query_item_pairs <= stats.num_examples
+
+    def test_slice_smaller_than_whole(self, dataset):
+        tc = int(dataset.query_tc[0])
+        whole = compute_statistics(dataset)
+        part = compute_statistics(dataset.filter_by_tc(tc))
+        assert part.num_examples < whole.num_examples
+
+    def test_custom_name(self, dataset):
+        assert compute_statistics(dataset, "custom").name == "custom"
+
+
+class TestFormatTable1:
+    def test_renders_rows(self, dataset):
+        stats = compute_statistics(dataset)
+        text = format_table1([("Complete", stats, stats)])
+        assert "Table 1" in text
+        assert "Complete" in text
+        assert "# of queries" in text
+
+    def test_empty_rows(self):
+        text = format_table1([])
+        assert "Table 1" in text

@@ -1,0 +1,110 @@
+"""Tests for the synthetic product world: planted §3 phenomena."""
+
+import numpy as np
+import pytest
+
+from repro.data import WorldConfig, SyntheticWorld
+from repro.data.world import INTERACTION_PAIRS, _COMMENTS, _SALES
+from repro.hierarchy import default_taxonomy
+
+
+class TestGeneration:
+    def test_products_cover_every_sc(self, world, taxonomy):
+        for sc in taxonomy.sub_categories:
+            assert world.products_in_sc(sc.sc_id).size >= world.config.min_products_per_sc
+
+    def test_product_arrays_aligned(self, world):
+        n = world.num_products
+        for array in (world.product_sc, world.product_tc, world.product_brand,
+                      world.product_quality, world.product_price_z,
+                      world.product_log_sales, world.product_comments,
+                      world.product_brand_pop):
+            assert array.shape[0] == n
+
+    def test_product_tc_consistent_with_sc(self, world, taxonomy):
+        np.testing.assert_array_equal(world.product_tc,
+                                      taxonomy.parents_of(world.product_sc))
+
+    def test_brands_partitioned_by_tc(self, world, taxonomy):
+        """Brand id ranges must not overlap between different TCs."""
+        per_tc = world.config.brands_per_tc
+        expected_tc = world.product_brand // per_tc
+        # brand blocks are laid out in TC order, so brand//per_tc indexes the TC list
+        tc_order = [tc.tc_id for tc in taxonomy.top_categories]
+        mapped = np.array(tc_order)[expected_tc]
+        np.testing.assert_array_equal(mapped, world.product_tc)
+
+    def test_comments_in_unit_interval(self, world):
+        assert world.product_comments.min() > 0.0
+        assert world.product_comments.max() < 1.0
+
+    def test_traffic_distribution_normalized(self, world):
+        assert world.sc_traffic.min() >= 0
+        np.testing.assert_allclose(world.sc_traffic.sum(), 1.0)
+
+    def test_deterministic_given_seed(self, taxonomy):
+        a = SyntheticWorld.generate(taxonomy, WorldConfig(seed=7))
+        b = SyntheticWorld.generate(taxonomy, WorldConfig(seed=7))
+        np.testing.assert_array_equal(a.product_brand, b.product_brand)
+        np.testing.assert_allclose(a.sc_utility, b.sc_utility)
+
+    def test_different_seeds_differ(self, taxonomy):
+        a = SyntheticWorld.generate(taxonomy, WorldConfig(seed=1))
+        b = SyntheticWorld.generate(taxonomy, WorldConfig(seed=2))
+        assert not np.allclose(a.sc_utility, b.sc_utility)
+
+
+class TestPlantedPhenomena:
+    def test_intra_tc_utility_homogeneity(self, world, taxonomy):
+        """SC utility vectors cluster tightly around their TC's (Fig. 2)."""
+        inter_spread = np.std([world.profiles[t.tc_id].utility_weights[_COMMENTS]
+                               for t in taxonomy.top_categories])
+        intra_spreads = []
+        for tc in taxonomy.top_categories:
+            children = taxonomy.children_of(tc.tc_id)
+            intra_spreads.append(np.std(world.sc_utility[children, _COMMENTS]))
+        assert np.mean(intra_spreads) < inter_spread
+
+    def test_named_categories_follow_paper_narrative(self, world, taxonomy):
+        """Clothing weighs comments more than sales; Electronics the reverse."""
+        by_name = {tc.name: tc.tc_id for tc in taxonomy.top_categories}
+        clothing = world.profiles[by_name["Clothing"]].utility_weights
+        electronics = world.profiles[by_name["Electronics"]].utility_weights
+        assert clothing[_COMMENTS] > clothing[_SALES]
+        assert electronics[_SALES] > electronics[_COMMENTS]
+
+    def test_brand_concentration_ordering(self, world, taxonomy):
+        """Electronics-like brand markets more concentrated than Sports (Fig. 3)."""
+        by_name = {tc.name: tc.tc_id for tc in taxonomy.top_categories}
+        assert (world.profiles[by_name["Electronics"]].brand_zipf
+                > world.profiles[by_name["Sports"]].brand_zipf)
+
+    def test_category_sizes_skewed(self, world):
+        """Zipf traffic ⇒ the largest SC dwarfs the smallest (Fig. 5 setup)."""
+        ratio = world.sc_traffic.max() / world.sc_traffic.min()
+        assert ratio > 5.0
+
+    def test_interaction_weights_exist_per_sc(self, world, taxonomy):
+        assert world.sc_interaction.shape == (taxonomy.max_sc_id() + 1,
+                                              len(INTERACTION_PAIRS))
+        assert np.abs(world.sc_interaction).max() > 0
+
+
+class TestAccessors:
+    def test_signal_matrix_shape(self, world):
+        rows = np.arange(10)
+        signals = world.product_signal_matrix(rows)
+        assert signals.shape == (10, 6)
+        # Two-sided columns are zero until the session simulator fills them.
+        np.testing.assert_allclose(signals[:, 4:], 0.0)
+
+    def test_brand_sales_by_tc_covers_all(self, world, taxonomy):
+        sales = world.brand_sales_by_tc()
+        assert set(sales) == {tc.tc_id for tc in taxonomy.top_categories}
+        for volumes in sales.values():
+            assert all(v > 0 for v in volumes.values())
+
+    def test_brand_sales_by_sc(self, world, taxonomy):
+        tc = taxonomy.top_categories[0]
+        sales = world.brand_sales_by_sc(tc.tc_id)
+        assert set(sales) == set(taxonomy.children_of(tc.tc_id))

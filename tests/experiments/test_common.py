@@ -1,0 +1,84 @@
+"""Tests for the experiment infrastructure (scales, configs, registry CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import CI, DEFAULT, PAPER, SCALES
+from repro.experiments.common import (build_environment, model_config,
+                                      train_and_eval, train_config)
+from repro.experiments.registry import main as registry_main
+from repro.models.base import GATE_FEATURE_PRESETS
+
+
+class TestScales:
+    def test_paper_preset_matches_paper_settings(self):
+        """§5.1.4: 512x256 towers, embedding 16, lr 1e-4, N=10/K=4/D=1."""
+        assert PAPER.hidden_sizes == (512, 256)
+        assert PAPER.embedding_dim == 16
+        assert PAPER.learning_rate == 1e-4
+        assert PAPER.num_experts == 10
+        assert PAPER.top_k == 4
+        assert PAPER.num_disagreeing == 1
+        assert PAPER.lambda_hsc == PAPER.lambda_adv == 1e-3
+
+    def test_with_updates(self):
+        scale = CI.with_updates(epochs=9)
+        assert scale.epochs == 9 and CI.epochs != 9
+
+    def test_ci_smaller_than_default(self):
+        assert CI.num_queries < DEFAULT.num_queries
+
+
+class TestConfigHelpers:
+    def test_model_config_from_scale(self):
+        config = model_config(DEFAULT)
+        assert config.embedding_dim == DEFAULT.embedding_dim
+        assert config.hidden_sizes == DEFAULT.hidden_sizes
+        assert config.num_experts == DEFAULT.num_experts
+
+    def test_model_config_overrides(self):
+        config = model_config(DEFAULT, num_experts=16, top_k=2,
+                              gate_features=GATE_FEATURE_PRESETS["tc_sc"])
+        assert config.num_experts == 16
+        assert config.gate_features == ("query_tc", "query_sc")
+
+    def test_train_config_from_scale(self):
+        config = train_config(CI, seed=7)
+        assert config.epochs == CI.epochs
+        assert config.seed == 7
+
+
+class TestTrainAndEval:
+    def test_returns_metrics(self):
+        env = build_environment(CI)
+        metrics = train_and_eval("dnn", env, CI)
+        assert {"auc", "ndcg", "ndcg@10"} <= set(metrics)
+
+    def test_return_model(self):
+        env = build_environment(CI)
+        metrics, model = train_and_eval("dnn", env, CI, return_model=True)
+        assert hasattr(model, "predict")
+        assert 0.0 <= metrics["auc"] <= 1.0
+
+    def test_custom_datasets(self):
+        env = build_environment(CI)
+        tc = int(env.train.query_tc[0])
+        metrics = train_and_eval("dnn", env, CI,
+                                 train_dataset=env.train.filter_by_tc(tc),
+                                 test_dataset=env.test)
+        assert np.isfinite(metrics["auc"])
+
+
+class TestRegistryCLI:
+    def test_runs_single_experiment(self, capsys):
+        assert registry_main(["table1", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "Table 1" in out
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            registry_main(["table1", "--scale", "huge"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            registry_main(["table99"])

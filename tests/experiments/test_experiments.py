@@ -1,0 +1,193 @@
+"""Smoke + shape tests for every experiment at CI scale.
+
+These verify that each table/figure regenerates and that the cheap-to-check
+structural claims hold; the full reproduction claims are checked by the
+benchmark harness at DEFAULT scale and recorded in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (CI, DEFAULT, EXPERIMENTS, SCALES, build_environment,
+                               run_experiment)
+from repro.experiments import fig2, fig3, fig5, fig7, table1, table2, table5
+from repro.models.factory import MODEL_NAMES
+
+
+@pytest.fixture(scope="module")
+def env():
+    return build_environment(CI)
+
+
+class TestCommon:
+    def test_environment_cached(self):
+        a = build_environment(CI)
+        b = build_environment(CI)
+        assert a is b
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"ci", "default", "paper"}
+
+    def test_environment_splits_disjoint(self, env):
+        train_queries = set(np.unique(env.train.query_ids))
+        test_queries = set(np.unique(env.test.query_ids))
+        assert not train_queries & test_queries
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99", CI)
+
+
+class TestTable1:
+    def test_structure(self):
+        result = table1.run(CI)
+        train_stats, test_stats = result.complete
+        assert train_stats.num_examples > test_stats.num_examples
+        assert set(result.slices) == set(table1.SLICE_CATEGORIES)
+        text = result.format()
+        assert "Table 1" in text and "Clothing" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Two cheap models keep the smoke test fast; the full 7-model table
+        # is exercised by benchmarks/bench_table2.py.
+        return table2.run(CI, models=("dnn", "adv-hsc-moe"))
+
+    def test_metrics_present(self, result):
+        assert set(result.metrics) == {"dnn", "adv-hsc-moe"}
+        for metrics in result.metrics.values():
+            assert {"auc", "ndcg", "ndcg@10"} <= set(metrics)
+            assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+    def test_models_beat_chance(self, result):
+        for name, metrics in result.metrics.items():
+            assert metrics["auc"] > 0.6, name
+
+    def test_improvement_helper(self, result):
+        gains = result.improvement_over_dnn()
+        assert set(gains) == {"adv-hsc-moe"}
+
+    def test_format(self, result):
+        assert "Table 2" in result.format()
+
+
+class TestTable3:
+    def test_structure(self):
+        result = run_experiment("table3", CI)
+        assert len(result.categories) == 3
+        assert set(result.dedicated) == set(result.categories)
+        # Size ordering: first two are the biggest, last is small.
+        sizes = [result.sizes[c] for c in result.categories]
+        assert sizes[-1] == min(sizes)
+        assert "Joint-Ours" in result.format()
+
+
+class TestTable5:
+    def test_rows(self):
+        result = table5.run(CI, rows={"SC": ("sc", False),
+                                      "all features": ("all", True)})
+        assert set(result.auc) == {"SC", "all features"}
+        assert result.best_row() in result.auc
+
+
+class TestTable6:
+    def test_grid_points(self):
+        result = run_experiment("table6", CI.with_updates(epochs=1))
+        assert len(result.auc) == 9
+        best = result.best_point()
+        assert best in result.auc
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(CI)
+
+    def test_tables_populated(self, result):
+        assert result.inter and result.intra
+
+    def test_dispersion_ratio_sane(self, result):
+        """The paper's §3 claim (inter dispersion > intra) is enforced at
+        DEFAULT scale by bench_fig2; at CI scale FI estimates carry large
+        sampling error, so only a sanity band is checked here."""
+        assert result.mean_dispersion_ratio() > 0.5
+
+    def test_format(self, result):
+        assert "Fig 2" in result.format()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(CI)
+
+    def test_inter_variance_exceeds_intra(self, result):
+        assert result.inter_std() > result.intra_std()
+
+    def test_proportions_valid(self, result):
+        for conc in list(result.inter.values()) + list(result.intra.values()):
+            assert 0.0 < conc.proportion <= 1.0
+
+
+class TestFig5:
+    def test_bucket_structure(self):
+        result = fig5.run(CI, num_buckets=3, models=("adv-hsc-moe",))
+        assert len(result.bucket_sizes) == 3
+        # Buckets are ordered by per-category size; mean category size must
+        # be non-decreasing even if bucket totals are not (unequal chunking).
+        means = [size / len(tcs) for size, tcs in
+                 zip(result.bucket_sizes, result.bucket_tcs)]
+        assert means == sorted(means)
+        assert len(result.improvements["adv-hsc-moe"]) == 3
+        small, large = result.small_vs_large_gain()
+        assert np.isfinite(small) and np.isfinite(large)
+
+
+class TestFig6:
+    def test_panels(self):
+        result = run_experiment("fig6", CI.with_updates(tsne_examples=40, tsne_iters=80))
+        assert set(result.panels) == {"moe", "adv-moe", "adv-hsc-moe"}
+        for analysis in result.panels.values():
+            assert analysis.embedding.shape[1] == 2
+        assert isinstance(result.ordering_holds(), bool)
+
+
+class TestFig7:
+    def test_small_grid(self):
+        result = fig7.run(CI.with_updates(epochs=1),
+                          grid={"num_experts": [6], "top_k": [2, 4],
+                                "num_disagreeing": [1]})
+        assert set(result.auc) == {(6, 2, 1), (6, 4, 1)}
+        assert result.k_effect() == {(6, 1): result.auc[(6, 4, 1)] - result.auc[(6, 2, 1)]}
+
+
+class TestFig8:
+    def test_case_study(self):
+        result = run_experiment("fig8", CI)
+        assert len(result.baseline.items) == 3
+        assert len(result.improved.items) == 3
+        assert result.baseline.session_id == result.improved.session_id
+        assert "Fig 8" in result.format()
+
+
+class TestQuerycat:
+    def test_runs(self):
+        result = run_experiment("querycat", CI)
+        assert 0.0 <= result.result.sc_accuracy <= 1.0
+        assert result.result.tc_accuracy >= result.result.sc_accuracy - 1e-9
+
+
+class TestTable2MultiSeed:
+    def test_mean_and_spread_reported(self):
+        result = table2.run(CI, models=("dnn",), seeds=(0, 1))
+        assert result.num_seeds == 2
+        assert "dnn" in result.spread
+        assert result.spread["dnn"]["auc"] >= 0.0
+        assert "mean of 2 seeds" in result.format()
+
+    def test_single_seed_has_no_spread(self):
+        result = table2.run(CI, models=("dnn",), seed=0)
+        assert result.spread == {}
+        assert result.num_seeds == 1

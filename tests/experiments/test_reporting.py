@@ -1,0 +1,37 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import CI
+from repro.experiments.reporting import main as reporting_main
+from repro.experiments.reporting import render_report, write_report
+
+
+class TestRenderReport:
+    def test_selected_experiments_only(self):
+        text = render_report(CI, names=["table1", "fig3"])
+        assert "Table 1 — dataset statistics" in text
+        assert "Fig. 3 — brand concentration" in text
+        assert "Table 2" not in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            render_report(CI, names=["table99"])
+
+    def test_mentions_scale(self):
+        text = render_report(CI, names=["table1"])
+        assert "`ci`" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "out" / "report.md", CI, names=["table1"])
+        assert path.exists()
+        assert "Reproduction report" in path.read_text()
+
+    def test_cli(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert reporting_main(["-o", str(out), "--scale", "ci",
+                               "--only", "table1"]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Tests for session AUC (paper §5.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import global_auc, iter_sessions, pairwise_auc, session_auc
+
+
+class TestPairwiseAUC:
+    def test_perfect_ranking(self):
+        assert pairwise_auc(np.array([0.9, 0.1, 0.2]), np.array([1, 0, 0])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert pairwise_auc(np.array([0.1, 0.9]), np.array([1, 0])) == 0.0
+
+    def test_ties_count_half(self):
+        assert pairwise_auc(np.array([0.5, 0.5]), np.array([1, 0])) == 0.5
+
+    def test_single_class_returns_none(self):
+        assert pairwise_auc(np.array([0.1, 0.2]), np.array([0, 0])) is None
+        assert pairwise_auc(np.array([0.1, 0.2]), np.array([1, 1])) is None
+
+    def test_matches_naive_pair_counting(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=30)
+        labels = rng.integers(0, 2, size=30)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = (positives[:, None] > negatives[None, :]).sum()
+        ties = (positives[:, None] == negatives[None, :]).sum()
+        naive = (wins + 0.5 * ties) / (positives.size * negatives.size)
+        assert pairwise_auc(scores, labels) == pytest.approx(naive)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_monotone_transform_invariant(self, seed):
+        """AUC depends only on the score ordering."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=20)
+        labels = np.r_[np.ones(5), np.zeros(15)].astype(int)
+        rng.shuffle(labels)
+        if labels.sum() in (0, 20):
+            return
+        a = pairwise_auc(scores, labels)
+        b = pairwise_auc(np.exp(scores * 2), labels)
+        assert a == pytest.approx(b)
+
+
+class TestIterSessions:
+    def test_groups_complete(self):
+        sessions = np.array([2, 0, 1, 0, 2, 2])
+        values = np.arange(6.0)
+        seen = {}
+        for sid, chunk in iter_sessions(sessions, values):
+            seen[sid] = chunk
+        assert set(seen) == {0, 1, 2}
+        np.testing.assert_array_equal(np.sort(seen[2]), [0.0, 4.0, 5.0])
+
+    def test_multiple_arrays_stay_aligned(self):
+        sessions = np.array([1, 0, 1])
+        a = np.array([10.0, 20.0, 30.0])
+        b = np.array([1, 2, 3])
+        for _, chunk_a, chunk_b in iter_sessions(sessions, a, b):
+            np.testing.assert_array_equal(chunk_a / 10, chunk_b)
+
+
+class TestSessionAUC:
+    def test_averages_over_sessions(self):
+        scores = np.array([0.9, 0.1, 0.1, 0.9])
+        labels = np.array([1, 0, 1, 0])
+        sessions = np.array([0, 0, 1, 1])
+        assert session_auc(scores, labels, sessions) == pytest.approx(0.5)
+
+    def test_skips_single_class_sessions(self):
+        scores = np.array([0.9, 0.1, 0.5, 0.6])
+        labels = np.array([1, 0, 0, 0])
+        sessions = np.array([0, 0, 1, 1])
+        assert session_auc(scores, labels, sessions) == 1.0
+
+    def test_no_valid_session_raises(self):
+        with pytest.raises(ValueError):
+            session_auc(np.array([0.5]), np.array([0]), np.array([0]))
+
+    def test_oracle_scores_on_real_log(self, log):
+        auc = session_auc(log.true_utility, log.labels, log.session_ids)
+        assert auc > 0.75
+
+    def test_random_scores_near_half(self, log):
+        rng = np.random.default_rng(0)
+        auc = session_auc(rng.normal(size=log.num_examples), log.labels, log.session_ids)
+        assert abs(auc - 0.5) < 0.05
+
+
+class TestGlobalAUC:
+    def test_value(self):
+        assert global_auc(np.array([0.9, 0.8, 0.1]), np.array([1, 0, 0])) == 1.0
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            global_auc(np.array([0.5]), np.array([1]))

@@ -1,0 +1,115 @@
+"""Tests for brand concentration (Fig. 3) and cluster quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (brand_concentration, concentration_by_category,
+                           intra_inter_ratio, pairwise_distances, silhouette_score)
+
+
+class TestBrandConcentration:
+    def test_fully_concentrated(self):
+        sales = {0: 100.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        result = brand_concentration(sales, share=0.8)
+        assert result.brands_for_top_share == 1
+        assert result.proportion == 0.25
+
+    def test_uniform_market(self):
+        sales = {i: 1.0 for i in range(10)}
+        result = brand_concentration(sales, share=0.8)
+        assert result.brands_for_top_share == 8
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            brand_concentration({0: 1.0}, share=1.5)
+
+    def test_empty_map(self):
+        with pytest.raises(ValueError):
+            brand_concentration({})
+
+    def test_zero_volume(self):
+        with pytest.raises(ValueError):
+            brand_concentration({0: 0.0})
+
+    def test_by_category(self):
+        sales = {0: {0: 100.0, 1: 1.0}, 1: {2: 1.0, 3: 1.0}}
+        result = concentration_by_category(sales)
+        assert result[0].proportion < result[1].proportion
+
+    def test_planted_ordering_on_world(self, world, taxonomy):
+        """Electronics market more concentrated than Sports (Fig. 3a)."""
+        by_name = {tc.name: tc.tc_id for tc in taxonomy.top_categories}
+        sales = world.brand_sales_by_tc()
+        result = concentration_by_category(sales,
+                                           total_brands=world.config.brands_per_tc)
+        assert (result[by_name["Electronics"]].proportion
+                < result[by_name["Sports"]].proportion)
+
+    def test_total_brands_denominator(self):
+        sales = {0: 10.0, 1: 1.0}
+        default = brand_concentration(sales)
+        widened = brand_concentration(sales, total_brands=10)
+        assert widened.proportion < default.proportion
+        with pytest.raises(ValueError):
+            brand_concentration(sales, total_brands=1)
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        distances = pairwise_distances(points)
+        np.testing.assert_allclose(distances, distances.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-9)
+
+    def test_matches_norm(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(points)
+        assert distances[0, 1] == pytest.approx(5.0)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_near_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.05, size=(20, 2))
+        b = rng.normal(10, 0.05, size=(20, 2)) + np.array([10.0, 0.0])
+        points = np.vstack([a, b])
+        labels = np.r_[np.zeros(20), np.ones(20)]
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(60, 2))
+        labels = rng.integers(0, 2, size=60)
+        assert abs(silhouette_score(points, labels)) < 0.2
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(4))
+
+    def test_singleton_cluster_contributes_zero(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [10.1, 0.0]])
+        labels = np.array([0, 1, 1])
+        value = silhouette_score(points, labels)
+        assert np.isfinite(value)
+
+
+class TestIntraInter:
+    def test_tight_clusters_low_ratio(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.01, size=(10, 2))
+        b = rng.normal(5, 0.01, size=(10, 2))
+        ratio = intra_inter_ratio(np.vstack([a, b]), np.r_[np.zeros(10), np.ones(10)])
+        assert ratio < 0.1
+
+    def test_identical_points_rejected(self):
+        with pytest.raises(ValueError):
+            intra_inter_ratio(np.zeros((4, 2)), np.array([0, 0, 1, 1]))
+
+    def test_single_cluster_rejected(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        with pytest.raises(ValueError):
+            intra_inter_ratio(points, np.zeros(4))

@@ -1,0 +1,85 @@
+"""Tests for FI(f) (paper eq. 1) and the Fig. 2 analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (feature_importance, feature_importance_by_category,
+                           importance_dispersion)
+
+
+class TestFeatureImportance:
+    def test_perfectly_predictive_feature(self):
+        values = np.array([5.0, 1.0, 2.0, 9.0, 3.0, 4.0])
+        labels = np.array([1, 0, 0, 1, 0, 0])
+        sessions = np.array([0, 0, 0, 1, 1, 1])
+        assert feature_importance(values, labels, sessions) == 1.0
+
+    def test_anti_predictive_feature(self):
+        values = np.array([1.0, 5.0])
+        labels = np.array([1, 0])
+        sessions = np.array([0, 0])
+        assert feature_importance(values, labels, sessions) == 0.0
+
+    def test_ties_are_not_wins(self):
+        """Eq. 1 counts strict f_a > f_b only."""
+        values = np.array([2.0, 2.0])
+        labels = np.array([1, 0])
+        sessions = np.array([0, 0])
+        assert feature_importance(values, labels, sessions) == 0.0
+
+    def test_skips_single_class_sessions(self):
+        values = np.array([9.0, 1.0, 3.0, 4.0])
+        labels = np.array([1, 0, 0, 0])
+        sessions = np.array([0, 0, 1, 1])
+        assert feature_importance(values, labels, sessions) == 1.0
+
+    def test_raises_when_no_usable_session(self):
+        with pytest.raises(ValueError):
+            feature_importance(np.array([1.0]), np.array([0]), np.array([0]))
+
+    def test_planted_weights_visible_in_fi(self, dataset, world, taxonomy):
+        """In a comment-driven category, comments' FI should exceed what it
+        gets in a sales-driven category (the Fig. 2 phenomenon end to end)."""
+        by_name = {tc.name: tc.tc_id for tc in taxonomy.top_categories}
+        table = feature_importance_by_category(
+            dataset, level="tc",
+            category_ids=[by_name["Clothing"], by_name["Electronics"]],
+            min_sessions=3)
+        if len(table) < 2:
+            pytest.skip("tiny fixture log lacks sessions in a named category")
+        clothing = table[by_name["Clothing"]]
+        electronics = table[by_name["Electronics"]]
+        assert (clothing["good_comments_ratio"] - electronics["good_comments_ratio"]
+                > electronics["log_sales"] - clothing["log_sales"] - 1.0)
+
+
+class TestByCategory:
+    def test_returns_all_features(self, dataset):
+        table = feature_importance_by_category(dataset, level="tc", min_sessions=3)
+        assert table
+        for per_feature in table.values():
+            assert set(per_feature) <= set(dataset.spec.numeric_names)
+
+    def test_sc_level(self, dataset):
+        table = feature_importance_by_category(dataset, level="sc", min_sessions=3)
+        assert table
+
+    def test_invalid_level(self, dataset):
+        with pytest.raises(ValueError):
+            feature_importance_by_category(dataset, level="bogus")
+
+    def test_min_sessions_filters(self, dataset):
+        strict = feature_importance_by_category(dataset, level="sc", min_sessions=10_000)
+        assert strict == {}
+
+
+class TestDispersion:
+    def test_std_computed_per_feature(self):
+        table = {0: {"a": 0.5, "b": 0.9}, 1: {"a": 0.7, "b": 0.9}}
+        dispersion = importance_dispersion(table)
+        assert dispersion["a"] == pytest.approx(0.1)
+        assert dispersion["b"] == pytest.approx(0.0)
+
+    def test_singleton_features_dropped(self):
+        table = {0: {"a": 0.5}}
+        assert importance_dispersion(table) == {}

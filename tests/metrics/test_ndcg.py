@@ -1,0 +1,79 @@
+"""Tests for NDCG / NDCG@k."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import dcg, ndcg, session_ndcg
+
+
+class TestDCG:
+    def test_single_relevant_at_top(self):
+        assert dcg(np.array([1.0, 0.0, 0.0])) == pytest.approx(1.0)
+
+    def test_position_discount(self):
+        assert dcg(np.array([0.0, 1.0])) == pytest.approx(1.0 / np.log2(3))
+
+    def test_cutoff(self):
+        assert dcg(np.array([0.0, 0.0, 1.0]), k=2) == 0.0
+
+    def test_empty(self):
+        assert dcg(np.array([])) == 0.0
+
+    def test_graded_gains(self):
+        assert dcg(np.array([2.0])) == pytest.approx(3.0)  # 2^2 - 1
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg(np.array([0.9, 0.5, 0.1]), np.array([1, 0, 0])) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        value = ndcg(np.array([0.1, 0.5, 0.9]), np.array([1, 0, 0]))
+        assert value == pytest.approx(1.0 / np.log2(4))
+
+    def test_no_relevant_returns_none(self):
+        assert ndcg(np.array([0.5, 0.1]), np.array([0, 0])) is None
+
+    def test_at_k_ignores_tail(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        labels = np.array([0, 0, 1])
+        assert ndcg(scores, labels, k=2) == 0.0
+        assert ndcg(scores, labels) > 0.0
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            scores = rng.normal(size=8)
+            labels = rng.integers(0, 2, size=8)
+            if labels.sum() == 0:
+                continue
+            value = ndcg(scores, labels)
+            assert 0.0 <= value <= 1.0
+
+
+class TestSessionNDCG:
+    def test_averages(self):
+        scores = np.array([0.9, 0.1, 0.1, 0.9])
+        labels = np.array([1, 0, 1, 0])
+        sessions = np.array([0, 0, 1, 1])
+        expected = (1.0 + 1.0 / np.log2(3)) / 2
+        assert session_ndcg(scores, labels, sessions) == pytest.approx(expected)
+
+    def test_skips_sessions_without_purchase(self):
+        scores = np.array([0.9, 0.1, 0.5])
+        labels = np.array([1, 0, 0])
+        sessions = np.array([0, 0, 1])
+        assert session_ndcg(scores, labels, sessions) == 1.0
+
+    def test_raises_without_any_purchase(self):
+        with pytest.raises(ValueError):
+            session_ndcg(np.array([0.5]), np.array([0]), np.array([0]))
+
+    def test_ndcg_at_10_le_ndcg_on_log(self, log):
+        """With binary labels and one positive, NDCG@10 <= NDCG (cutting the
+        list can only drop the positive)."""
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=log.num_examples)
+        full = session_ndcg(scores, log.labels, log.session_ids)
+        at10 = session_ndcg(scores, log.labels, log.session_ids, k=10)
+        assert at10 <= full + 1e-12

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) on the metric invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (ndcg, pairwise_auc, session_auc, session_ndcg,
+                           silhouette_score)
+
+
+def random_session_data(seed, sessions=8, size=6):
+    rng = np.random.default_rng(seed)
+    session_ids = np.repeat(np.arange(sessions), size)
+    scores = rng.normal(size=sessions * size)
+    labels = np.zeros(sessions * size, dtype=np.int64)
+    # one positive per session (like the simulator)
+    for s in range(sessions):
+        labels[s * size + rng.integers(size)] = 1
+    return scores, labels, session_ids
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_auc_complement_symmetry(seed):
+    """AUC(scores) + AUC(-scores) == 1 when there are no score ties."""
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=30)
+    labels = np.r_[np.ones(7), np.zeros(23)].astype(int)
+    rng.shuffle(labels)
+    forward = pairwise_auc(scores, labels)
+    backward = pairwise_auc(-scores, labels)
+    assert forward + backward == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_session_metrics_bounded(seed):
+    scores, labels, sessions = random_session_data(seed)
+    auc = session_auc(scores, labels, sessions)
+    ndcg_value = session_ndcg(scores, labels, sessions)
+    assert 0.0 <= auc <= 1.0
+    assert 0.0 <= ndcg_value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_oracle_scores_maximize_both_metrics(seed):
+    """Scoring by the labels themselves gives AUC = NDCG = 1."""
+    _, labels, sessions = random_session_data(seed)
+    scores = labels.astype(float)
+    assert session_auc(scores, labels, sessions) == pytest.approx(1.0)
+    assert session_ndcg(scores, labels, sessions) == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_ndcg_monotone_in_positive_position(seed):
+    """Moving the positive item up the ranking never decreases NDCG."""
+    rng = np.random.default_rng(seed)
+    n = 8
+    labels = np.zeros(n, dtype=int)
+    labels[0] = 1
+    base = np.sort(rng.normal(size=n))[::-1].copy()
+    values = []
+    for position in range(n):
+        scores = base.copy()
+        order = np.argsort(-scores, kind="stable")
+        item_scores = np.empty(n)
+        # place the positive at `position` in the ranking
+        permuted = np.roll(np.arange(n), 0)
+        scores_for_items = np.empty(n)
+        scores_for_items[0] = base[position]
+        rest = np.delete(base, position)
+        scores_for_items[1:] = rest
+        values.append(ndcg(scores_for_items, labels))
+    assert values == sorted(values, reverse=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.5, 20.0))
+def test_silhouette_improves_with_separation(seed, gap):
+    """Pushing two blobs apart never hurts the silhouette much."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 0.5, size=(12, 3))
+    b = rng.normal(0, 0.5, size=(12, 3))
+    labels = np.r_[np.zeros(12), np.ones(12)]
+    close = silhouette_score(np.vstack([a, b + 0.1]), labels)
+    far = silhouette_score(np.vstack([a, b + gap + 0.1]), labels)
+    assert far >= close - 0.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_auc_label_flip_complement(seed):
+    """Swapping labels (1 <-> 0) maps AUC to 1 - AUC (no ties)."""
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=20)
+    labels = np.r_[np.ones(6), np.zeros(14)].astype(int)
+    rng.shuffle(labels)
+    assert (pairwise_auc(scores, labels)
+            + pairwise_auc(scores, 1 - labels)) == pytest.approx(1.0)

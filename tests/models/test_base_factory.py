@@ -1,0 +1,130 @@
+"""Tests for FeatureEmbedder, ModelConfig, and the model factory."""
+
+import numpy as np
+import pytest
+
+from repro.models import (GATE_FEATURE_PRESETS, MODEL_NAMES, DNNRanker,
+                          FeatureEmbedder, MMoERanker, ModelConfig, MoERanker,
+                          build_model)
+
+
+class TestFeatureEmbedder:
+    @pytest.fixture()
+    def embedder(self, train_dataset):
+        return FeatureEmbedder(train_dataset.spec, embedding_dim=4,
+                               rng=np.random.default_rng(0))
+
+    def test_input_width_formula(self, embedder, train_dataset):
+        expected = len(embedder.input_features) * 4 + train_dataset.spec.num_numeric
+        assert embedder.input_width == expected
+
+    def test_model_input_shape(self, embedder, train_dataset):
+        batch = train_dataset.batch(np.arange(16))
+        x = embedder.model_input(batch)
+        assert x.shape == (16, embedder.input_width)
+
+    def test_numeric_block_appended_last(self, embedder, train_dataset):
+        batch = train_dataset.batch(np.arange(8))
+        x = embedder.model_input(batch)
+        m = train_dataset.spec.num_numeric
+        np.testing.assert_allclose(x.data[:, -m:], batch.numeric)
+
+    def test_gate_input_single_feature(self, embedder, train_dataset):
+        batch = train_dataset.batch(np.arange(8))
+        g = embedder.gate_input(batch, ("query_sc",))
+        assert g.shape == (8, 4)
+        # Must be exactly the SC embedding rows.
+        expected = embedder.embed("query_sc", batch.sparse["query_sc"]).data
+        np.testing.assert_allclose(g.data, expected)
+
+    def test_gate_input_multi_plus_numeric(self, embedder, train_dataset):
+        batch = train_dataset.batch(np.arange(8))
+        g = embedder.gate_input(batch, ("query_tc", "query_sc"), include_numeric=True)
+        assert g.shape == (8, 2 * 4 + train_dataset.spec.num_numeric)
+
+    def test_embedding_tables_shared_between_input_and_gate(self, embedder, train_dataset):
+        """x_sc in the gate is the same table as x_sc in X (§4.3.1)."""
+        batch = train_dataset.batch(np.arange(4))
+        x = embedder.model_input(batch)
+        g = embedder.gate_input(batch, ("query_sc",))
+        np.testing.assert_allclose(x.data[:, :4], g.data)
+
+    def test_unknown_feature_rejected(self, train_dataset):
+        with pytest.raises(ValueError):
+            FeatureEmbedder(train_dataset.spec, 4, input_features=("bogus",))
+
+    def test_gate_width_helper(self, embedder, train_dataset):
+        assert embedder.gate_input_width(("query_sc",), False) == 4
+        assert embedder.gate_input_width(("a", "b"), True) == 8 + train_dataset.spec.num_numeric
+
+
+class TestModelConfig:
+    def test_paper_defaults(self):
+        config = ModelConfig()
+        assert config.num_experts == 10 and config.top_k == 4
+        assert config.num_disagreeing == 1
+        assert config.lambda_hsc == config.lambda_adv == 1e-3
+        assert config.hidden_sizes == (512, 256)
+        assert config.embedding_dim == 16
+
+    def test_topk_bound(self):
+        with pytest.raises(ValueError):
+            ModelConfig(num_experts=4, top_k=5)
+
+    def test_d_bound(self):
+        with pytest.raises(ValueError):
+            ModelConfig(num_experts=5, top_k=4, num_disagreeing=2)
+
+    def test_with_updates_returns_copy(self):
+        a = ModelConfig()
+        b = a.with_updates(num_experts=16)
+        assert a.num_experts == 10 and b.num_experts == 16
+
+    def test_gate_presets_exist(self):
+        assert set(GATE_FEATURE_PRESETS) == {"sc", "tc_sc", "query_tc_sc",
+                                             "user_tc_sc", "all"}
+
+
+class TestFactory:
+    @pytest.fixture()
+    def config(self, tiny_model_config):
+        return tiny_model_config
+
+    def test_all_names_buildable(self, train_dataset, taxonomy, config):
+        for name in MODEL_NAMES:
+            model = build_model(name, train_dataset.spec, taxonomy, config,
+                                train_dataset=train_dataset)
+            assert model is not None
+
+    def test_types(self, train_dataset, taxonomy, config):
+        assert isinstance(build_model("dnn", train_dataset.spec, taxonomy, config), DNNRanker)
+        assert isinstance(build_model("moe", train_dataset.spec, taxonomy, config), MoERanker)
+        assert isinstance(build_model("4-mmoe", train_dataset.spec, taxonomy, config,
+                                      train_dataset=train_dataset), MMoERanker)
+
+    def test_variant_flags(self, train_dataset, taxonomy, config):
+        adv = build_model("adv-moe", train_dataset.spec, taxonomy, config)
+        hsc = build_model("hsc-moe", train_dataset.spec, taxonomy, config)
+        both = build_model("adv-hsc-moe", train_dataset.spec, taxonomy, config)
+        assert adv.use_adv and not adv.use_hsc
+        assert hsc.use_hsc and not hsc.use_adv
+        assert both.use_adv and both.use_hsc
+
+    def test_mmoe_expert_counts(self, train_dataset, taxonomy, config):
+        four = build_model("4-mmoe", train_dataset.spec, taxonomy, config,
+                           train_dataset=train_dataset)
+        ten = build_model("10-mmoe", train_dataset.spec, taxonomy, config,
+                          train_dataset=train_dataset)
+        assert four.config.num_experts == 4
+        assert ten.config.num_experts == 10
+
+    def test_case_insensitive(self, train_dataset, taxonomy, config):
+        assert isinstance(build_model("DNN", train_dataset.spec, taxonomy, config), DNNRanker)
+
+    def test_unknown_name(self, train_dataset, taxonomy, config):
+        with pytest.raises(ValueError):
+            build_model("transformer", train_dataset.spec, taxonomy, config)
+
+    def test_mmoe_without_train_dataset_still_builds(self, train_dataset, taxonomy, config):
+        model = build_model("4-mmoe", train_dataset.spec, taxonomy, config)
+        assert isinstance(model, MMoERanker)

@@ -1,0 +1,113 @@
+"""Tests for the DNN baseline and the MMoE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models import DNNRanker, MMoERanker, ModelConfig, assign_category_buckets
+
+
+@pytest.fixture()
+def batch(train_dataset):
+    return train_dataset.batch(np.arange(40))
+
+
+class TestDNN:
+    def test_forward_shapes(self, train_dataset, tiny_model_config, batch):
+        model = DNNRanker(train_dataset.spec, tiny_model_config)
+        out = model.forward(batch)
+        assert out.logits.shape == (40,)
+        assert out.expert_logits is None and out.gate_probs is None
+
+    def test_loss_is_ce(self, train_dataset, tiny_model_config, batch):
+        model = DNNRanker(train_dataset.spec, tiny_model_config)
+        loss, info = model.loss(batch)
+        assert loss.item() == pytest.approx(info["ce"])
+
+    def test_same_structure_as_single_expert(self, train_dataset, tiny_model_config):
+        """Paper §5.1.4: DNN == one expert tower."""
+        from repro.models import MoERanker
+        from repro.hierarchy import default_taxonomy
+        dnn = DNNRanker(train_dataset.spec, tiny_model_config)
+        moe = MoERanker(train_dataset.spec, default_taxonomy(), tiny_model_config)
+        dnn_shapes = [p.shape for p in dnn.tower.parameters()]
+        expert_shapes = [p.shape for p in moe.experts[0].parameters()]
+        assert dnn_shapes == expert_shapes
+
+    def test_deterministic_given_seed(self, train_dataset, tiny_model_config, batch):
+        a = DNNRanker(train_dataset.spec, tiny_model_config)
+        b = DNNRanker(train_dataset.spec, tiny_model_config)
+        np.testing.assert_allclose(a.predict(batch), b.predict(batch))
+
+
+class TestBucketAssignment:
+    def test_all_categories_assigned(self):
+        tc_ids = np.repeat(np.arange(7), [100, 90, 50, 30, 20, 10, 5])
+        buckets = assign_category_buckets(tc_ids, 3)
+        assert set(buckets) == set(range(7))
+        assert set(buckets.values()) <= {0, 1, 2}
+
+    def test_loads_roughly_balanced(self):
+        counts = [1000, 900, 800, 100, 90, 80, 70, 60]
+        tc_ids = np.repeat(np.arange(8), counts)
+        buckets = assign_category_buckets(tc_ids, 4)
+        loads = np.zeros(4)
+        for tc, bucket in buckets.items():
+            loads[bucket] += counts[tc]
+        # LPT keeps the heaviest bucket within a small factor of the lightest
+        # (here the three huge categories force a 1000-vs-440 spread at best).
+        assert loads.max() / loads.min() < 3.0
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            assign_category_buckets(np.array([0, 1]), 0)
+
+    def test_more_buckets_than_categories(self):
+        buckets = assign_category_buckets(np.array([0, 0, 1]), 10)
+        assert set(buckets) == {0, 1}
+
+
+class TestMMoE:
+    @pytest.fixture()
+    def mmoe(self, train_dataset, tiny_model_config):
+        config = tiny_model_config.with_updates(num_tasks=4, num_disagreeing=0)
+        buckets = assign_category_buckets(train_dataset.query_tc, 4)
+        return MMoERanker(train_dataset.spec, buckets, config)
+
+    def test_forward_shapes(self, mmoe, batch, tiny_model_config):
+        out = mmoe.forward(batch)
+        assert out.logits.shape == (40,)
+        assert out.gate_probs.shape == (40, tiny_model_config.num_experts)
+
+    def test_dense_softmax_gate(self, mmoe, batch):
+        """MMoE uses a dense softmax (no top-K zeros)."""
+        out = mmoe.forward(batch)
+        assert (out.gate_probs.data > 0).all()
+        np.testing.assert_allclose(out.gate_probs.data.sum(axis=1), np.ones(40))
+
+    def test_examples_routed_by_bucket(self, mmoe, batch):
+        out = mmoe.forward(batch)
+        buckets = out.extras["buckets"]
+        expected = mmoe._bucket_of[np.clip(batch.sparse["query_tc"], 0,
+                                           len(mmoe._bucket_of) - 1)]
+        np.testing.assert_array_equal(buckets, expected)
+
+    def test_same_bucket_same_gate_weights(self, mmoe, train_dataset):
+        """Two examples in the same bucket with the same gate input get the
+        same gate distribution."""
+        mmoe.eval()
+        sc = train_dataset.query_sc[0]
+        rows = np.flatnonzero(train_dataset.query_sc == sc)[:4]
+        out = mmoe.forward(train_dataset.batch(rows))
+        assert np.abs(out.gate_probs.data - out.gate_probs.data[0]).max() < 1e-12
+
+    def test_bucket_out_of_tasks_rejected(self, train_dataset, tiny_model_config):
+        config = tiny_model_config.with_updates(num_tasks=2, num_disagreeing=0)
+        with pytest.raises(ValueError):
+            MMoERanker(train_dataset.spec, {0: 0, 1: 5}, config)
+
+    def test_gradients_flow(self, mmoe, batch):
+        loss, _ = mmoe.loss(batch)
+        loss.backward()
+        assert mmoe.gate_weight.grad is not None
+        assert all(any(p.grad is not None for p in e.parameters())
+                   for e in mmoe.experts)

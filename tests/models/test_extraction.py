@@ -1,0 +1,116 @@
+"""Tests for expert extraction / dedicated models (paper §1, §6)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (DedicatedRanker, MoERanker, expert_utilization,
+                          extract_dedicated_model)
+from repro.models.regularizers import load_balancing_loss
+from repro import nn
+
+
+@pytest.fixture()
+def moe(train_dataset, taxonomy, tiny_model_config):
+    return MoERanker(train_dataset.spec, taxonomy, tiny_model_config,
+                     use_hsc=True, use_adv=True)
+
+
+class TestExtraction:
+    def test_extracts_topk_experts(self, moe, train_dataset, tiny_model_config):
+        sc = int(train_dataset.query_sc[0])
+        dedicated = extract_dedicated_model(moe, sc, train_dataset)
+        assert len(dedicated.experts) == tiny_model_config.top_k
+        assert dedicated.sc_id == sc
+        np.testing.assert_allclose(dedicated.gate_weights.sum(), 1.0)
+
+    def test_matches_parent_predictions_on_category(self, moe, train_dataset):
+        """Frozen-gate extraction reproduces the parent on its category."""
+        sc = int(train_dataset.query_sc[0])
+        rows = np.flatnonzero(train_dataset.query_sc == sc)[:20]
+        batch = train_dataset.batch(rows)
+        dedicated = extract_dedicated_model(moe, sc, train_dataset)
+        np.testing.assert_allclose(dedicated.predict(batch), moe.predict(batch),
+                                   atol=1e-10)
+
+    def test_unknown_category_raises(self, moe, train_dataset):
+        with pytest.raises(ValueError):
+            extract_dedicated_model(moe, 10_000, train_dataset)
+
+    def test_fine_tuning_does_not_touch_parent(self, moe, train_dataset):
+        sc = int(train_dataset.query_sc[0])
+        dedicated = extract_dedicated_model(moe, sc, train_dataset)
+        parent_state = {k: v.copy() for k, v in moe.state_dict().items()}
+        rows = np.flatnonzero(train_dataset.query_sc == sc)[:64]
+        batch = train_dataset.batch(rows)
+        optimizer = nn.optim.Adam(dedicated.parameters(), lr=1e-2)
+        for _ in range(3):
+            optimizer.zero_grad()
+            loss, _ = dedicated.loss(batch)
+            loss.backward()
+            optimizer.step()
+        for key, value in moe.state_dict().items():
+            np.testing.assert_array_equal(value, parent_state[key])
+
+    def test_fine_tuning_improves_fit(self, moe, train_dataset):
+        sc = int(train_dataset.query_sc[0])
+        dedicated = extract_dedicated_model(moe, sc, train_dataset)
+        rows = np.flatnonzero(train_dataset.query_sc == sc)[:128]
+        batch = train_dataset.batch(rows)
+        loss0, _ = dedicated.loss(batch)
+        optimizer = nn.optim.Adam(dedicated.parameters(), lr=1e-2)
+        for _ in range(10):
+            optimizer.zero_grad()
+            loss, _ = dedicated.loss(batch)
+            loss.backward()
+            optimizer.step()
+        loss1, _ = dedicated.loss(batch)
+        assert loss1.item() < loss0.item()
+
+    def test_freeze_embedder(self, moe, train_dataset):
+        sc = int(train_dataset.query_sc[0])
+        dedicated = extract_dedicated_model(moe, sc, train_dataset)
+        dedicated.freeze_embedder()
+        trainable = list(dedicated.trainable_parameters())
+        embedder_params = set(id(p) for p in dedicated.embedder.parameters())
+        assert all(id(p) not in embedder_params for p in trainable)
+        assert trainable  # expert towers remain trainable
+
+    def test_weight_validation(self, moe, train_dataset):
+        sc = int(train_dataset.query_sc[0])
+        dedicated = extract_dedicated_model(moe, sc, train_dataset)
+        with pytest.raises(ValueError):
+            DedicatedRanker(dedicated.embedder, list(dedicated.experts),
+                            np.array([0.5, 0.2]), [0, 1], sc)
+
+
+class TestExpertUtilization:
+    def test_distribution(self, moe, train_dataset, tiny_model_config):
+        shares = expert_utilization(moe, train_dataset, max_examples=500)
+        assert shares.shape == (tiny_model_config.num_experts,)
+        np.testing.assert_allclose(shares.sum(), 1.0)
+        assert (shares >= 0).all()
+
+
+class TestLoadBalancingLoss:
+    def test_zero_for_uniform_gate(self):
+        probs = nn.Tensor(np.full((8, 4), 0.25))
+        assert load_balancing_loss(probs).item() == pytest.approx(0.0)
+
+    def test_positive_for_collapsed_gate(self):
+        probs = np.zeros((8, 4))
+        probs[:, 0] = 1.0
+        assert load_balancing_loss(nn.Tensor(probs)).item() > 1.0
+
+    def test_enters_training_loss_when_enabled(self, train_dataset, taxonomy,
+                                               tiny_model_config):
+        config = tiny_model_config.with_updates(lambda_load=0.1)
+        model = MoERanker(train_dataset.spec, taxonomy, config)
+        batch = train_dataset.batch(np.arange(32))
+        _, info = model.loss(batch, rng=np.random.default_rng(0))
+        assert "load_balance" in info
+
+    def test_gradient_flows_to_gate(self):
+        probs = nn.Tensor(np.random.default_rng(0).dirichlet(np.ones(4), size=8),
+                          requires_grad=True)
+        load_balancing_loss(probs).backward()
+        assert probs.grad is not None

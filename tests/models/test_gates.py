@@ -1,0 +1,121 @@
+"""Tests for the Noisy Top-K gate (eq. 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.gates import NoisyTopKGate, _mask_to_indices
+
+
+@pytest.fixture()
+def gate():
+    return NoisyTopKGate(input_width=6, num_experts=8, k=3,
+                         rng=np.random.default_rng(0))
+
+
+def random_input(batch=5, width=6, seed=1):
+    return nn.Tensor(np.random.default_rng(seed).normal(size=(batch, width)))
+
+
+class TestGateOutput:
+    def test_shapes(self, gate):
+        out = gate(random_input())
+        assert out.clean_logits.shape == (5, 8)
+        assert out.probs.shape == (5, 8)
+        assert out.full_softmax.shape == (5, 8)
+        assert out.topk_mask.shape == (5, 8)
+        assert out.topk_indices.shape == (5, 3)
+
+    def test_exactly_k_active(self, gate):
+        out = gate(random_input())
+        assert (out.topk_mask.sum(axis=1) == 3).all()
+        assert ((out.probs.data > 0).sum(axis=1) == 3).all()
+
+    def test_probs_sum_to_one(self, gate):
+        out = gate(random_input())
+        np.testing.assert_allclose(out.probs.data.sum(axis=1), np.ones(5))
+
+    def test_full_softmax_positive_everywhere(self, gate):
+        out = gate(random_input())
+        assert (out.full_softmax.data > 0).all()
+
+    def test_bias_free_linear_map(self, gate):
+        """Eq. 5: G^I(x) = x W^I with no bias — zero input gives zero logits."""
+        gate.eval()
+        out = gate(nn.Tensor(np.zeros((2, 6))))
+        np.testing.assert_allclose(out.clean_logits.data, 0.0)
+
+    def test_k_override(self, gate):
+        out = gate(random_input(), k=5)
+        assert (out.topk_mask.sum(axis=1) == 5).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NoisyTopKGate(4, 8, k=9)
+
+
+class TestNoise:
+    def test_noise_only_in_training(self, gate):
+        x = random_input()
+        gate.eval()
+        a = gate(x).noisy_logits.data
+        b = gate(x).noisy_logits.data
+        np.testing.assert_allclose(a, b)
+        np.testing.assert_allclose(a, gate(x).clean_logits.data)
+
+    def test_noise_varies_in_training(self, gate):
+        gate.train()
+        x = random_input()
+        a = gate(x).noisy_logits.data
+        b = gate(x).noisy_logits.data
+        assert not np.allclose(a, b)
+
+    def test_noisy_flag_disables_noise(self):
+        gate = NoisyTopKGate(6, 8, k=3, noisy=False, rng=np.random.default_rng(0))
+        gate.train()
+        x = random_input()
+        np.testing.assert_allclose(gate(x).noisy_logits.data,
+                                   gate(x).clean_logits.data)
+
+    def test_noise_weight_is_trainable(self, gate):
+        gate.train()
+        out = gate(random_input())
+        out.probs.sum().backward()
+        assert gate.noise_weight.grad is not None
+
+    def test_initial_noise_scale_is_small(self, gate):
+        """noise_bias starts at -2 so the initial noise std is softplus(-2)
+        ≈ 0.13, not Shazeer's 0.69 (see the class docstring rationale)."""
+        gate.train()
+        x = nn.Tensor(np.zeros((2000, 6)))
+        out = gate(x)
+        noise = out.noisy_logits.data - out.clean_logits.data
+        assert 0.05 < noise.std() < 0.25
+
+    def test_noise_bias_is_trainable(self, gate):
+        gate.train()
+        out = gate(random_input())
+        out.probs.sum().backward()
+        assert gate.noise_bias.grad is not None
+
+
+class TestSelectionConsistency:
+    def test_same_sc_embedding_same_selection(self, gate):
+        """Identical gate inputs must select identical expert sets (eval)."""
+        gate.eval()
+        x = np.random.default_rng(2).normal(size=(1, 6))
+        batch = nn.Tensor(np.repeat(x, 4, axis=0))
+        out = gate(batch)
+        assert (out.topk_mask == out.topk_mask[0]).all()
+
+    def test_mask_to_indices_roundtrip(self):
+        mask = np.array([[True, False, True], [False, True, True]])
+        indices = _mask_to_indices(mask, 2)
+        np.testing.assert_array_equal(indices, [[0, 2], [1, 2]])
+
+    def test_gradient_reaches_gate_weight(self, gate):
+        gate.eval()
+        out = gate(random_input())
+        (out.probs ** 2).sum().backward()
+        assert gate.weight.grad is not None
+        assert np.abs(gate.weight.grad).sum() > 0

@@ -1,0 +1,173 @@
+"""Tests for MoERanker and its variants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import ModelConfig, MoERanker
+
+
+@pytest.fixture()
+def batch(train_dataset):
+    return train_dataset.batch(np.arange(32))
+
+
+@pytest.fixture()
+def moe(train_dataset, taxonomy, tiny_model_config):
+    return MoERanker(train_dataset.spec, taxonomy, tiny_model_config)
+
+
+@pytest.fixture()
+def full_model(train_dataset, taxonomy, tiny_model_config):
+    return MoERanker(train_dataset.spec, taxonomy, tiny_model_config,
+                     use_hsc=True, use_adv=True)
+
+
+class TestForward:
+    def test_output_shapes(self, moe, batch, tiny_model_config):
+        out = moe.forward(batch)
+        n = tiny_model_config.num_experts
+        assert out.logits.shape == (32,)
+        assert out.expert_logits.shape == (32, n)
+        assert out.gate_probs.shape == (32, n)
+        assert out.topk_indices.shape == (32, tiny_model_config.top_k)
+
+    def test_prediction_is_topk_mixture(self, moe, batch):
+        """The ensemble logit equals sum_i P_i * E_i over selected experts."""
+        moe.eval()
+        out = moe.forward(batch)
+        manual = (out.gate_probs.data * out.expert_logits.data).sum(axis=1)
+        np.testing.assert_allclose(out.logits.data, manual, atol=1e-12)
+
+    def test_scores_are_probabilities(self, moe, batch):
+        scores = moe.predict(batch)
+        assert scores.shape == (32,)
+        assert (scores > 0).all() and (scores < 1).all()
+
+    def test_predict_restores_training_mode(self, moe, batch):
+        moe.train()
+        moe.predict(batch)
+        assert moe.training
+
+    def test_same_session_same_gate(self, moe, train_dataset):
+        """Gate input is query-side only ⇒ one expert set per session (§5.4)."""
+        moe.eval()
+        session = train_dataset.session_ids[0]
+        rows = np.flatnonzero(train_dataset.session_ids == session)
+        out = moe.forward(train_dataset.batch(rows))
+        gate = out.extras["gate"]
+        assert (gate.topk_mask == gate.topk_mask[0]).all()
+        assert np.abs(out.gate_probs.data - out.gate_probs.data[0]).max() < 1e-12
+
+
+class TestLoss:
+    def test_vanilla_loss_is_ce_only(self, moe, batch, rng):
+        loss, info = moe.loss(batch, rng=rng)
+        assert set(info) == {"ce", "total"}
+        assert loss.item() == pytest.approx(info["ce"])
+
+    def test_hsc_variant_adds_term(self, train_dataset, taxonomy, tiny_model_config, batch, rng):
+        model = MoERanker(train_dataset.spec, taxonomy, tiny_model_config, use_hsc=True)
+        loss, info = model.loss(batch, rng=rng)
+        assert "hsc" in info
+        assert loss.item() == pytest.approx(
+            info["ce"] + tiny_model_config.lambda_hsc * info["hsc"])
+
+    def test_adv_variant_subtracts_term(self, train_dataset, taxonomy, tiny_model_config, batch, rng):
+        model = MoERanker(train_dataset.spec, taxonomy, tiny_model_config, use_adv=True)
+        loss, info = model.loss(batch, rng=rng)
+        assert "adv" in info
+        assert loss.item() == pytest.approx(
+            info["ce"] - tiny_model_config.lambda_adv * info["adv"])
+
+    def test_combined_objective(self, full_model, batch, rng):
+        """Eq. 14: J = CE + λ1 HSC − λ2 AdvLoss."""
+        config = full_model.config
+        loss, info = full_model.loss(batch, rng=rng)
+        expected = (info["ce"] + config.lambda_hsc * info["hsc"]
+                    - config.lambda_adv * info["adv"])
+        assert loss.item() == pytest.approx(expected)
+
+    def test_hsc_requires_taxonomy(self, train_dataset, tiny_model_config):
+        with pytest.raises(ValueError):
+            MoERanker(train_dataset.spec, None, tiny_model_config, use_hsc=True)
+
+
+class TestGradientRouting:
+    """The paper's eq. 15-16: HSC gradients must never reach expert weights."""
+
+    def test_hsc_gradient_skips_experts(self, train_dataset, taxonomy,
+                                        tiny_model_config, batch, rng):
+        model = MoERanker(train_dataset.spec, taxonomy, tiny_model_config, use_hsc=True)
+        output = model.forward(batch)
+        gate = output.extras["gate"]
+        x_tc = model.embedder.embed("query_tc", batch.sparse["query_tc"])
+        constraint = model.constraint_gate(x_tc)
+        from repro.models.regularizers import hsc_loss
+        hsc = hsc_loss(gate, constraint.full_softmax)
+        model.zero_grad()
+        hsc.backward()
+        # ∇_{expert} HSC ≡ 0 (experts are not in the HSC graph).
+        for expert in model.experts:
+            for _, param in expert.named_parameters():
+                assert param.grad is None
+        # But the inference gate and constraint gate do learn from HSC.
+        assert model.inference_gate.weight.grad is not None
+        assert model.constraint_gate.weight.grad is not None
+
+    def test_adv_gradient_skips_gate_weights(self, train_dataset, taxonomy,
+                                             tiny_model_config, batch, rng):
+        """AdvLoss depends on expert outputs only; the discrete selection
+        gives the gate weight exactly zero AdvLoss gradient."""
+        model = MoERanker(train_dataset.spec, taxonomy, tiny_model_config, use_adv=True)
+        output = model.forward(batch)
+        gate = output.extras["gate"]
+        from repro.models.regularizers import adversarial_loss, sample_disagreeing_experts
+        disagreeing = sample_disagreeing_experts(gate.topk_mask, 1, rng)
+        adv = adversarial_loss(output.expert_logits, gate.topk_indices, disagreeing)
+        model.zero_grad()
+        adv.backward()
+        assert model.inference_gate.weight.grad is None
+        assert any(p.grad is not None for e in model.experts for p in e.parameters())
+
+    def test_full_loss_reaches_all_parameters(self, full_model, batch, rng):
+        loss, _ = full_model.loss(batch, rng=rng)
+        full_model.zero_grad()
+        loss.backward()
+        # Legitimately grad-free: the noiseless constraint gate's noise
+        # weights, and embedding tables for features outside the model input
+        # (query_bucket is only used in the Table 5 gate ablation).
+        used_tables = {f"embedder.tables.{full_model.embedder._table_index[n]}.weight"
+                       for n in (*full_model.config.input_features, "query_tc")}
+        missing = [name for name, p in full_model.named_parameters()
+                   if p.grad is None
+                   and "noise" not in name
+                   and (not name.startswith("embedder.") or name in used_tables)]
+        assert not missing, f"parameters without gradient: {missing}"
+
+
+class TestAnalysisHooks:
+    def test_gate_vectors(self, full_model, batch, tiny_model_config):
+        vectors = full_model.gate_vectors(batch)
+        assert vectors.shape == (32, tiny_model_config.num_experts)
+        np.testing.assert_allclose(vectors.sum(axis=1), np.ones(32))
+
+    def test_expert_scores(self, full_model, batch, tiny_model_config):
+        scores, mask = full_model.expert_scores(batch)
+        assert scores.shape == (32, tiny_model_config.num_experts)
+        assert (scores > 0).all() and (scores < 1).all()
+        assert (mask.sum(axis=1) == tiny_model_config.top_k).all()
+
+
+class TestTrainingBehaviour:
+    def test_one_step_decreases_loss(self, full_model, train_dataset, rng):
+        batch = train_dataset.batch(np.arange(128))
+        optimizer = nn.optim.Adam(full_model.parameters(), lr=1e-2)
+        loss0, _ = full_model.loss(batch, rng=np.random.default_rng(0))
+        for _ in range(8):
+            optimizer.zero_grad()
+            loss, _ = full_model.loss(batch, rng=np.random.default_rng(0))
+            loss.backward()
+            optimizer.step()
+        loss1, _ = full_model.loss(batch, rng=np.random.default_rng(0))
+        assert loss1.item() < loss0.item()

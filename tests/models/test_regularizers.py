@@ -1,0 +1,154 @@
+"""Tests for HSC (eq. 9-11) and AdvLoss (eq. 12) regularizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.gates import NoisyTopKGate
+from repro.models.regularizers import (adversarial_loss, hsc_loss,
+                                       sample_disagreeing_experts)
+
+
+def make_gate_output(seed=0, batch=4, experts=8, k=3):
+    gate = NoisyTopKGate(5, experts, k=k, rng=np.random.default_rng(seed))
+    gate.eval()
+    x = nn.Tensor(np.random.default_rng(seed + 1).normal(size=(batch, 5)))
+    return gate(x)
+
+
+class TestHSCLoss:
+    def test_zero_when_distributions_match(self):
+        out = make_gate_output()
+        loss = hsc_loss(out, out.full_softmax)
+        assert loss.item() < 1e-12
+
+    def test_positive_when_distributions_differ(self):
+        out = make_gate_output(seed=0)
+        other = make_gate_output(seed=5)
+        assert hsc_loss(out, other.full_softmax).item() > 0
+
+    def test_restricted_leq_full_support(self):
+        """Summing over top-K only can never exceed the full-support sum."""
+        out = make_gate_output(seed=0)
+        other = make_gate_output(seed=5)
+        restricted = hsc_loss(out, other.full_softmax, restrict_to_topk=True).item()
+        full = hsc_loss(out, other.full_softmax, restrict_to_topk=False).item()
+        assert restricted <= full + 1e-12
+
+    def test_gradient_flows_to_both_gates(self):
+        inference = NoisyTopKGate(5, 8, k=3, rng=np.random.default_rng(0))
+        constraint = NoisyTopKGate(4, 8, k=3, noisy=False, rng=np.random.default_rng(1))
+        inference.eval()
+        constraint.eval()
+        gi = inference(nn.Tensor(np.random.default_rng(2).normal(size=(4, 5))))
+        gc = constraint(nn.Tensor(np.random.default_rng(3).normal(size=(4, 4))))
+        hsc_loss(gi, gc.full_softmax).backward()
+        assert inference.weight.grad is not None
+        assert constraint.weight.grad is not None
+
+    def test_matches_manual_formula(self):
+        """HSC = mean_batch sum_{i in topK} (pI_i - pC_i)^2 (eq. 11)."""
+        out = make_gate_output(seed=0)
+        other = make_gate_output(seed=5)
+        loss = hsc_loss(out, other.full_softmax).item()
+        pi = out.full_softmax.data
+        pc = other.full_softmax.data
+        manual = 0.0
+        for row in range(pi.shape[0]):
+            idx = out.topk_indices[row]
+            manual += ((pi[row, idx] - pc[row, idx]) ** 2).sum()
+        manual /= pi.shape[0]
+        assert loss == pytest.approx(manual)
+
+
+class TestSampleDisagreeing:
+    def test_disjoint_from_topk(self):
+        """U_D ∩ U_topK = ∅ (§4.4), for every row and many draws."""
+        rng = np.random.default_rng(0)
+        mask = np.zeros((6, 10), dtype=bool)
+        mask[:, :4] = True  # top-4 selected
+        for _ in range(20):
+            disagreeing = sample_disagreeing_experts(mask, 3, rng)
+            assert not mask[np.arange(6)[:, None], disagreeing].any()
+
+    def test_within_range_and_unique_per_row(self):
+        rng = np.random.default_rng(0)
+        mask = np.zeros((5, 8), dtype=bool)
+        mask[:, [0, 1]] = True
+        disagreeing = sample_disagreeing_experts(mask, 4, rng)
+        assert disagreeing.shape == (5, 4)
+        for row in disagreeing:
+            assert len(set(row.tolist())) == 4
+
+    def test_d_too_large_raises(self):
+        rng = np.random.default_rng(0)
+        mask = np.zeros((2, 5), dtype=bool)
+        mask[:, :3] = True
+        with pytest.raises(ValueError):
+            sample_disagreeing_experts(mask, 3, rng)
+
+    def test_randomness_across_calls(self):
+        rng = np.random.default_rng(0)
+        mask = np.zeros((50, 10), dtype=bool)
+        mask[:, :2] = True
+        a = sample_disagreeing_experts(mask, 1, rng)
+        b = sample_disagreeing_experts(mask, 1, rng)
+        assert not np.array_equal(a, b)
+
+
+class TestAdversarialLoss:
+    def test_zero_when_experts_identical(self):
+        logits = nn.Tensor(np.ones((4, 6)))
+        topk = np.tile(np.array([[0, 1]]), (4, 1))
+        disagreeing = np.tile(np.array([[3]]), (4, 1))
+        assert adversarial_loss(logits, topk, disagreeing).item() == 0.0
+
+    def test_positive_when_experts_differ(self):
+        logits = nn.Tensor(np.random.default_rng(0).normal(size=(4, 6)) * 3)
+        topk = np.tile(np.array([[0, 1]]), (4, 1))
+        disagreeing = np.tile(np.array([[3]]), (4, 1))
+        assert adversarial_loss(logits, topk, disagreeing).item() > 0
+
+    def test_matches_manual_formula(self):
+        """AdvLoss = mean_batch sum_{i,j} (σ(E_i) - σ(E_j))^2 (eq. 12)."""
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(3, 6))
+        logits = nn.Tensor(raw)
+        topk = np.array([[0, 1], [2, 3], [4, 5]])
+        disagreeing = np.array([[5], [0], [1]])
+        loss = adversarial_loss(logits, topk, disagreeing).item()
+        sigma = 1 / (1 + np.exp(-raw))
+        manual = 0.0
+        for b in range(3):
+            for i in topk[b]:
+                for j in disagreeing[b]:
+                    manual += (sigma[b, i] - sigma[b, j]) ** 2
+        manual /= 3
+        assert loss == pytest.approx(manual)
+
+    def test_on_logits_ablation(self):
+        raw = np.random.default_rng(0).normal(size=(2, 4)) * 5
+        logits = nn.Tensor(raw)
+        topk = np.array([[0], [1]])
+        disagreeing = np.array([[2], [3]])
+        on_sigmoid = adversarial_loss(logits, topk, disagreeing, on_sigmoid=True).item()
+        on_logits = adversarial_loss(logits, topk, disagreeing, on_sigmoid=False).item()
+        assert on_sigmoid != pytest.approx(on_logits)
+
+    def test_bounded_when_on_sigmoid(self):
+        """σ outputs are in (0,1), so per-pair distance < 1."""
+        logits = nn.Tensor(np.random.default_rng(0).normal(size=(10, 6)) * 100)
+        topk = np.tile(np.array([[0, 1]]), (10, 1))
+        disagreeing = np.tile(np.array([[3, 4]]), (10, 1))
+        loss = adversarial_loss(logits, topk, disagreeing).item()
+        assert loss <= 2 * 2 * 1.0  # K*D pairs, each < 1
+
+    def test_gradient_reaches_both_expert_groups(self):
+        logits = nn.Tensor(np.random.default_rng(0).normal(size=(3, 6)),
+                           requires_grad=True)
+        topk = np.array([[0, 1], [0, 1], [0, 1]])
+        disagreeing = np.array([[4], [4], [4]])
+        adversarial_loss(logits, topk, disagreeing).backward()
+        grads = np.abs(logits.grad).sum(axis=0)
+        assert grads[0] > 0 and grads[4] > 0
+        assert grads[2] == 0 and grads[3] == 0 and grads[5] == 0

@@ -1,0 +1,179 @@
+"""Tests for repro.nn.functional: softmax variants, dropout, gathers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from .test_tensor import check_grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 7))
+        probs = F.softmax(Tensor(x), axis=1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_invariant_to_shift(self):
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        a = F.softmax(Tensor(x), axis=1).data
+        b = F.softmax(Tensor(x + 100.0), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_gradient(self):
+        c = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        check_grad(lambda t: F.softmax(t, axis=1) * c,
+                   np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_neg_inf_gets_zero_probability(self):
+        x = np.array([[0.0, -np.inf, 1.0]])
+        probs = F.softmax(Tensor(x), axis=1).data
+        assert probs[0, 1] == 0.0
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_huge_logits_stable(self):
+        probs = F.softmax(Tensor([[1000.0, 999.0]]), axis=1).data
+        assert np.all(np.isfinite(probs))
+
+    def test_axis_zero(self):
+        x = np.random.default_rng(0).normal(size=(3, 2))
+        probs = F.softmax(Tensor(x), axis=0).data
+        np.testing.assert_allclose(probs.sum(axis=0), np.ones(2))
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = np.random.default_rng(0).normal(size=(3, 5))
+        np.testing.assert_allclose(F.log_softmax(Tensor(x), axis=1).data,
+                                   np.log(F.softmax(Tensor(x), axis=1).data),
+                                   atol=1e-12)
+
+    def test_gradient(self):
+        check_grad(lambda t: F.log_softmax(t, axis=1)[:, :2],
+                   np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_stable_for_large_inputs(self):
+        out = F.log_softmax(Tensor([[1000.0, 0.0]]), axis=1).data
+        assert np.all(np.isfinite(out))
+
+
+class TestMaskedSoftmax:
+    def test_masked_entries_zero(self):
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        mask = np.array([[True, False, True, False], [False, True, True, False]])
+        probs = F.masked_softmax(Tensor(x), mask, axis=1).data
+        assert np.all(probs[~mask] == 0.0)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(2))
+
+    def test_gradient_only_through_unmasked(self):
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        mask = np.array([[True, True, False, False], [True, False, True, False]])
+        check_grad(lambda t: F.masked_softmax(t, mask, axis=1) ** 2, x)
+
+    def test_masked_positions_get_zero_gradient(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4)), requires_grad=True)
+        mask = np.array([[True, True, False, False]])
+        (F.masked_softmax(x, mask, axis=1) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 2:], [0.0, 0.0])
+
+
+class TestScatterTopkMask:
+    def test_basic(self):
+        logits = np.array([[1.0, 3.0, 2.0], [5.0, 0.0, -1.0]])
+        mask = F.scatter_topk_mask(logits, 2)
+        np.testing.assert_array_equal(mask, [[False, True, True], [True, True, False]])
+
+    def test_k_equals_n(self):
+        mask = F.scatter_topk_mask(np.zeros((2, 3)), 3)
+        assert mask.all()
+
+    def test_exactly_k_per_row(self):
+        logits = np.random.default_rng(0).normal(size=(10, 8))
+        for k in (1, 3, 8):
+            assert (F.scatter_topk_mask(logits, k).sum(axis=1) == k).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            F.scatter_topk_mask(np.zeros((2, 3)), 0)
+        with pytest.raises(ValueError):
+            F.scatter_topk_mask(np.zeros((2, 3)), 4)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            F.scatter_topk_mask(np.zeros(3), 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hnp.arrays(np.float64, (5, 6), elements=st.floats(-10, 10)),
+           st.integers(1, 6))
+    def test_property_mask_selects_largest(self, logits, k):
+        mask = F.scatter_topk_mask(logits, k)
+        for row, row_mask in zip(logits, mask):
+            selected_min = row[row_mask].min()
+            unselected = row[~row_mask]
+            if unselected.size:
+                assert selected_min >= unselected.max() - 1e-12
+
+
+class TestTakeAlongAxis:
+    def test_forward_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(3, 5))
+        idx = np.array([[0, 2], [1, 1], [4, 0]])
+        out = F.take_along_axis(Tensor(x), idx, axis=1)
+        np.testing.assert_allclose(out.data, np.take_along_axis(x, idx, axis=1))
+
+    def test_gradient_scatter_adds_duplicates(self):
+        x = Tensor(np.zeros((1, 3)), requires_grad=True)
+        idx = np.array([[1, 1]])
+        F.take_along_axis(x, idx, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 2.0, 0.0]])
+
+    def test_gradient_numeric(self):
+        idx = np.array([[0, 2], [1, 1]])
+        check_grad(lambda t: F.take_along_axis(t, idx, axis=1) ** 2,
+                   np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_3d_axis1(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4))
+        idx = np.zeros((2, 1, 4), dtype=np.int64)
+        out = F.take_along_axis(Tensor(x), idx, axis=1)
+        np.testing.assert_allclose(out.data, x[:, :1, :])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_zero_p_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_preserves_leading_shape(self):
+        out = F.one_hot(np.zeros((2, 3), dtype=int), 4)
+        assert out.shape == (2, 3, 4)

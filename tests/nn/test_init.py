@@ -1,0 +1,59 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFanComputation:
+    def test_2d(self):
+        assert init._fan((10, 20)) == (10, 20)
+
+    def test_1d(self):
+        assert init._fan((7,)) == (7, 7)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            init._fan(())
+
+
+class TestDistributions:
+    def test_xavier_uniform_bounds(self, rng):
+        w = init.xavier_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((500, 500), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 1e-3
+
+    def test_he_normal_std(self, rng):
+        w = init.he_normal((1000, 10), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 2e-3
+
+    def test_he_uniform_bounds(self, rng):
+        w = init.he_uniform((100, 5), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_normal_std_param(self, rng):
+        w = init.normal((10000,), rng, std=0.5)
+        assert abs(w.std() - 0.5) < 0.02
+
+    def test_uniform_range(self, rng):
+        w = init.uniform((1000,), rng, low=-1.0, high=2.0)
+        assert w.min() >= -1.0 and w.max() <= 2.0
+
+    def test_zeros_and_ones(self):
+        np.testing.assert_allclose(init.zeros((2, 3)), 0.0)
+        np.testing.assert_allclose(init.ones((2, 3)), 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = init.he_normal((5, 5), np.random.default_rng(42))
+        b = init.he_normal((5, 5), np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,122 @@
+"""Tests for Linear, Embedding, Dropout, MLP."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        x = np.ones((2, 4))
+        np.testing.assert_allclose(layer(nn.Tensor(x)).data, x @ layer.weight.data)
+
+    def test_wrong_input_width(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer(nn.Tensor(np.ones((2, 5))))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_gradients_flow(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        layer(nn.Tensor(np.ones((2, 4)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_repr(self):
+        assert "Linear(in=4, out=3" in repr(nn.Linear(4, 3, rng=np.random.default_rng(0)))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([1, 5, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_out_of_range(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_sparse_gradient_accumulates(self):
+        emb = nn.Embedding(5, 2, rng=np.random.default_rng(0))
+        emb(np.array([2, 2, 4])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[4], [1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Embedding(0, 4)
+
+
+class TestDropout:
+    def test_training_vs_eval(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.ones((100, 10)))
+        train_out = layer(x)
+        assert (train_out.data == 0).any()
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestMLP:
+    def test_paper_tower_shape(self):
+        """512 x 256 x 1 expert tower (paper §5.1.4)."""
+        tower = nn.MLP(64, [512, 256], 1, rng=np.random.default_rng(0))
+        out = tower(nn.Tensor(np.ones((3, 64))))
+        assert out.shape == (3, 1)
+
+    def test_layer_count(self):
+        tower = nn.MLP(8, [16, 8], 1, rng=np.random.default_rng(0))
+        linears = [m for m in tower.modules() if isinstance(m, nn.Linear)]
+        assert len(linears) == 3
+
+    def test_output_is_linear_logit(self):
+        """No activation on the output layer (logits for BCE)."""
+        tower = nn.MLP(4, [8], 1, rng=np.random.default_rng(0))
+        outputs = tower(nn.Tensor(np.random.default_rng(1).normal(size=(100, 4)))).data
+        assert outputs.min() < 0 < outputs.max()
+
+    def test_no_hidden_layers(self):
+        tower = nn.MLP(4, [], 2, rng=np.random.default_rng(0))
+        assert tower(nn.Tensor(np.ones((2, 4)))).shape == (2, 2)
+
+    def test_dropout_inserted(self):
+        tower = nn.MLP(4, [8, 8], 1, dropout=0.3, rng=np.random.default_rng(0))
+        dropouts = [m for m in tower.modules() if isinstance(m, nn.Dropout)]
+        assert len(dropouts) == 2
+
+    def test_trains_to_fit_xor(self):
+        """MLP can learn a nonlinear function (XOR)."""
+        rng = np.random.default_rng(0)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([[0], [1], [1], [0]], dtype=np.float64)
+        tower = nn.MLP(2, [16], 1, rng=rng)
+        optimizer = nn.optim.Adam(tower.parameters(), lr=5e-2)
+        for _ in range(400):
+            optimizer.zero_grad()
+            loss = nn.losses.bce_with_logits(tower(nn.Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        predictions = tower(nn.Tensor(x)).sigmoid().data
+        np.testing.assert_allclose(predictions, y, atol=0.2)
+
+    def test_repr(self):
+        assert "8 -> 16 -> 1" in repr(nn.MLP(8, [16], 1, rng=np.random.default_rng(0)))

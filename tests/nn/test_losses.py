@@ -1,0 +1,93 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.losses import bce_with_logits, binary_cross_entropy, cross_entropy, mse_loss
+from repro.nn.tensor import Tensor
+
+from .test_tensor import check_grad
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        targets = np.array([0.0, 1.0, 1.0])
+        expected = -(targets * np.log(1 / (1 + np.exp(-logits)))
+                     + (1 - targets) * np.log(1 - 1 / (1 + np.exp(-logits))))
+        loss = bce_with_logits(Tensor(logits), targets, reduction="none")
+        np.testing.assert_allclose(loss.data, expected, atol=1e-10)
+
+    def test_stable_for_extreme_logits(self):
+        loss = bce_with_logits(Tensor([-500.0, 500.0]), np.array([1.0, 0.0]), reduction="none")
+        assert np.all(np.isfinite(loss.data))
+        np.testing.assert_allclose(loss.data, [500.0, 500.0])
+
+    def test_gradient(self):
+        targets = np.array([0.0, 1.0, 0.5])
+        check_grad(lambda t: bce_with_logits(t, targets, reduction="sum"),
+                   np.random.default_rng(0).normal(size=3))
+
+    def test_mean_reduction(self):
+        logits = np.zeros(4)
+        loss = bce_with_logits(Tensor(logits), np.zeros(4))
+        np.testing.assert_allclose(loss.item(), np.log(2.0))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = bce_with_logits(Tensor([20.0]), np.array([1.0]))
+        assert loss.item() < 1e-8
+
+
+class TestBinaryCrossEntropy:
+    def test_on_probabilities(self):
+        loss = binary_cross_entropy(Tensor([0.9]), np.array([1.0]))
+        np.testing.assert_allclose(loss.item(), -np.log(0.9), atol=1e-10)
+
+    def test_clamps_extremes(self):
+        loss = binary_cross_entropy(Tensor([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_gradient(self):
+        targets = np.array([1.0, 0.0])
+        check_grad(lambda t: binary_cross_entropy(t, targets, reduction="sum"),
+                   np.array([0.3, 0.7]))
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        loss = cross_entropy(Tensor(np.zeros((2, 5))), np.array([0, 3]))
+        np.testing.assert_allclose(loss.item(), np.log(5.0))
+
+    def test_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_grad(lambda t: cross_entropy(t, targets, reduction="sum"),
+                   np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_correct_class_decreases_loss(self):
+        logits = np.zeros((1, 3))
+        logits[0, 1] = 5.0
+        low = cross_entropy(Tensor(logits), np.array([1])).item()
+        high = cross_entropy(Tensor(logits), np.array([0])).item()
+        assert low < high
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+
+class TestMSE:
+    def test_value(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), 2.5)
+
+    def test_gradient(self):
+        target = np.array([1.0, -1.0])
+        check_grad(lambda t: mse_loss(t, target, reduction="sum"), np.array([0.5, 0.5]))
+
+
+def test_unknown_reduction():
+    with pytest.raises(ValueError):
+        mse_loss(Tensor([1.0]), np.array([1.0]), reduction="bogus")

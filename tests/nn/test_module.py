@@ -1,0 +1,119 @@
+"""Tests for the Module system: registration, traversal, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = nn.Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        toy = Toy()
+        names = {name for name, _ in toy.named_parameters()}
+        assert names == {"linear.weight", "linear.bias", "scale"}
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 3 * 2 + 2 + 1
+
+    def test_modules_iterates_tree(self):
+        toy = Toy()
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert kinds[0] == "Toy" and "Linear" in kinds
+
+    def test_add_module_explicit(self):
+        root = nn.Module()
+        child = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        root.add_module("child", child)
+        assert root.child is child
+        assert any(n.startswith("child.") for n, _ in root.named_parameters())
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training and not toy.linear.training
+        toy.train()
+        assert toy.training and toy.linear.training
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        out = toy(nn.Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.linear.weight.data += 1.0
+        state = a.state_dict()
+        b.load_state_dict(state)
+        np.testing.assert_allclose(b.linear.weight.data, a.linear.weight.data)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"][:] = 99.0
+        assert toy.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["bogus"] = np.ones(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2, rng=np.random.default_rng(i)) for i in range(3)])
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+        assert sum(1 for _ in layers) == 3
+        # All sublayers registered.
+        assert len(list(nn.Module.named_parameters(layers))) == 6
+
+    def test_module_list_append(self):
+        layers = nn.ModuleList()
+        layers.append(nn.Linear(2, 2, rng=np.random.default_rng(0)))
+        assert len(layers) == 1
+
+    def test_sequential_forward(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 1, rng=rng))
+        out = seq(nn.Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 1)
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

@@ -1,0 +1,125 @@
+"""Tests for SGD / Adam / AdamW and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.tensor import Parameter, Tensor
+
+
+def quadratic_step(optimizer_factory, steps=200):
+    """Minimize ||x - 3||^2; return final parameter values."""
+    param = Parameter(np.array([0.0, 0.0]))
+    optimizer = optimizer_factory([param])
+    target = np.array([3.0, 3.0])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((param - Tensor(target)) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return param.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, [3.0, 3.0], atol=1e-4)
+
+    def test_momentum_converges(self):
+        final = quadratic_step(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, [3.0, 3.0], atol=1e-4)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(lambda p: Adam(p, lr=0.1))
+        np.testing.assert_allclose(final, [3.0, 3.0], atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should be ≈ lr in the gradient direction."""
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [-0.1], atol=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.999))
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(lambda p: AdamW(p, lr=0.1, weight_decay=0.0))
+        np.testing.assert_allclose(final, [3.0, 3.0], atol=1e-3)
+
+    def test_decay_is_decoupled(self):
+        """With zero gradient AdamW still decays weights toward zero —
+        and the decay must be exactly lr * wd * w (not scaled by Adam's
+        denominator), which distinguishes AdamW from Adam+L2."""
+        param = Parameter(np.array([2.0]))
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(1)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_differs_from_coupled_adam(self):
+        a = Parameter(np.array([2.0]))
+        b = Parameter(np.array([2.0]))
+        adamw = AdamW([a], lr=0.1, weight_decay=0.5)
+        adam = Adam([b], lr=0.1, weight_decay=0.5)
+        for optimizer, param in ((adamw, a), (adam, b)):
+            param.grad = np.array([1.0])
+            optimizer.step()
+        assert not np.allclose(a.data, b.data)
+
+
+class TestOptimizerBase:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(1))
+        param.grad = np.ones(1)
+        SGD([param], lr=0.1).zero_grad()
+        assert param.grad is None
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        returned = clip_grad_norm([param], max_norm=1.0)
+        assert returned == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_no_clip_when_under(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.3, 0.4])
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+    def test_handles_missing_grads(self):
+        assert clip_grad_norm([Parameter(np.ones(2))], max_norm=1.0) == 0.0

@@ -1,0 +1,127 @@
+"""Tests for GRUCell / GRU / BiGRU."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def cell():
+    return nn.GRUCell(3, 4, rng=np.random.default_rng(0))
+
+
+class TestGRUCell:
+    def test_output_shape(self, cell):
+        h = cell(Tensor(np.ones((2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 4)
+
+    def test_initial_state_zero(self, cell):
+        np.testing.assert_allclose(cell.initial_state(3).data, np.zeros((3, 4)))
+
+    def test_state_bounded_by_tanh(self, cell):
+        h = cell.initial_state(2)
+        for _ in range(50):
+            h = cell(Tensor(np.random.default_rng(1).normal(size=(2, 3)) * 5), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_gradients_reach_all_weights(self, cell):
+        h = cell(Tensor(np.ones((2, 3))), cell.initial_state(2))
+        h.sum().backward()
+        for name, param in cell.named_parameters():
+            assert param.grad is not None, name
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.GRUCell(0, 4)
+
+    def test_gradient_matches_finite_difference(self):
+        """Full finite-difference check through one GRU step."""
+        rng = np.random.default_rng(0)
+        cell = nn.GRUCell(2, 3, rng=rng)
+        x = rng.normal(size=(2, 2))
+        h0 = rng.normal(size=(2, 3))
+
+        def forward():
+            return cell(Tensor(x), Tensor(h0)).data.sum()
+
+        xt = Tensor(x, requires_grad=True)
+        cell(xt, Tensor(h0)).sum().backward()
+        analytic = xt.grad.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.size):
+            orig = x.reshape(-1)[i]
+            x.reshape(-1)[i] = orig + eps
+            plus = forward()
+            x.reshape(-1)[i] = orig - eps
+            minus = forward()
+            x.reshape(-1)[i] = orig
+            numeric.reshape(-1)[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+
+class TestGRU:
+    def test_output_structure(self):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        outputs, final = gru(Tensor(np.random.default_rng(1).normal(size=(2, 5, 3))))
+        assert len(outputs) == 5
+        assert final.shape == (2, 4)
+        np.testing.assert_allclose(outputs[-1].data, final.data)
+
+    def test_requires_3d_input(self):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gru(Tensor(np.ones((2, 3))))
+
+    def test_length_masking_freezes_state(self):
+        """Padded steps must not change an example's hidden state."""
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 6, 3))
+        # Run with length 3 vs truncated input of length 3: same final state.
+        _, final_masked = gru(Tensor(x), lengths=np.array([3]))
+        _, final_truncated = gru(Tensor(x[:, :3, :]))
+        np.testing.assert_allclose(final_masked.data, final_truncated.data, atol=1e-12)
+
+    def test_reverse_direction(self):
+        gru_f = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        gru_r = nn.GRU(3, 4, rng=np.random.default_rng(0), reverse=True)
+        x = np.random.default_rng(1).normal(size=(1, 4, 3))
+        _, forward_final = gru_f(Tensor(x))
+        _, reverse_final = gru_r(Tensor(x[:, ::-1, :].copy()))
+        np.testing.assert_allclose(forward_final.data, reverse_final.data, atol=1e-12)
+
+
+class TestBiGRU:
+    def test_output_width(self):
+        bigru = nn.BiGRU(3, 4, rng=np.random.default_rng(0))
+        out = bigru(Tensor(np.random.default_rng(1).normal(size=(2, 5, 3))))
+        assert out.shape == (2, 8)
+        assert bigru.output_size == 8
+
+    def test_gradients_flow_both_directions(self):
+        bigru = nn.BiGRU(3, 4, rng=np.random.default_rng(0))
+        out = bigru(Tensor(np.random.default_rng(1).normal(size=(2, 5, 3))))
+        out.sum().backward()
+        for name, param in bigru.named_parameters():
+            assert param.grad is not None, name
+
+    def test_variable_lengths_ignore_padding(self):
+        bigru = nn.BiGRU(3, 4, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 5, 3))
+        padded = x.copy()
+        padded[:, 3:, :] = 99.0  # garbage in padding region
+        out_clean = bigru(Tensor(x), lengths=np.array([3]))
+        out_padded = bigru(Tensor(padded), lengths=np.array([3]))
+        np.testing.assert_allclose(out_clean.data, out_padded.data, atol=1e-12)
+
+    def test_direction_asymmetry(self):
+        """Reversing the sequence changes the representation."""
+        bigru = nn.BiGRU(3, 4, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 4, 3))
+        a = bigru(Tensor(x)).data
+        b = bigru(Tensor(x[:, ::-1, :].copy())).data
+        assert not np.allclose(a, b)

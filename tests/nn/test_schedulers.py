@@ -1,0 +1,81 @@
+"""Tests for learning-rate schedulers and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.optim import SGD, CosineAnnealingLR, StepLR
+from repro.nn.tensor import Parameter
+
+
+@pytest.fixture()
+def optimizer():
+    return SGD([Parameter(np.ones(2))], lr=1.0)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self, optimizer):
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        rates = [scheduler.step() for _ in range(5)]
+        np.testing.assert_allclose(rates, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_applies_to_optimizer(self, optimizer):
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == 0.5
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+
+
+class TestCosineLR:
+    def test_endpoints(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.1)
+        rates = [scheduler.step() for _ in range(10)]
+        assert rates[0] < 1.0
+        np.testing.assert_allclose(rates[-1], 0.1, atol=1e-12)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_past_horizon(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=2, min_lr=0.0)
+        for _ in range(5):
+            rate = scheduler.step()
+        assert rate == pytest.approx(0.0)
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_epochs=0)
+
+
+class TestTrainerIntegration:
+    def test_early_stopping_restores_best(self, train_dataset, test_dataset,
+                                          tiny_model_config):
+        from repro.models import DNNRanker
+        from repro.training import TrainConfig, Trainer, evaluate
+        model = DNNRanker(train_dataset.spec, tiny_model_config)
+        config = TrainConfig(epochs=6, batch_size=512, learning_rate=3e-3,
+                             early_stop_patience=2)
+        result = Trainer(model, config).fit(train_dataset, eval_dataset=test_dataset)
+        # Final metrics come from the best epoch, and the restored weights
+        # actually evaluate to that AUC.
+        best = max(r.eval_auc for r in result.history)
+        assert result.final_auc == pytest.approx(best)
+        assert evaluate(model, test_dataset)["auc"] == pytest.approx(best, abs=1e-9)
+
+    def test_lr_schedule_option(self, train_dataset, tiny_model_config):
+        from repro.models import DNNRanker
+        from repro.training import TrainConfig, Trainer
+        model = DNNRanker(train_dataset.spec, tiny_model_config)
+        config = TrainConfig(epochs=2, batch_size=1024, learning_rate=1e-2,
+                             lr_schedule="cosine")
+        trainer = Trainer(model, config)
+        trainer.fit(train_dataset)
+        assert trainer.optimizer.lr < 1e-2
+
+    def test_invalid_schedule_rejected(self):
+        from repro.training import TrainConfig
+        with pytest.raises(ValueError):
+            TrainConfig(lr_schedule="linear")
+        with pytest.raises(ValueError):
+            TrainConfig(early_stop_patience=0)

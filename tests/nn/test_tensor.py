@@ -1,0 +1,367 @@
+"""Autograd engine tests: op semantics + finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn.tensor import Tensor, _unbroadcast, as_tensor, concatenate, stack
+
+EPS = 1e-6
+TOL = 1e-7
+
+
+def numeric_grad(fn, x, eps=EPS):
+    """Central finite differences of sum(fn(x)) wrt x."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn(Tensor(x)).data.sum())
+        flat[i] = orig - eps
+        minus = float(fn(Tensor(x)).data.sum())
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(fn, x, tol=TOL):
+    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    out = fn(t)
+    out.sum().backward()
+    expected = numeric_grad(fn, np.asarray(x, dtype=np.float64))
+    np.testing.assert_allclose(t.grad, expected, atol=tol, rtol=1e-5)
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_scalar(self):
+        assert as_tensor(2.5).data == 2.5
+
+    def test_item(self):
+        assert Tensor([3.0]).item() == 3.0
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_backward_requires_grad_flag(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_shape_mismatch(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward(np.ones(3))
+
+    def test_grad_accumulates(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_grad_disables_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with nn.no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_parameter_requires_grad_inside_no_grad(self):
+        with nn.no_grad():
+            p = nn.Parameter(np.ones(3))
+        assert p.requires_grad
+
+    def test_repr(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+        assert "Parameter(shape=(2,))" == repr(nn.Parameter(np.ones(2)))
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)) is g
+
+    def test_sums_prepended_axis(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_sums_stretched_axis(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(_unbroadcast(g, ()), 6.0)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_grad(lambda t: t + 3.0, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        b = Tensor(np.random.default_rng(1).normal(size=(4,)))
+        check_grad(lambda t: (t + b) ** 2, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_sub(self):
+        check_grad(lambda t: (5.0 - t) * t, np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_mul(self):
+        c = Tensor(np.random.default_rng(1).normal(size=(2, 3)))
+        check_grad(lambda t: t * c * t, np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_div(self):
+        denominator = Tensor(np.random.default_rng(1).normal(size=(2, 3)) + 3.0)
+        check_grad(lambda t: t / denominator, np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_rdiv(self):
+        check_grad(lambda t: 2.0 / t, np.abs(np.random.default_rng(0).normal(size=(2, 3))) + 1.0)
+
+    def test_neg(self):
+        check_grad(lambda t: -t * 2.0, np.random.default_rng(0).normal(size=(3,)))
+
+    def test_pow(self):
+        check_grad(lambda t: t ** 3, np.random.default_rng(0).normal(size=(2, 2)))
+
+    def test_pow_non_scalar_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_both_sides_get_grads(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a * b).backward()
+        assert a.grad[0] == 3.0 and b.grad[0] == 2.0
+
+
+class TestMatmulGradients:
+    def test_2d_2d(self):
+        w = Tensor(np.random.default_rng(1).normal(size=(4, 5)))
+        check_grad(lambda t: t @ w, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_weight_side(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        check_grad(lambda w: Tensor(x) @ w, np.random.default_rng(1).normal(size=(4, 5)))
+
+    def test_1d_2d(self):
+        w = Tensor(np.random.default_rng(1).normal(size=(4, 5)))
+        check_grad(lambda t: t @ w, np.random.default_rng(0).normal(size=(4,)))
+
+    def test_2d_1d(self):
+        v = Tensor(np.random.default_rng(1).normal(size=(4,)))
+        check_grad(lambda t: t @ v, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_matmul_value(self):
+        a = np.random.default_rng(0).normal(size=(2, 3))
+        b = np.random.default_rng(1).normal(size=(3, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestElementwiseGradients:
+    def test_exp(self):
+        check_grad(lambda t: t.exp(), np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_log(self):
+        check_grad(lambda t: t.log(), np.abs(np.random.default_rng(0).normal(size=(2, 3))) + 0.5)
+
+    def test_sqrt(self):
+        check_grad(lambda t: t.sqrt(), np.abs(np.random.default_rng(0).normal(size=(5,))) + 1.0)
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh(), np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid(), np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([-800.0, 800.0]).sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out.data))
+
+    def test_relu(self):
+        check_grad(lambda t: t.relu(), np.random.default_rng(0).normal(size=(3, 3)) + 0.05)
+
+    def test_relu_zero_gradient_in_negative_region(self):
+        t = Tensor([-1.0, 2.0], requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0])
+
+    def test_abs(self):
+        check_grad(lambda t: t.abs(), np.random.default_rng(0).normal(size=(4,)) + 0.1)
+
+    def test_clip_values(self):
+        t = Tensor([-2.0, 0.5, 3.0])
+        np.testing.assert_allclose(t.clip(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+    def test_clip_gradient_masked(self):
+        t = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_grad(lambda t: t.sum() * 2.0, np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_sum_axis(self):
+        check_grad(lambda t: t.sum(axis=1) ** 2, np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_sum_axis_keepdims(self):
+        check_grad(lambda t: t.sum(axis=0, keepdims=True) * t,
+                   np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_sum_tuple_axis(self):
+        check_grad(lambda t: t.sum(axis=(1, 2)), np.random.default_rng(0).normal(size=(2, 3, 4)))
+
+    def test_mean(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        assert np.isclose(Tensor(x).mean().item(), x.mean())
+        check_grad(lambda t: t.mean(axis=1), x)
+
+    def test_max_all(self):
+        check_grad(lambda t: t.max(), np.array([[1.0, 5.0], [2.0, 3.0]]))
+
+    def test_max_axis(self):
+        check_grad(lambda t: t.max(axis=1), np.array([[1.0, 5.0], [7.0, 3.0]]))
+
+    def test_max_splits_grad_among_ties(self):
+        t = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5, 0.0])
+
+    def test_min(self):
+        x = np.array([[1.0, 5.0], [7.0, 3.0]])
+        np.testing.assert_allclose(Tensor(x).min(axis=1).data, [1.0, 3.0])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_grad(lambda t: t.reshape(6) * Tensor(np.arange(6.0)),
+                   np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_reshape_tuple_arg(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_flatten(self):
+        assert Tensor(np.zeros((2, 3))).flatten().shape == (6,)
+
+    def test_transpose(self):
+        check_grad(lambda t: t.T @ Tensor(np.random.default_rng(1).normal(size=(2, 2))),
+                   np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_transpose_axes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4))
+        check_grad(lambda t: t.transpose((2, 0, 1)).sum(axis=0), x)
+
+    def test_getitem_slice(self):
+        check_grad(lambda t: t[:, 1:3] ** 2, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_getitem_int_row(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t[0].sum().backward()
+        np.testing.assert_allclose(t.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_take_rows_gather(self):
+        t = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        out = t.take_rows(np.array([1, 1, 3]))
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [[0, 0], [2, 2], [0, 0], [1, 1]])
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * Tensor(np.arange(10.0).reshape(2, 5))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [5, 6]])
+        np.testing.assert_allclose(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+
+class TestComparisons:
+    def test_gt_returns_numpy(self):
+        result = Tensor([1.0, 3.0]) > 2.0
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_array_equal(result, [False, True])
+
+    def test_comparison_with_tensor(self):
+        np.testing.assert_array_equal(Tensor([1.0]) <= Tensor([1.0]), [True])
+
+
+class TestDeepGraph:
+    def test_long_chain_does_not_recurse(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out * 1.0001
+        out.backward()
+        assert t.grad is not None and np.isfinite(t.grad).all()
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        t = Tensor([2.0], requires_grad=True)
+        a = t * 3.0
+        b = t * 4.0
+        (a + b).backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=5),
+                  elements=st.floats(-3, 3)))
+def test_property_sigmoid_tanh_identity(x):
+    """sigmoid(2x) == (tanh(x) + 1) / 2 for all finite inputs."""
+    left = Tensor(x * 2).sigmoid().data
+    right = (np.tanh(x) + 1.0) / 2.0
+    np.testing.assert_allclose(left, right, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.float64, (4, 3), elements=st.floats(-5, 5)))
+def test_property_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, (3, 4), elements=st.floats(-2, 2, allow_nan=False)),
+       hnp.arrays(np.float64, (4, 2), elements=st.floats(-2, 2, allow_nan=False)))
+def test_property_matmul_grad_matches_numeric(a, b):
+    bt = Tensor(b)
+    check_grad(lambda t: t @ bt, a, tol=1e-6)

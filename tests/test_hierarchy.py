@@ -1,0 +1,129 @@
+"""Tests for the category taxonomy (paper Figure 1 / Table 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import (SEMANTIC_GROUPS, SubCategory, Taxonomy, TopCategory,
+                             default_taxonomy, random_taxonomy)
+
+
+class TestTaxonomyConstruction:
+    def test_duplicate_tc_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy(top_categories=[TopCategory(0, "A"), TopCategory(0, "B")],
+                     sub_categories=[])
+
+    def test_duplicate_sc_rejected(self):
+        tops = [TopCategory(0, "A")]
+        subs = [SubCategory(0, "x", 0), SubCategory(0, "y", 0)]
+        with pytest.raises(ValueError):
+            Taxonomy(top_categories=tops, sub_categories=subs)
+
+    def test_orphan_sc_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy(top_categories=[TopCategory(0, "A")],
+                     sub_categories=[SubCategory(0, "x", 99)])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy(top_categories=[TopCategory(-1, "A")], sub_categories=[])
+
+
+class TestDefaultTaxonomy:
+    def test_contains_paper_categories(self):
+        taxonomy = default_taxonomy()
+        names = {tc.name for tc in taxonomy.top_categories}
+        for paper_name in ("Clothing", "Sports", "Foods", "Computer",
+                           "Electronics", "Mobile Phone", "Books"):
+            assert paper_name in names
+
+    def test_semantic_groups_match_table4(self):
+        taxonomy = default_taxonomy()
+        groups = taxonomy.semantic_groups()
+        assert set(groups) == set(SEMANTIC_GROUPS)
+        by_name = {tc.name: tc.semantic_group for tc in taxonomy.top_categories}
+        assert by_name["Mobile Phone"] == "electronics"
+        assert by_name["Clothing"] == "fashion"
+        assert by_name["Foods"] == "daily_necessities"
+
+    def test_every_tc_has_children(self):
+        taxonomy = default_taxonomy()
+        for tc in taxonomy.top_categories:
+            assert len(taxonomy.children_of(tc.tc_id)) >= 2
+
+    def test_sc_ids_dense(self):
+        taxonomy = default_taxonomy()
+        ids = sorted(sc.sc_id for sc in taxonomy.sub_categories)
+        assert ids == list(range(len(ids)))
+
+    def test_describe_mentions_counts(self):
+        text = default_taxonomy().describe()
+        assert "top categories" in text
+
+
+class TestLookups:
+    @pytest.fixture()
+    def taxonomy(self):
+        return default_taxonomy()
+
+    def test_parent_of(self, taxonomy):
+        sc = taxonomy.sub_categories[0]
+        assert taxonomy.parent_of(sc.sc_id) == sc.tc_id
+
+    def test_parents_of_vectorized(self, taxonomy):
+        sc_ids = np.array([s.sc_id for s in taxonomy.sub_categories])
+        parents = taxonomy.parents_of(sc_ids)
+        expected = np.array([s.tc_id for s in taxonomy.sub_categories])
+        np.testing.assert_array_equal(parents, expected)
+
+    def test_parents_of_unknown_raises(self, taxonomy):
+        with pytest.raises(KeyError):
+            taxonomy.parents_of(np.array([taxonomy.max_sc_id() + 500]))
+
+    def test_siblings_exclude_self(self, taxonomy):
+        sc = taxonomy.sub_categories[0]
+        siblings = taxonomy.siblings_of(sc.sc_id)
+        assert sc.sc_id not in siblings
+        assert all(taxonomy.parent_of(s) == sc.tc_id for s in siblings)
+
+    def test_children_roundtrip(self, taxonomy):
+        for tc in taxonomy.top_categories:
+            for child in taxonomy.children_of(tc.tc_id):
+                assert taxonomy.parent_of(child) == tc.tc_id
+
+    def test_semantic_group_of(self, taxonomy):
+        for tc in taxonomy.top_categories:
+            assert taxonomy.semantic_group_of(tc.tc_id) == tc.semantic_group
+
+    def test_max_ids(self, taxonomy):
+        assert taxonomy.max_sc_id() == max(s.sc_id for s in taxonomy.sub_categories)
+        assert taxonomy.max_tc_id() == max(t.tc_id for t in taxonomy.top_categories)
+
+
+class TestRandomTaxonomy:
+    def test_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        taxonomy = random_taxonomy(num_top=12, subs_per_top=(2, 5), rng=rng)
+        assert taxonomy.num_top_categories == 12
+        for tc in taxonomy.top_categories:
+            assert 2 <= len(taxonomy.children_of(tc.tc_id)) <= 5
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_taxonomy(0, (1, 2), rng)
+        with pytest.raises(ValueError):
+            random_taxonomy(3, (2, 1), rng)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 4), st.integers(0, 3), st.integers(0, 1000))
+    def test_property_tree_invariants(self, num_top, low, extra, seed):
+        """Every SC has exactly one parent; children partition the SC set."""
+        rng = np.random.default_rng(seed)
+        taxonomy = random_taxonomy(num_top, (low, low + extra), rng)
+        all_children = [c for tc in taxonomy.top_categories
+                        for c in taxonomy.children_of(tc.tc_id)]
+        assert sorted(all_children) == sorted(s.sc_id for s in taxonomy.sub_categories)
+        assert len(set(all_children)) == len(all_children)

@@ -1,0 +1,99 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These walk the full pipeline the README advertises: world → log → dataset →
+model → training → evaluation → analysis → checkpointing, at a tiny scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_gate_clustering, pick_case_session, run_case_study
+from repro.data import (LogConfig, WorldConfig, SyntheticWorld, dataset_from_log,
+                        simulate_log, train_test_split)
+from repro.hierarchy import random_taxonomy
+from repro.models import ModelConfig, build_model, extract_dedicated_model
+from repro.querycat import QueryCategoryClassifier, QueryClassifierConfig, train_classifier
+from repro.training import TrainConfig, Trainer, evaluate
+from repro.utils import load_model, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """A fully trained combined model on a fresh random taxonomy."""
+    rng = np.random.default_rng(99)
+    taxonomy = random_taxonomy(num_top=8, subs_per_top=(2, 4), rng=rng)
+    world = SyntheticWorld.generate(taxonomy, WorldConfig(seed=11))
+    log = simulate_log(world, LogConfig(seed=12, num_queries=500))
+    dataset = dataset_from_log(log)
+    train, test = train_test_split(dataset, seed=13)
+    config = ModelConfig(embedding_dim=4, hidden_sizes=(10,), num_experts=6,
+                         top_k=2, num_disagreeing=1, seed=0)
+    model = build_model("adv-hsc-moe", dataset.spec, taxonomy, config,
+                        train_dataset=train)
+    trainer = Trainer(model, TrainConfig(epochs=3, batch_size=256,
+                                         learning_rate=3e-3))
+    result = trainer.fit(train, eval_dataset=test)
+    return dict(taxonomy=taxonomy, world=world, log=log, dataset=dataset,
+                train=train, test=test, model=model, result=result,
+                config=config)
+
+
+class TestFullPipeline:
+    def test_model_learns_on_random_taxonomy(self, pipeline):
+        """The system is not tied to the hand-written taxonomy."""
+        assert pipeline["result"].final_auc > 0.6
+
+    def test_metrics_consistent(self, pipeline):
+        metrics = evaluate(pipeline["model"], pipeline["test"])
+        assert metrics["auc"] == pytest.approx(pipeline["result"].final_auc)
+
+    def test_analysis_runs_on_trained_model(self, pipeline):
+        analysis = analyze_gate_clustering(pipeline["model"], pipeline["test"],
+                                           max_examples=60, run_tsne=False)
+        assert np.isfinite(analysis.silhouette_gate)
+
+    def test_case_study_on_trained_model(self, pipeline):
+        rows = pick_case_session(pipeline["test"], num_negatives=1, seed=0)
+        case = run_case_study(pipeline["model"], pipeline["test"], rows)
+        assert len(case.items) == 2
+
+    def test_extraction_from_trained_model(self, pipeline):
+        sc = int(pipeline["train"].query_sc[0])
+        dedicated = extract_dedicated_model(pipeline["model"], sc, pipeline["train"])
+        rows = np.flatnonzero(pipeline["test"].query_sc == sc)
+        if rows.size:
+            batch = pipeline["test"].batch(rows[:10])
+            np.testing.assert_allclose(dedicated.predict(batch),
+                                       pipeline["model"].predict(batch), atol=1e-10)
+
+    def test_checkpoint_roundtrip_preserves_metrics(self, pipeline, tmp_path):
+        save_checkpoint(pipeline["model"], tmp_path / "model",
+                        model_name="adv-hsc-moe")
+        restored = load_model(tmp_path / "model", pipeline["dataset"].spec,
+                              pipeline["taxonomy"], train_dataset=pipeline["train"])
+        original = evaluate(pipeline["model"], pipeline["test"])["auc"]
+        assert evaluate(restored, pipeline["test"])["auc"] == pytest.approx(original)
+
+    def test_query_classifier_feeds_gate_ids(self, pipeline):
+        """§4.1 end to end: classify query text, route through the gate."""
+        queries = pipeline["log"].queries
+        taxonomy = pipeline["taxonomy"]
+        classifier = QueryCategoryClassifier(
+            queries.vocab_size, taxonomy.max_sc_id() + 1,
+            QueryClassifierConfig(embedding_dim=8, hidden_size=8, epochs=2))
+        outcome = train_classifier(classifier, queries, taxonomy)
+        assert outcome.sc_accuracy >= 0.0
+        predicted = classifier.predict_sc(queries.tokens[:4], queries.lengths[:4])
+        parents = taxonomy.parents_of(predicted)
+        assert parents.shape == (4,)
+
+    def test_training_is_deterministic_end_to_end(self, pipeline):
+        config = pipeline["config"]
+        def run():
+            model = build_model("adv-hsc-moe", pipeline["dataset"].spec,
+                                pipeline["taxonomy"], config,
+                                train_dataset=pipeline["train"])
+            Trainer(model, TrainConfig(epochs=1, batch_size=512,
+                                       learning_rate=3e-3, seed=5)).fit(pipeline["train"])
+            return model.predict(pipeline["test"].batch(np.arange(20)))
+        np.testing.assert_allclose(run(), run())

@@ -1,0 +1,76 @@
+"""Tests for model checkpointing (save/load roundtrips)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.utils import load_checkpoint, load_model, save_checkpoint
+
+
+@pytest.fixture()
+def batch(test_dataset):
+    return test_dataset.batch(np.arange(32))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ["dnn", "adv-hsc-moe", "4-mmoe"])
+    def test_predictions_identical_after_reload(self, name, train_dataset,
+                                                taxonomy, tiny_model_config,
+                                                batch, tmp_path):
+        model = build_model(name, train_dataset.spec, taxonomy,
+                            tiny_model_config, train_dataset=train_dataset)
+        before = model.predict(batch)
+        save_checkpoint(model, tmp_path / "ckpt", model_name=name)
+        restored = load_model(tmp_path / "ckpt", train_dataset.spec, taxonomy,
+                              train_dataset=train_dataset)
+        np.testing.assert_allclose(restored.predict(batch), before, atol=1e-12)
+
+    def test_config_restored(self, train_dataset, taxonomy, tiny_model_config, tmp_path):
+        model = build_model("moe", train_dataset.spec, taxonomy, tiny_model_config)
+        save_checkpoint(model, tmp_path / "m", model_name="moe")
+        restored = load_model(tmp_path / "m", train_dataset.spec, taxonomy)
+        assert restored.config == tiny_model_config
+
+    def test_extra_metadata_persisted(self, train_dataset, taxonomy,
+                                      tiny_model_config, tmp_path):
+        model = build_model("dnn", train_dataset.spec, taxonomy, tiny_model_config)
+        save_checkpoint(model, tmp_path / "m", model_name="dnn",
+                        extra={"auc": 0.82})
+        _, meta = load_checkpoint(tmp_path / "m")
+        assert meta["extra"]["auc"] == 0.82
+        assert meta["model_name"] == "dnn"
+
+    def test_mmoe_bucket_assignment_persisted(self, train_dataset, taxonomy,
+                                              tiny_model_config, tmp_path, batch):
+        model = build_model("4-mmoe", train_dataset.spec, taxonomy,
+                            tiny_model_config, train_dataset=train_dataset)
+        save_checkpoint(model, tmp_path / "m", model_name="4-mmoe")
+        # Reload WITHOUT the training dataset: routing must still match
+        # because bucket assignment travels in the checkpoint.
+        restored = load_model(tmp_path / "m", train_dataset.spec, taxonomy)
+        assert restored.bucket_assignment == model.bucket_assignment
+        np.testing.assert_allclose(restored.predict(batch), model.predict(batch))
+
+
+class TestErrors:
+    def test_missing_checkpoint(self, train_dataset, taxonomy, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_partial_checkpoint(self, train_dataset, taxonomy, tiny_model_config,
+                                tmp_path):
+        model = build_model("dnn", train_dataset.spec, taxonomy, tiny_model_config)
+        save_checkpoint(model, tmp_path / "m", model_name="dnn")
+        (tmp_path / "m.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "m")
+
+    def test_version_check(self, train_dataset, taxonomy, tiny_model_config, tmp_path):
+        import json
+        model = build_model("dnn", train_dataset.spec, taxonomy, tiny_model_config)
+        save_checkpoint(model, tmp_path / "m", model_name="dnn")
+        meta = json.loads((tmp_path / "m.json").read_text())
+        meta["format_version"] = 999
+        (tmp_path / "m.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_checkpoint(tmp_path / "m")

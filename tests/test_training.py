@@ -1,0 +1,129 @@
+"""Tests for the Trainer, evaluation, and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.models import DNNRanker, ModelConfig
+from repro.training import (GridPoint, TrainConfig, Trainer, evaluate,
+                            grid_search, lambda_grid, predict_dataset)
+
+
+@pytest.fixture()
+def small_train(train_dataset):
+    return train_dataset.subset(np.arange(min(2000, len(train_dataset))))
+
+
+@pytest.fixture()
+def small_test(test_dataset):
+    return test_dataset
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="rmsprop")
+
+
+class TestTrainer:
+    def test_loss_decreases(self, small_train, tiny_model_config):
+        model = DNNRanker(small_train.spec, tiny_model_config)
+        trainer = Trainer(model, TrainConfig(epochs=3, batch_size=256,
+                                             learning_rate=3e-3))
+        result = trainer.fit(small_train)
+        losses = [r.train_loss for r in result.history]
+        assert losses[-1] < losses[0]
+
+    def test_history_records_eval(self, small_train, small_test, tiny_model_config):
+        model = DNNRanker(small_train.spec, tiny_model_config)
+        trainer = Trainer(model, TrainConfig(epochs=2, batch_size=512,
+                                             learning_rate=3e-3))
+        result = trainer.fit(small_train, eval_dataset=small_test)
+        assert len(result.history) == 2
+        assert all(r.eval_auc is not None for r in result.history)
+        assert result.final_auc == result.history[-1].eval_auc
+        assert result.best_auc >= result.final_auc - 1e-12
+
+    def test_learns_better_than_chance(self, train_dataset, small_test, tiny_model_config):
+        model = DNNRanker(train_dataset.spec, tiny_model_config)
+        trainer = Trainer(model, TrainConfig(epochs=6, batch_size=256,
+                                             learning_rate=3e-3))
+        result = trainer.fit(train_dataset, eval_dataset=small_test)
+        assert result.final_auc > 0.65
+
+    def test_final_eval_without_per_epoch(self, small_train, small_test, tiny_model_config):
+        model = DNNRanker(small_train.spec, tiny_model_config)
+        config = TrainConfig(epochs=2, batch_size=512, learning_rate=3e-3,
+                             eval_every_epoch=False)
+        result = Trainer(model, config).fit(small_train, eval_dataset=small_test)
+        assert result.final_auc is not None
+        assert result.history[0].eval_auc is None
+
+    def test_optimizer_choices(self, small_train, tiny_model_config):
+        for optimizer in ("adamw", "adam", "sgd"):
+            model = DNNRanker(small_train.spec, tiny_model_config)
+            trainer = Trainer(model, TrainConfig(epochs=1, batch_size=1024,
+                                                 learning_rate=1e-3,
+                                                 optimizer=optimizer))
+            result = trainer.fit(small_train)
+            assert np.isfinite(result.history[0].train_loss)
+
+    def test_deterministic_given_seed(self, small_train, tiny_model_config):
+        def run():
+            model = DNNRanker(small_train.spec, tiny_model_config)
+            trainer = Trainer(model, TrainConfig(epochs=1, batch_size=512,
+                                                 learning_rate=1e-3, seed=11))
+            trainer.fit(small_train)
+            return model.state_dict()
+        a, b = run(), run()
+        for key in a:
+            np.testing.assert_allclose(a[key], b[key])
+
+
+class TestEvaluate:
+    def test_metric_keys(self, small_train, small_test, tiny_model_config):
+        model = DNNRanker(small_train.spec, tiny_model_config)
+        metrics = evaluate(model, small_test, ndcg_k=10)
+        assert set(metrics) == {"auc", "ndcg", "ndcg@10"}
+        assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+    def test_predict_dataset_batched_matches_full(self, small_test, tiny_model_config):
+        model = DNNRanker(small_test.spec, tiny_model_config)
+        batched = predict_dataset(model, small_test, batch_size=100)
+        full = model.predict(small_test.full_batch())
+        np.testing.assert_allclose(batched, full, atol=1e-12)
+
+
+class TestGridSearch:
+    def test_lambda_grid_powers_of_ten(self):
+        assert lambda_grid(-3, -1) == [1e-3, 1e-2, 1e-1]
+        with pytest.raises(ValueError):
+            lambda_grid(-1, -3)
+
+    def test_grid_runs_all_points(self, small_train, small_test, tiny_model_config):
+        calls = []
+
+        def build(params):
+            calls.append(params)
+            return DNNRanker(small_train.spec,
+                             tiny_model_config.with_updates(**params))
+        results = grid_search({"embedding_dim": [2, 4]}, build,
+                              small_train, small_test,
+                              TrainConfig(epochs=1, batch_size=1024,
+                                          learning_rate=3e-3))
+        assert len(results) == 2
+        assert all(isinstance(r, GridPoint) for r in results)
+        assert calls == [{"embedding_dim": 2}, {"embedding_dim": 4}]
+
+    def test_infeasible_points_skipped(self, small_train, small_test, tiny_model_config):
+        def build(params):
+            if params["num_experts"] < 4:
+                raise ValueError("infeasible")
+            return DNNRanker(small_train.spec, tiny_model_config)
+        results = grid_search({"num_experts": [2, 6]}, build,
+                              small_train, small_test,
+                              TrainConfig(epochs=1, batch_size=1024,
+                                          learning_rate=3e-3))
+        assert len(results) == 1
+        assert results[0].params == {"num_experts": 6}
