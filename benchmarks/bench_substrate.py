@@ -1,7 +1,14 @@
 """Micro-benchmarks of the substrates (autograd, data generator, metrics).
 
 Not paper tables — these track the cost of the building blocks so
-regressions in the pure-numpy engine are visible.
+regressions in the pure-numpy engine are visible.  The MLP step benchmark
+comes in three flavours so the fast-path speedups are tracked explicitly:
+
+* ``test_mlp_forward_backward``          — fused kernels, float64 (default)
+* ``test_mlp_forward_backward_unfused``  — the seed's per-op graph (baseline)
+* ``test_mlp_forward_backward_float32``  — fused kernels + float32 fast mode
+
+Acceptance target: fused+float32 >= 1.5x the unfused float64 baseline.
 """
 
 import numpy as np
@@ -12,11 +19,30 @@ from repro.hierarchy import default_taxonomy
 from repro.metrics import session_auc, session_ndcg
 
 
-def test_mlp_forward_backward(benchmark):
+def _unfused_forward(tower, x):
+    """The seed's MLP path: one graph node per Linear / ReLU module."""
+    for module in tower._items:
+        x = module(x)
+    return x
+
+
+def _unfused_bce_with_logits(logits, targets):
+    """The seed's 8-node BCE chain (relu/mul/abs/neg/exp/add/log/mean)."""
+    targets = nn.as_tensor(targets)
+    loss = logits.relu() - logits * targets + (1.0 + (-(logits.abs())).exp()).log()
+    return loss.mean()
+
+
+def _make_tower_and_batch(dtype=np.float64):
     rng = np.random.default_rng(0)
-    tower = nn.MLP(64, [512, 256], 1, rng=rng)
-    x = nn.Tensor(rng.normal(size=(256, 64)))
-    y = rng.integers(0, 2, size=(256, 1)).astype(np.float64)
+    tower = nn.MLP(64, [512, 256], 1, rng=rng).astype(dtype)
+    x = nn.Tensor(rng.normal(size=(256, 64)).astype(dtype))
+    y = rng.integers(0, 2, size=(256, 1)).astype(dtype)
+    return tower, x, y
+
+
+def test_mlp_forward_backward(benchmark):
+    tower, x, y = _make_tower_and_batch()
 
     def step():
         tower.zero_grad()
@@ -26,6 +52,49 @@ def test_mlp_forward_backward(benchmark):
 
     result = benchmark(step)
     assert np.isfinite(result)
+
+
+def test_mlp_forward_backward_unfused(benchmark):
+    tower, x, y = _make_tower_and_batch()
+
+    def step():
+        tower.zero_grad()
+        loss = _unfused_bce_with_logits(_unfused_forward(tower, x), y)
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_mlp_forward_backward_float32(benchmark):
+    tower, x, y = _make_tower_and_batch(np.float32)
+
+    def step():
+        tower.zero_grad()
+        loss = nn.losses.bce_with_logits(tower(x), y)
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+    assert all(p.dtype == np.float32 for p in tower.parameters())
+
+
+def test_adamw_step_float64_vs_inplace(benchmark):
+    """In-place AdamW update over paper-sized parameters."""
+    rng = np.random.default_rng(0)
+    tower = nn.MLP(64, [512, 256], 1, rng=rng)
+    params = list(tower.parameters())
+    optimizer = nn.optim.AdamW(params, lr=1e-4)
+    for p in params:
+        p.grad = rng.normal(size=p.shape)
+
+    def step():
+        optimizer.step()
+        return optimizer.step_count
+
+    assert benchmark(step) > 0
 
 
 def test_embedding_lookup_backward(benchmark):

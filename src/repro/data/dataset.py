@@ -143,6 +143,12 @@ class LTRDataset:
         return Batch(numeric=self.numeric, sparse=self.sparse,
                      labels=self.labels, session_ids=self.session_ids)
 
+    def num_batches(self, batch_size: int) -> int:
+        """How many batches :meth:`iter_batches` will yield for this size."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        return -(-len(self) // batch_size)
+
     def iter_batches(self, batch_size: int, rng: np.random.Generator | None = None,
                      shuffle: bool = True):
         """Yield shuffled minibatches of ``batch_size`` rows."""

@@ -37,5 +37,7 @@ class DNNRanker(RankingModel):
     def loss(self, batch: Batch, rng: np.random.Generator | None = None
              ) -> tuple[nn.Tensor, dict[str, float]]:
         output = self.forward(batch)
-        ce = nn.losses.bce_with_logits(output.logits, batch.labels.astype(np.float64))
+        # The fused BCE kernel casts labels to the logits dtype itself, so no
+        # up-front float64 copy is needed (and float32 mode stays float32).
+        ce = nn.losses.bce_with_logits(output.logits, batch.labels)
         return ce, {"ce": ce.item()}

@@ -115,7 +115,9 @@ class MoERanker(RankingModel):
         rng = rng if rng is not None else self._rng
         output = self.forward(batch)
         gate = output.extras["gate"]
-        ce = nn.losses.bce_with_logits(output.logits, batch.labels.astype(np.float64))
+        # The fused BCE kernel casts labels to the logits dtype itself, so no
+        # up-front float64 copy is needed (and float32 mode stays float32).
+        ce = nn.losses.bce_with_logits(output.logits, batch.labels)
         total = ce
         diagnostics = {"ce": ce.item()}
 

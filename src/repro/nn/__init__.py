@@ -5,11 +5,13 @@ layers, recurrent cells, losses, optimizers) sufficient to train every model
 in the paper on CPU.  See DESIGN.md §3 for the inventory.
 """
 
-from . import functional, init, losses, optim
+from . import functional, gradcheck, init, losses, optim
 from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sigmoid, Tanh
 from .module import Module, ModuleList, Sequential
 from .rnn import GRU, BiGRU, GRUCell
-from .tensor import Parameter, Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (Parameter, Tensor, as_tensor, concatenate, default_dtype,
+                     get_default_dtype, is_grad_enabled, no_grad,
+                     set_default_dtype, stack)
 
 __all__ = [
     "Tensor",
@@ -19,6 +21,9 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "Module",
     "ModuleList",
     "Sequential",
@@ -33,6 +38,7 @@ __all__ = [
     "GRU",
     "BiGRU",
     "functional",
+    "gradcheck",
     "init",
     "losses",
     "optim",

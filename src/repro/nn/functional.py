@@ -3,13 +3,23 @@
 These cover everything the paper's models need: stable (masked) softmax for
 the noisy top-k gate, log-softmax/cross-entropy for the query classifier,
 dropout, and axis-wise gathers used to pick top-K expert weights per example.
+
+Fused fast-path kernels
+-----------------------
+``linear_relu``, ``softmax_cross_entropy`` and ``bce_with_logits_fused``
+collapse what would be a 3-5 node autograd chain into one graph node with a
+single analytic backward closure.  That removes per-node Python dispatch,
+intermediate array allocations, and redundant mask/exp recomputation — the
+dominant costs of the pure-numpy engine on MLP towers and losses.  Every op
+here must pass :func:`repro.nn.gradcheck.check_grad` in float64 (the test
+suite sweeps ``__all__``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, is_grad_enabled
+from .tensor import Tensor, _stable_sigmoid, _unbroadcast, as_tensor, is_grad_enabled
 
 __all__ = [
     "relu",
@@ -22,8 +32,10 @@ __all__ = [
     "take_along_axis",
     "scatter_topk_mask",
     "one_hot",
+    "linear_relu",
+    "softmax_cross_entropy",
+    "bce_with_logits_fused",
 ]
-
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
@@ -96,9 +108,8 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     masked_data = np.where(mask, x.data, neg_inf)
     masked = x._make_child(masked_data, (x,), "mask_fill")
     if masked.requires_grad:
-        mask_f = mask.astype(np.float64)
         def _backward():
-            x._accumulate(masked.grad * mask_f)
+            x._accumulate(masked.grad * mask)
         masked._backward = _backward
     return softmax(masked, axis=axis)
 
@@ -111,7 +122,7 @@ def dropout(x: Tensor, p: float, training: bool = True, rng: np.random.Generator
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng if rng is not None else np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / np.asarray(1.0 - p, dtype=x.dtype)
     return x * Tensor(mask)
 
 
@@ -134,6 +145,126 @@ def take_along_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
             idx[axis] = indices
             np.add.at(grad, tuple(idx), out.grad)
             x._accumulate(grad)
+        out._backward = _backward
+    return out
+
+
+def linear_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``relu(x @ W + b)`` — one graph node instead of three.
+
+    The backward closure computes all input gradients from the shared
+    post-activation mask: ``gh = g * (y > 0)``, then ``gx = gh Wᵀ``,
+    ``gW = xᵀ gh``, ``gb = Σ gh``.  Only 2-D ``x`` (batch, features) is
+    supported; callers with exotic shapes should compose the unfused ops.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    bias = as_tensor(bias) if bias is not None else None
+    if x.ndim != 2 or weight.ndim != 2:
+        raise ValueError("linear_relu expects 2-D x and weight")
+    if x.shape[1] != weight.shape[0]:
+        raise ValueError(f"linear_relu shape mismatch: x has {x.shape[1]} features, "
+                         f"weight expects {weight.shape[0]}")
+    h = x.data @ weight.data
+    if bias is not None:
+        h += bias.data
+    np.maximum(h, 0.0, out=h)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = x._make_child(h, parents, "linear_relu")
+    if out.requires_grad:
+        def _backward():
+            gh = out.grad * (out.data > 0)
+            if x.requires_grad:
+                x._accumulate(gh @ weight.data.T)
+            if weight.requires_grad:
+                weight._accumulate(x.data.T @ gh)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(gh.sum(axis=0))
+        out._backward = _backward
+    return out
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
+                          reduction: str = "mean") -> Tensor:
+    """Fused log-softmax + negative log likelihood from integer targets.
+
+    Replaces the log_softmax -> take_along_axis -> neg -> mean chain with a
+    single node whose backward is the classic ``(softmax - onehot) * g``.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("softmax_cross_entropy expects 2-D logits (batch, classes)")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError("targets must be a 1-D array of class indices matching the batch")
+    z = logits.data
+    n = z.shape[0]
+    shifted = z - z.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    total = exps.sum(axis=1, keepdims=True)
+    rows = np.arange(n)
+    nll = np.log(total[:, 0]) - shifted[rows, targets]
+    if reduction == "mean":
+        value = nll.mean()
+    elif reduction == "sum":
+        value = nll.sum()
+    elif reduction == "none":
+        value = nll
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+    out = logits._make_child(np.asarray(value), (logits,), "softmax_xent")
+    if out.requires_grad:
+        probs = exps / total
+        def _backward():
+            if reduction == "none":
+                per_row = out.grad
+            elif reduction == "mean":
+                per_row = np.broadcast_to(out.grad / n, (n,))
+            else:
+                per_row = np.broadcast_to(out.grad, (n,))
+            grad = probs * per_row[:, None]
+            grad[rows, targets] -= per_row
+            logits._accumulate(grad)
+        out._backward = _backward
+    return out
+
+
+def bce_with_logits_fused(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Fused stable binary cross entropy on raw logits.
+
+    Forward uses ``max(x, 0) - x*y + log1p(exp(-|x|))`` (never overflows);
+    backward is the closed form ``gx = g * (sigmoid(x) - y)``, ``gy = -g * x``
+    — one node instead of the 8-node relu/abs/exp/log chain.
+    """
+    logits = as_tensor(logits)
+    # Targets follow the logits dtype (the documented contract): raw arrays
+    # are wrapped at that dtype, and Tensor targets — which as_tensor passes
+    # through untouched — get a differentiable cast.
+    targets = as_tensor(targets, dtype=logits.dtype).astype(logits.dtype)
+    x = logits.data
+    y = targets.data
+    loss = np.maximum(x, 0.0) - x * y + np.log1p(np.exp(-np.abs(x)))
+    if reduction == "mean":
+        value = loss.mean()
+    elif reduction == "sum":
+        value = loss.sum()
+    elif reduction == "none":
+        value = loss
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+    out = logits._make_child(np.asarray(value), (logits, targets), "bce_logits")
+    if out.requires_grad:
+        # Guard size 0: mean of an empty batch is nan (as the unfused path
+        # produced) rather than a ZeroDivisionError at node creation.
+        scale = 1.0 / loss.size if reduction == "mean" and loss.size else 1.0
+        def _backward():
+            g = out.grad if reduction == "none" else out.grad * scale
+            if logits.requires_grad:
+                gx = g * (_stable_sigmoid(x) - y)
+                logits._accumulate(_unbroadcast(np.broadcast_to(gx, loss.shape), x.shape))
+            if targets.requires_grad:
+                gy = g * (-x)
+                targets._accumulate(_unbroadcast(np.broadcast_to(gy, loss.shape), y.shape))
         out._backward = _backward
     return out
 

@@ -1,0 +1,153 @@
+"""Finite-difference gradient checking for the autograd substrate.
+
+This is the verification half of the fast-path work: every differentiable
+op (including the fused kernels in :mod:`repro.nn.functional`) and every
+module can be checked against central finite differences.  All checks run
+in float64 regardless of the process default dtype — ``set_default_dtype``
+may put the hot paths in float32, but correctness is always adjudicated at
+full precision.
+
+Entry points
+------------
+* :func:`numeric_grad` — raw central-difference gradient of ``sum(fn(x))``.
+* :func:`check_grad` — per-op check; raises :class:`GradcheckError` on
+  mismatch (the test suite's workhorse).
+* :func:`gradcheck` — boolean variant of :func:`check_grad`.
+* :func:`gradcheck_module` — per-module check: perturbs every parameter of
+  a module and compares ``d loss / d param`` against finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor, default_dtype, no_grad
+
+__all__ = ["GradcheckError", "numeric_grad", "check_grad", "gradcheck",
+           "gradcheck_module", "EPS", "TOL", "RTOL"]
+
+EPS = 1e-6
+TOL = 1e-7
+RTOL = 1e-5
+
+
+class GradcheckError(AssertionError):
+    """Raised when an analytic gradient disagrees with finite differences."""
+
+
+def numeric_grad(fn: Callable[[Tensor], Tensor], x, eps: float = EPS) -> np.ndarray:
+    """Central finite differences of ``sum(fn(x))`` wrt ``x`` (float64)."""
+    # Defensive C-contiguous copy: the +/-eps sweep writes through a flat
+    # view, which requires contiguity, and must never mutate the caller's
+    # array.
+    x = np.array(x, dtype=np.float64, order="C")
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    with default_dtype(np.float64), no_grad():
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = float(fn(Tensor(x)).data.sum())
+            flat[i] = orig - eps
+            minus = float(fn(Tensor(x)).data.sum())
+            flat[i] = orig
+            gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def analytic_grad(fn: Callable[[Tensor], Tensor], x) -> np.ndarray:
+    """Backprop gradient of ``sum(fn(x))`` wrt ``x``, forced to float64."""
+    with default_dtype(np.float64):
+        t = Tensor(np.array(x, dtype=np.float64, order="C"), requires_grad=True)
+        fn(t).sum().backward()
+    if t.grad is None:
+        raise GradcheckError("fn(x) did not propagate any gradient back to x")
+    return t.grad
+
+
+def check_grad(fn: Callable[[Tensor], Tensor], x, eps: float = EPS,
+               tol: float = TOL, rtol: float = RTOL) -> None:
+    """Assert that backprop through ``fn`` matches finite differences.
+
+    ``fn`` must map a Tensor to a Tensor and be deterministic (pass a freshly
+    seeded rng on every call for stochastic ops like dropout).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    actual = analytic_grad(fn, x)
+    expected = numeric_grad(fn, x, eps=eps)
+    try:
+        np.testing.assert_allclose(actual, expected, atol=tol, rtol=rtol)
+    except AssertionError as exc:
+        raise GradcheckError(f"analytic gradient disagrees with finite differences:\n{exc}") from None
+
+
+def gradcheck(fn: Callable[[Tensor], Tensor], x, eps: float = EPS,
+              tol: float = TOL, rtol: float = RTOL) -> bool:
+    """Boolean variant of :func:`check_grad` for programmatic use."""
+    try:
+        check_grad(fn, x, eps=eps, tol=tol, rtol=rtol)
+    except GradcheckError:
+        return False
+    return True
+
+
+def gradcheck_module(module, x, loss_fn: Callable[[Tensor], Tensor] | None = None,
+                     eps: float = EPS, tol: float = 1e-6, rtol: float = RTOL,
+                     max_entries_per_param: int | None = None,
+                     rng: np.random.Generator | None = None) -> None:
+    """Check every parameter gradient of ``module`` by finite differences.
+
+    The module is cast to float64 in place and switched to eval mode for the
+    duration of the check (training-mode stochasticity — dropout masks, gate
+    noise — would make finite differences meaningless).  ``loss_fn`` maps the
+    module output to the checked scalar (default: ``out.sum()``).  For large
+    modules ``max_entries_per_param`` bounds the cost by sampling that many
+    coordinates per parameter.  Parameter gradients are clobbered by the
+    check and cleared on exit — re-run backward before stepping an optimizer.
+    """
+    if loss_fn is None:
+        loss_fn = lambda out: out.sum()
+    original_dtypes = [param.data.dtype for param in module.parameters()]
+    module.astype(np.float64)
+    was_training = getattr(module, "training", False)
+    module.eval()
+    try:
+        with default_dtype(np.float64):
+            module.zero_grad()
+            loss_fn(module(x)).backward()
+            for name, param in module.named_parameters():
+                if not param.requires_grad:
+                    # Frozen parameters still shape the forward pass, so their
+                    # finite difference is nonzero by design — nothing to check.
+                    continue
+                analytic = param.grad if param.grad is not None else np.zeros_like(param.data)
+                flat = param.data.ravel()
+                if max_entries_per_param is not None and flat.size > max_entries_per_param:
+                    picker = rng if rng is not None else np.random.default_rng(0)
+                    indices = picker.choice(flat.size, size=max_entries_per_param, replace=False)
+                else:
+                    indices = np.arange(flat.size)
+                with no_grad():
+                    for i in indices:
+                        orig = flat[i]
+                        flat[i] = orig + eps
+                        plus = float(loss_fn(module(x)).data.sum())
+                        flat[i] = orig - eps
+                        minus = float(loss_fn(module(x)).data.sum())
+                        flat[i] = orig
+                        expected = (plus - minus) / (2 * eps)
+                        actual = float(analytic.ravel()[i])
+                        if abs(actual - expected) > tol + rtol * abs(expected):
+                            raise GradcheckError(
+                                f"parameter {name!r} entry {i}: analytic {actual:.3e} "
+                                f"vs finite-difference {expected:.3e}")
+    finally:
+        module.train(was_training)
+        for param, original in zip(module.parameters(), original_dtypes):
+            param.data = param.data.astype(original, copy=False)
+        # Clear the check's own gradients so a later optimizer.step() cannot
+        # apply them as a real training update.
+        module.zero_grad()

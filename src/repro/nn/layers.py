@@ -137,10 +137,33 @@ class MLP(Module):
         self._items = items
         for index, module in enumerate(items):
             self.add_module(str(index), module)
+        # Fast-path plan: adjacent Linear+ReLU pairs run through the fused
+        # F.linear_relu kernel (one graph node instead of three).
+        plan: list[tuple[str, Module]] = []
+        index = 0
+        while index < len(items):
+            module = items[index]
+            if isinstance(module, Linear) and index + 1 < len(items) \
+                    and isinstance(items[index + 1], ReLU):
+                plan.append(("linear_relu", module))
+                index += 2
+            else:
+                plan.append(("module", module))
+                index += 1
+        self._plan = plan
 
     def forward(self, x: Tensor) -> Tensor:
-        for module in self._items:
-            x = module(x)
+        x = as_tensor(x)
+        for kind, module in self._plan:
+            if kind == "linear_relu":
+                # The fused kernel only handles 2-D batches; fall back to the
+                # unfused pair elsewhere (identical math either way).
+                if x.ndim == 2:
+                    x = F.linear_relu(x, module.weight, module.bias)
+                else:
+                    x = F.relu(module(x))
+            else:
+                x = module(x)
         return x
 
     def __repr__(self) -> str:

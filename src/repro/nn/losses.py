@@ -18,13 +18,11 @@ def bce_with_logits(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
     """Numerically stable binary cross entropy on raw logits.
 
     Uses the identity ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``
-    which never overflows, unlike composing sigmoid + log.
+    which never overflows, unlike composing sigmoid + log.  Backed by the
+    fused kernel :func:`repro.nn.functional.bce_with_logits_fused` (single
+    graph node, closed-form backward).
     """
-    logits = as_tensor(logits)
-    targets = as_tensor(targets)
-    positive_part = logits.relu()
-    loss = positive_part - logits * targets + (1.0 + (-(logits.abs())).exp()).log()
-    return _reduce(loss, reduction)
+    return F.bce_with_logits_fused(logits, targets, reduction=reduction)
 
 
 def binary_cross_entropy(probs: Tensor, targets, reduction: str = "mean",
@@ -43,16 +41,19 @@ def binary_cross_entropy(probs: Tensor, targets, reduction: str = "mean",
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
-    """Multi-class cross entropy from logits and integer class targets."""
-    logits = as_tensor(logits)
-    targets = np.asarray(targets, dtype=np.int64)
-    if logits.ndim != 2:
-        raise ValueError("cross_entropy expects 2-D logits (batch, classes)")
-    if targets.shape != (logits.shape[0],):
-        raise ValueError("targets must be a 1-D array of class indices matching the batch")
-    log_probs = F.log_softmax(logits, axis=1)
-    picked = F.take_along_axis(log_probs, targets.reshape(-1, 1), axis=1)
-    return _reduce(-picked, reduction)
+    """Multi-class cross entropy from logits and integer class targets.
+
+    Backed by the fused kernel
+    :func:`repro.nn.functional.softmax_cross_entropy` whose backward is the
+    closed-form ``softmax - onehot``.
+    """
+    loss = F.softmax_cross_entropy(logits, targets, reduction=reduction)
+    if reduction == "none":
+        # The fused kernel yields (n,); this wrapper has always returned the
+        # per-example column (n, 1), so keep that contract for callers that
+        # broadcast weights against it.
+        return loss.reshape(-1, 1)
+    return loss
 
 
 def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:

@@ -87,6 +87,20 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter (and pending grad) in place to ``dtype``.
+
+        This is how an already-built model enters float32 fast mode (or back
+        to float64 for gradchecking).  Optimizer state does not follow —
+        build the optimizer after casting.
+        """
+        dtype = np.dtype(dtype)
+        for param in self.parameters():
+            param.data = np.ascontiguousarray(param.data, dtype=dtype)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype, copy=False)
+        return self
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -102,7 +116,7 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
             param.data = value.copy()

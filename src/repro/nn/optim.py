@@ -3,6 +3,12 @@
 The paper trains every model with AdamW (Loshchilov & Hutter 2017) at a
 learning rate of 1e-4 (§5.1.4); AdamW's decoupled weight decay is implemented
 exactly (decay applied to the weights directly, not folded into the gradient).
+
+All update steps are allocation-free: each optimizer owns per-parameter
+scratch buffers (same dtype as the parameter, so float32 models keep float32
+state) and every arithmetic step writes into them with ufunc ``out=``.  On
+the training hot loop this removes ~6 temporary arrays per parameter per
+step relative to the naive expression form.
 """
 
 from __future__ import annotations
@@ -50,20 +56,27 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._buf = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self.step_count += 1
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity, buf in zip(self.parameters, self._velocity, self._buf):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data -= self.lr * grad
+            if grad is buf:
+                buf *= self.lr
+            else:
+                np.multiply(grad, self.lr, out=buf)
+            param.data -= buf
 
 
 class Adam(Optimizer):
@@ -81,27 +94,46 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._buf = [np.empty_like(p.data) for p in self.parameters]
+        # Second scratch for the L2-coupled gradient; allocated lazily in
+        # step() so enabling decay after construction still works.
+        self._gbuf: list[np.ndarray] | None = None
 
-    def _update(self, param: Parameter, m: np.ndarray, v: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    def _update(self, m: np.ndarray, v: np.ndarray, grad: np.ndarray,
+                buf: np.ndarray) -> np.ndarray:
+        """Write the (bias-corrected) Adam step into ``buf`` and return it."""
         beta1, beta2 = self.betas
         m *= beta1
-        m += (1.0 - beta1) * grad
+        np.multiply(grad, 1.0 - beta1, out=buf)
+        m += buf
         v *= beta2
-        v += (1.0 - beta2) * grad * grad
-        m_hat = m / (1.0 - beta1 ** self.step_count)
-        v_hat = v / (1.0 - beta2 ** self.step_count)
-        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.multiply(grad, grad, out=buf)
+        buf *= 1.0 - beta2
+        v += buf
+        # buf <- lr/(1-b1^t) * m / (sqrt(v/(1-b2^t)) + eps), algebraically the
+        # classic lr * m_hat / (sqrt(v_hat) + eps).
+        np.divide(v, 1.0 - beta2 ** self.step_count, out=buf)
+        np.sqrt(buf, out=buf)
+        buf += self.eps
+        np.divide(m, buf, out=buf)
+        buf *= self.lr / (1.0 - beta1 ** self.step_count)
+        return buf
 
     def step(self) -> None:
         self.step_count += 1
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for index, (param, m, v, buf) in enumerate(zip(self.parameters, self._m, self._v, self._buf)):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 # Classic (L2-coupled) Adam: decay enters the gradient.
-                grad = grad + self.weight_decay * param.data
-            param.data -= self._update(param, m, v, grad)
+                if self._gbuf is None:
+                    self._gbuf = [np.empty_like(p.data) for p in self.parameters]
+                gbuf = self._gbuf[index]
+                np.multiply(param.data, self.weight_decay, out=gbuf)
+                gbuf += grad
+                grad = gbuf
+            param.data -= self._update(m, v, grad, buf)
 
 
 class AdamW(Adam):
@@ -115,12 +147,14 @@ class AdamW(Adam):
 
     def step(self) -> None:
         self.step_count += 1
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        # p <- p*(1 - lr*wd) - adam_step  ==  p - (adam_step + lr*wd*p).
+        decay = 1.0 - self.lr * self.decoupled_weight_decay
+        for param, m, v, buf in zip(self.parameters, self._m, self._v, self._buf):
             if param.grad is None:
                 continue
-            update = self._update(param, m, v, param.grad)
+            update = self._update(m, v, param.grad, buf)
             if self.decoupled_weight_decay:
-                update = update + self.lr * self.decoupled_weight_decay * param.data
+                param.data *= decay
             param.data -= update
 
 
@@ -177,7 +211,7 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
-    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    total = math.sqrt(sum(float(np.dot(g, g)) for g in (p.grad.ravel() for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:

@@ -9,7 +9,12 @@ here or in :mod:`repro.nn.functional`.
 Design notes
 ------------
 * Tensors wrap ``numpy.ndarray`` data.  ``float64`` is the default dtype so
-  that finite-difference gradient checks in the test suite are tight.
+  that finite-difference gradient checks in the test suite are tight; a
+  ``float32`` fast mode is available via :func:`set_default_dtype` (or by
+  passing ``dtype=`` per Tensor).  Promotion rules: Tensor-Tensor ops follow
+  numpy promotion (f32 op f64 -> f64); Tensor-scalar/array ops adopt the
+  Tensor's dtype so float32 graphs are not silently upcast by constants.
+  :mod:`repro.nn.gradcheck` always forces float64 regardless of the mode.
 * Gradients propagate through a dynamically built DAG.  Each differentiable
   op registers a backward closure on the output tensor; :meth:`Tensor.backward`
   runs them in reverse topological order.
@@ -26,9 +31,43 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor",
+           "get_default_dtype", "set_default_dtype", "default_dtype"]
 
 _STATE = threading.local()
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_FLOAT64 = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors get when built from non-float data."""
+    return getattr(_STATE, "default_dtype", _FLOAT64)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the default floating dtype (float32 or float64) for this thread.
+
+    float32 roughly halves memory traffic on the numpy hot paths; float64
+    stays the default so gradient checks remain tight.  The setting is
+    thread-local (like grad mode) so a gradcheck forcing float64 in one
+    thread cannot flip a training run in another.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in _SUPPORTED_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    _STATE.default_dtype = dtype
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+    previous = get_default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def is_grad_enabled() -> bool:
@@ -67,11 +106,24 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def as_tensor(value, dtype=np.float64) -> "Tensor":
-    """Coerce ``value`` (Tensor, array, or scalar) to a :class:`Tensor`."""
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a raw array: exact for large |x| in
+    both directions.  Shared by :meth:`Tensor.sigmoid` and the fused BCE
+    kernel so the stability numerics live in exactly one place."""
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                    np.exp(np.clip(x, None, 0)) / (1.0 + np.exp(np.clip(x, None, 0))))
+
+
+def as_tensor(value, dtype=None) -> "Tensor":
+    """Coerce ``value`` (Tensor, array, or scalar) to a :class:`Tensor`.
+
+    Existing tensors pass through untouched (``dtype`` is ignored for them);
+    everything else is wrapped, landing on ``dtype`` when given, the value's
+    own float dtype when it already is a float array, or the default dtype.
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=dtype))
+    return Tensor(value, dtype=dtype)
 
 
 class Tensor:
@@ -79,10 +131,18 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
 
-    def __init__(self, data, requires_grad: bool = False, _prev: Sequence["Tensor"] = (), _op: str = ""):
+    def __init__(self, data, requires_grad: bool = False, _prev: Sequence["Tensor"] = (), _op: str = "",
+                 dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        elif isinstance(data, np.generic):
+            # 0-d results (e.g. 1-D dot products) keep their float dtype.
+            data = np.asarray(data)
+        if dtype is not None:
+            data = np.asarray(data, dtype=dtype)
+        elif not (isinstance(data, np.ndarray) and data.dtype in _SUPPORTED_DTYPES):
+            data = np.asarray(data, dtype=get_default_dtype())
+        self.data = data
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[], None] | None = None
@@ -131,6 +191,25 @@ class Tensor:
         """Return a new tensor sharing data but detached from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast; gradients are cast back on the way down."""
+        dtype = np.dtype(dtype)
+        if dtype == self.data.dtype:
+            return self
+        out = self._make_child(self.data.astype(dtype), (self,), "astype")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad.astype(self.data.dtype))
+            out._backward = _backward
+        return out
+
+    def _coerce(self, other) -> "Tensor":
+        """Wrap a binary-op operand, adopting this tensor's dtype for raw
+        scalars/arrays so constants don't upcast a float32 graph."""
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other, dtype=self.data.dtype)
+
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
         self.grad = None
@@ -166,7 +245,7 @@ class Tensor:
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
 
@@ -196,7 +275,7 @@ class Tensor:
     # Arithmetic ops
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data + other.data, (self, other), "add")
         if out.requires_grad:
             def _backward():
@@ -219,7 +298,7 @@ class Tensor:
         return out
 
     def __sub__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data - other.data, (self, other), "sub")
         if out.requires_grad:
             def _backward():
@@ -231,10 +310,10 @@ class Tensor:
         return out
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other).__sub__(self)
+        return self._coerce(other).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data * other.data, (self, other), "mul")
         if out.requires_grad:
             def _backward():
@@ -249,7 +328,7 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data / other.data, (self, other), "div")
         if out.requires_grad:
             def _backward():
@@ -261,7 +340,7 @@ class Tensor:
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other).__truediv__(self)
+        return self._coerce(other).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -274,7 +353,7 @@ class Tensor:
         return out
 
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data @ other.data, (self, other), "matmul")
         if out.requires_grad:
             def _backward():
@@ -329,11 +408,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic: works for large |x| in both directions.
-        x = self.data
-        value = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
-                         np.exp(np.clip(x, None, 0)) / (1.0 + np.exp(np.clip(x, None, 0))))
-        out = self._make_child(value, (self,), "sigmoid")
+        out = self._make_child(_stable_sigmoid(self.data), (self,), "sigmoid")
         if out.requires_grad:
             def _backward():
                 self._accumulate(out.grad * out.data * (1.0 - out.data))
@@ -343,7 +418,7 @@ class Tensor:
     def relu(self) -> "Tensor":
         out = self._make_child(np.maximum(self.data, 0.0), (self,), "relu")
         if out.requires_grad:
-            mask = (self.data > 0).astype(np.float64)
+            mask = self.data > 0
             def _backward():
                 self._accumulate(out.grad * mask)
             out._backward = _backward
@@ -362,7 +437,7 @@ class Tensor:
         """Clamp values to [low, high]; gradient passes only inside the range."""
         out = self._make_child(np.clip(self.data, low, high), (self,), "clip")
         if out.requires_grad:
-            mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+            mask = (self.data >= low) & (self.data <= high)
             def _backward():
                 self._accumulate(out.grad * mask)
             out._backward = _backward
@@ -397,7 +472,7 @@ class Tensor:
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis=axis)
                     o = np.expand_dims(o, axis=axis)
-                mask = (self.data == o).astype(np.float64)
+                mask = (self.data == o).astype(self.data.dtype)
                 # Split gradient among ties to keep the op well-defined.
                 denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
                 self._accumulate(mask / denom * g)
@@ -483,8 +558,11 @@ class Parameter(Tensor):
 
     __slots__ = ()
 
-    def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+    def __init__(self, data, dtype=None):
+        # Parameters always land on the default dtype (unless overridden) so
+        # that set_default_dtype(float32) makes whole models compute in f32.
+        super().__init__(data, requires_grad=True,
+                         dtype=dtype if dtype is not None else get_default_dtype())
         # Parameters must stay trainable even if created inside no_grad().
         self.requires_grad = True
 

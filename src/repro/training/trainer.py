@@ -132,20 +132,32 @@ class Trainer:
                             weight_decay=cfg.weight_decay)
 
     def train_epoch(self, train: LTRDataset) -> tuple[float, dict[str, float]]:
-        """One pass over the training set; returns (mean loss, diagnostics)."""
+        """One pass over the training set; returns (mean loss, diagnostics).
+
+        Hot loop: the dataset pre-shuffles one index array into contiguous
+        blocks, and per-batch losses land in a preallocated numpy buffer.
+        """
         self.model.train()
-        losses: list[float] = []
+        batch_size = self.config.batch_size
+        num_batches = train.num_batches(batch_size)
+        losses = np.full(num_batches, np.nan)
         diagnostics: dict[str, list[float]] = {}
-        for batch in train.iter_batches(self.config.batch_size, rng=self._rng):
+        grad_clip = self.config.grad_clip
+        parameters = list(self.model.parameters())
+        for index, batch in enumerate(train.iter_batches(batch_size, rng=self._rng)):
             self.optimizer.zero_grad()
             loss, info = self.model.loss(batch, rng=self._rng)
             loss.backward()
-            if self.config.grad_clip is not None:
-                nn.optim.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            if grad_clip is not None:
+                nn.optim.clip_grad_norm(parameters, grad_clip)
             self.optimizer.step()
-            losses.append(loss.item())
+            losses[index] = loss.item()
             for key, value in info.items():
                 diagnostics.setdefault(key, []).append(value)
+        # Plain means so a NaN batch loss or diagnostic poisons its epoch
+        # mean and divergence stays visible.  (Diagnostics stay list-based:
+        # one float append per batch is noise next to a training step, and a
+        # key may only appear for part of the epoch.)
         mean_info = {k: float(np.mean(v)) for k, v in diagnostics.items()}
         return float(np.mean(losses)), mean_info
 

@@ -8,9 +8,8 @@ from hypothesis.extra import numpy as hnp
 
 from repro import nn
 from repro.nn import functional as F
+from repro.nn.gradcheck import check_grad
 from repro.nn.tensor import Tensor
-
-from .test_tensor import check_grad
 
 
 class TestSoftmax:
@@ -177,3 +176,122 @@ class TestOneHot:
     def test_preserves_leading_shape(self):
         out = F.one_hot(np.zeros((2, 3), dtype=int), 4)
         assert out.shape == (2, 3, 4)
+
+
+class TestLinearRelu:
+    def test_matches_unfused(self):
+        rng = np.random.default_rng(0)
+        x, w, b = rng.normal(size=(6, 4)), rng.normal(size=(4, 3)), rng.normal(size=3)
+        fused = F.linear_relu(Tensor(x), Tensor(w), Tensor(b)).data
+        unfused = np.maximum(x @ w + b, 0.0)
+        np.testing.assert_allclose(fused, unfused, atol=0)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(0)
+        x, w = rng.normal(size=(2, 4)), rng.normal(size=(4, 3))
+        np.testing.assert_allclose(F.linear_relu(Tensor(x), Tensor(w)).data,
+                                   np.maximum(x @ w, 0.0))
+
+    def test_all_three_gradients(self):
+        rng = np.random.default_rng(0)
+        x, w, b = rng.normal(size=(5, 4)), rng.normal(size=(4, 3)), rng.normal(size=3)
+        wt, bt = Tensor(w), Tensor(b)
+        check_grad(lambda t: F.linear_relu(t, wt, bt), x)
+        check_grad(lambda t: F.linear_relu(Tensor(x), t, bt), w)
+        check_grad(lambda t: F.linear_relu(Tensor(x), wt, t), b)
+
+    def test_single_graph_node(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = F.linear_relu(x, Tensor(np.ones((3, 2))), Tensor(np.zeros(2)))
+        assert out._op == "linear_relu"
+        assert x in out._prev
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.linear_relu(Tensor(np.ones(3)), Tensor(np.ones((3, 2))))
+        with pytest.raises(ValueError):
+            F.linear_relu(Tensor(np.ones((2, 3))), Tensor(np.ones((4, 2))))
+
+    def test_float32_stays_float32(self):
+        out = F.linear_relu(Tensor(np.ones((2, 3), dtype=np.float32)),
+                            Tensor(np.ones((3, 2), dtype=np.float32)),
+                            Tensor(np.zeros(2, dtype=np.float32)))
+        assert out.dtype == np.float32
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_unfused_composition(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 7))
+        targets = rng.integers(0, 7, size=5)
+        fused = F.softmax_cross_entropy(Tensor(logits), targets, reduction="none").data
+        log_probs = F.log_softmax(Tensor(logits), axis=1).data
+        expected = -log_probs[np.arange(5), targets]
+        np.testing.assert_allclose(fused, expected, atol=1e-12)
+
+    def test_gradient_all_reductions(self):
+        targets = np.array([0, 2, 1])
+        for reduction in ("mean", "sum", "none"):
+            check_grad(lambda t, r=reduction: F.softmax_cross_entropy(t, targets, reduction=r),
+                       np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_stable_for_huge_logits(self):
+        loss = F.softmax_cross_entropy(Tensor([[1000.0, 0.0]]), np.array([0]))
+        assert np.isfinite(loss.item()) and loss.item() < 1e-10
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.softmax_cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            F.softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            F.softmax_cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]), reduction="bogus")
+
+
+class TestBCEWithLogitsFused:
+    def test_matches_reference_formula(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        targets = np.array([0.0, 1.0, 1.0])
+        sigma = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(sigma) + (1 - targets) * np.log(1 - sigma))
+        loss = F.bce_with_logits_fused(Tensor(logits), targets, reduction="none")
+        np.testing.assert_allclose(loss.data, expected, atol=1e-10)
+
+    def test_stable_for_extreme_logits(self):
+        loss = F.bce_with_logits_fused(Tensor([-500.0, 500.0]), np.array([1.0, 0.0]),
+                                       reduction="none")
+        np.testing.assert_allclose(loss.data, [500.0, 500.0])
+
+    def test_gradient_all_reductions(self):
+        targets = np.array([0.0, 1.0, 0.5])
+        for reduction in ("mean", "sum", "none"):
+            check_grad(lambda t, r=reduction: F.bce_with_logits_fused(t, targets, reduction=r),
+                       np.random.default_rng(0).normal(size=3))
+
+    def test_target_gradient(self):
+        logits = Tensor(np.array([0.3, -0.2, 1.0]))
+        check_grad(lambda t: F.bce_with_logits_fused(logits, t, reduction="sum"),
+                   np.array([0.0, 1.0, 0.5]))
+
+    def test_broadcast_scalar_target(self):
+        check_grad(lambda t: F.bce_with_logits_fused(t, 0.5, reduction="sum"),
+                   np.random.default_rng(0).normal(size=(2, 3)))
+
+
+    def test_empty_batch_mean_is_nan_not_crash(self):
+        """Size-0 batches degrade to nan (like the unfused path), not a
+        ZeroDivisionError at graph-construction time."""
+        logits = Tensor(np.empty((0, 1)), requires_grad=True)
+        with np.errstate(invalid="ignore"):
+            with pytest.warns(RuntimeWarning):
+                loss = F.bce_with_logits_fused(logits, np.empty((0, 1)))
+        assert np.isnan(loss.data)
+
+
+    def test_tensor_targets_cast_to_logits_dtype(self):
+        """A float64 Tensor target must not upcast a float32 fused loss."""
+        loss = F.bce_with_logits_fused(Tensor(np.zeros(3, dtype=np.float32)),
+                                       Tensor(np.ones(3, dtype=np.float64)))
+        assert loss.dtype == np.float32

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.nn.gradcheck import check_grad
 from repro.nn.losses import bce_with_logits, binary_cross_entropy, cross_entropy, mse_loss
 from repro.nn.tensor import Tensor
-
-from .test_tensor import check_grad
 
 
 class TestBCEWithLogits:
@@ -76,6 +75,14 @@ class TestCrossEntropy:
             cross_entropy(Tensor(np.zeros(3)), np.array([0]))
         with pytest.raises(ValueError):
             cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_none_reduction_keeps_column_shape(self):
+        """The unreduced loss is (n, 1) so per-example weights broadcast."""
+        loss = cross_entropy(Tensor(np.zeros((4, 3))), np.array([0, 1, 2, 0]),
+                             reduction="none")
+        assert loss.shape == (4, 1)
+        weighted = (loss * Tensor(np.ones((4, 1)))).mean()
+        np.testing.assert_allclose(weighted.item(), np.log(3.0))
 
 
 class TestMSE:

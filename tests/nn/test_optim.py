@@ -123,3 +123,34 @@ class TestClipGradNorm:
 
     def test_handles_missing_grads(self):
         assert clip_grad_norm([Parameter(np.ones(2))], max_norm=1.0) == 0.0
+
+
+class TestInPlaceUpdates:
+    def test_adam_weight_decay_enabled_after_init(self):
+        """Scratch buffers for coupled decay are allocated lazily, so turning
+        decay on after construction must not crash."""
+        param = Parameter(np.array([2.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.0)
+        optimizer.weight_decay = 0.01
+        param.grad = np.array([1.0])
+        optimizer.step()
+        assert np.isfinite(param.data).all()
+
+    def test_step_does_not_rebind_param_arrays(self):
+        """In-place updates must mutate the existing data array (models keep
+        references to it)."""
+        param = Parameter(np.array([1.0, 2.0]))
+        data_before = param.data
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.1)
+        param.grad = np.array([0.5, -0.5])
+        optimizer.step()
+        assert param.data is data_before
+
+    def test_float32_params_get_float32_state(self):
+        param = Parameter(np.zeros(3), dtype=np.float32)
+        optimizer = Adam([param], lr=0.1)
+        assert optimizer._m[0].dtype == np.float32
+        assert optimizer._buf[0].dtype == np.float32
+        param.grad = np.ones(3, dtype=np.float32)
+        optimizer.step()
+        assert param.data.dtype == np.float32

@@ -7,35 +7,8 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import nn
+from repro.nn.gradcheck import check_grad
 from repro.nn.tensor import Tensor, _unbroadcast, as_tensor, concatenate, stack
-
-EPS = 1e-6
-TOL = 1e-7
-
-
-def numeric_grad(fn, x, eps=EPS):
-    """Central finite differences of sum(fn(x)) wrt x."""
-    x = np.asarray(x, dtype=np.float64)
-    grad = np.zeros_like(x)
-    flat = x.reshape(-1)
-    gflat = grad.reshape(-1)
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
-        plus = float(fn(Tensor(x)).data.sum())
-        flat[i] = orig - eps
-        minus = float(fn(Tensor(x)).data.sum())
-        flat[i] = orig
-        gflat[i] = (plus - minus) / (2 * eps)
-    return grad
-
-
-def check_grad(fn, x, tol=TOL):
-    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
-    out = fn(t)
-    out.sum().backward()
-    expected = numeric_grad(fn, np.asarray(x, dtype=np.float64))
-    np.testing.assert_allclose(t.grad, expected, atol=tol, rtol=1e-5)
 
 
 class TestBasics:
@@ -119,6 +92,118 @@ class TestUnbroadcast:
     def test_scalar_target(self):
         g = np.ones((2, 3))
         np.testing.assert_allclose(_unbroadcast(g, ()), 6.0)
+
+    def test_scalar_to_matrix_roundtrip(self):
+        """scalar (op) matrix: the scalar's gradient is the full sum."""
+        s = Tensor(2.0, requires_grad=True)
+        (s * Tensor(np.arange(6.0).reshape(2, 3))).sum().backward()
+        np.testing.assert_allclose(s.grad, 15.0)
+        assert s.grad.shape == ()
+
+    def test_middle_size1_axis(self):
+        g = np.ones((2, 4, 3))
+        out = _unbroadcast(g, (2, 1, 3))
+        assert out.shape == (2, 1, 3)
+        np.testing.assert_allclose(out, np.full((2, 1, 3), 4.0))
+
+    def test_multiple_size1_axes(self):
+        g = np.arange(24.0).reshape(2, 3, 4)
+        out = _unbroadcast(g, (1, 3, 1))
+        assert out.shape == (1, 3, 1)
+        np.testing.assert_allclose(out, g.sum(axis=(0, 2), keepdims=True))
+
+    def test_prepended_and_stretched_combined(self):
+        g = np.ones((5, 2, 3))
+        out = _unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        np.testing.assert_allclose(out, np.full((1, 3), 10.0))
+
+    def test_prepended_size1_dim_not_stretched(self):
+        """A (1, 3) target whose size-1 axis was never stretched stays intact."""
+        g = np.ones((1, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (1, 3)), np.ones((1, 3)))
+
+    def test_column_vs_row_broadcast_gradients(self):
+        a = Tensor(np.ones((3, 1)), requires_grad=True)
+        b = Tensor(np.ones((1, 4)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 1), 4.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 4), 3.0))
+
+    def test_gradcheck_scalar_broadcast(self):
+        check_grad(lambda t: t * Tensor(np.random.default_rng(3).normal(size=(2, 3))),
+                   np.array(1.5))
+
+
+class TestDtype:
+    def test_default_is_float64(self):
+        assert nn.get_default_dtype() == np.float64
+        assert Tensor([1, 2]).dtype == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int64)
+
+    def test_default_dtype_context(self):
+        with nn.default_dtype(np.float32):
+            assert nn.get_default_dtype() == np.float32
+            assert Tensor([1.0]).dtype == np.float32
+            assert nn.Parameter(np.zeros(2)).dtype == np.float32
+        assert nn.get_default_dtype() == np.float64
+
+    def test_float_arrays_keep_their_dtype(self):
+        assert Tensor(np.zeros(2, dtype=np.float32)).dtype == np.float32
+        assert Tensor(np.zeros(2, dtype=np.float64)).dtype == np.float64
+
+    def test_explicit_dtype_wins(self):
+        assert Tensor(np.zeros(2), dtype=np.float32).dtype == np.float32
+        assert as_tensor([1.0], dtype=np.float32).dtype == np.float32
+
+    def test_scalar_operand_does_not_promote_float32(self):
+        t = Tensor(np.ones(3, dtype=np.float32))
+        assert (t * 2.0).dtype == np.float32
+        assert (1.0 + t).dtype == np.float32
+        assert (t / 3.0).dtype == np.float32
+        assert (5.0 - t).dtype == np.float32
+
+    def test_tensor_tensor_promotes_to_float64(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        b = Tensor(np.ones(3, dtype=np.float64))
+        assert (a + b).dtype == np.float64
+        assert (a @ b).dtype == np.float64
+
+    def test_float32_graph_stays_float32(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = (t * 2.0).relu().exp().sum()
+        assert out.dtype == np.float32
+        out.backward()
+        assert t.grad.dtype == np.float32
+
+    def test_astype_is_differentiable(self):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        cast = t.astype(np.float64)
+        assert cast.dtype == np.float64
+        (cast * 2.0).sum().backward()
+        assert t.grad.dtype == np.float32
+        np.testing.assert_allclose(t.grad, [2.0, 2.0, 2.0])
+
+    def test_astype_noop_returns_self(self):
+        t = Tensor(np.ones(3))
+        assert t.astype(np.float64) is t
+
+    def test_module_astype_roundtrip(self):
+        tower = nn.MLP(4, [8], 1, rng=np.random.default_rng(0))
+        tower.astype(np.float32)
+        assert all(p.dtype == np.float32 for p in tower.parameters())
+        out = tower(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert out.dtype == np.float32
+        tower.astype(np.float64)
+        assert all(p.dtype == np.float64 for p in tower.parameters())
+
+    def test_backward_seed_grad_cast_to_tensor_dtype(self):
+        t = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        (t * 1.0).backward(np.ones(2, dtype=np.float64))
+        assert t.grad.dtype == np.float32
 
 
 class TestArithmeticGradients:
