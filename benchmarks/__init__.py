@@ -1,0 +1,8 @@
+"""Benchmark package.
+
+The ``__init__`` makes ``benchmarks`` a proper package so pytest imports
+``bench_*.py`` modules as ``benchmarks.bench_*`` and their relative
+``from .conftest import ...`` imports resolve — both when a file is named
+directly (``pytest benchmarks/bench_querycat.py``) and when the directory
+is collected with ``-o python_files='bench_*.py'``.
+"""

@@ -9,6 +9,13 @@ comes in three flavours so the fast-path speedups are tracked explicitly:
 * ``test_mlp_forward_backward_float32``  — fused kernels + float32 fast mode
 
 Acceptance target: fused+float32 >= 1.5x the unfused float64 baseline.
+
+The BiGRU step benchmark mirrors the same three flavours for the recurrent
+fast path (fused ``gru_sequence`` kernels vs the per-op reference graph,
+float64 vs float32), over a querycat-shaped workload: batch 64, 20
+timesteps, ragged lengths, forward + backward through both directions.
+
+Acceptance target: fused f64 >= 3x the per-op float64 baseline.
 """
 
 import numpy as np
@@ -79,6 +86,49 @@ def test_mlp_forward_backward_float32(benchmark):
     result = benchmark(step)
     assert np.isfinite(result)
     assert all(p.dtype == np.float32 for p in tower.parameters())
+
+
+def _make_bigru_and_batch(dtype=np.float64, fused=True):
+    """A querycat-shaped recurrent workload: (64, 20, 16) ragged batch."""
+    rng = np.random.default_rng(0)
+    gru = nn.BiGRU(16, 32, rng=rng, fused=fused)
+    if dtype != np.float64:
+        gru.astype(dtype)
+    x = nn.Tensor(rng.normal(size=(64, 20, 16)).astype(dtype))
+    lengths = rng.integers(5, 21, size=64)
+    return gru, x, lengths
+
+
+def _bigru_step(gru, x, lengths):
+    gru.zero_grad()
+    out = gru(x, lengths=lengths)
+    out.sum().backward()
+    return out.data
+
+
+def test_bigru_step(benchmark):
+    """Fused recurrent kernels, float64."""
+    gru, x, lengths = _make_bigru_and_batch()
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
+
+
+def test_bigru_step_unfused(benchmark):
+    """The per-op reference graph (~10 autograd nodes per step per
+    direction plus four mask nodes) — the baseline the fused path is
+    measured against."""
+    gru, x, lengths = _make_bigru_and_batch(fused=False)
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
+
+
+def test_bigru_step_float32(benchmark):
+    """Fused recurrent kernels + float32 fast mode."""
+    gru, x, lengths = _make_bigru_and_batch(np.float32)
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
+    assert out.dtype == np.float32
+    assert all(p.dtype == np.float32 for p in gru.parameters())
 
 
 def test_adamw_step_float64_vs_inplace(benchmark):

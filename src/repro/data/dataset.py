@@ -99,6 +99,30 @@ class LTRDataset:
             true_utility=None if self.true_utility is None else self.true_utility[indices],
         )
 
+    def astype(self, dtype) -> "LTRDataset":
+        """Return a dataset with numeric features cast to ``dtype``.
+
+        This is the load-time half of the float32 fast mode: casting once
+        here means ``FeatureEmbedder.model_input`` wraps each batch without
+        copying, instead of re-promoting (or re-casting) every minibatch.
+        No-op (returns ``self``) when the dtype already matches; sparse ids,
+        labels and session structure are shared, not copied.
+        """
+        dtype = np.dtype(dtype)
+        if self.numeric.dtype == dtype:
+            return self
+        return LTRDataset(
+            numeric=self.numeric.astype(dtype),
+            sparse=self.sparse,
+            labels=self.labels,
+            session_ids=self.session_ids,
+            query_ids=self.query_ids,
+            spec=self.spec,
+            taxonomy=self.taxonomy,
+            name=self.name,
+            true_utility=self.true_utility,
+        )
+
     def filter_by_tc(self, tc_ids, name: str | None = None) -> "LTRDataset":
         """Keep sessions whose query top-category is in ``tc_ids``."""
         tc_ids = set(int(t) for t in np.atleast_1d(tc_ids))
@@ -176,10 +200,16 @@ class LTRDataset:
         return unique[mask]
 
 
-def dataset_from_log(log: SearchLog, name: str = "synthetic") -> LTRDataset:
-    """Convert a simulated :class:`SearchLog` into an :class:`LTRDataset`."""
+def dataset_from_log(log: SearchLog, name: str = "synthetic",
+                     dtype=None) -> LTRDataset:
+    """Convert a simulated :class:`SearchLog` into an :class:`LTRDataset`.
+
+    ``dtype`` casts the numeric features once at load time (e.g.
+    ``np.float32`` to match ``nn.set_default_dtype(np.float32)`` models);
+    ``None`` keeps the log's native float64.
+    """
     return LTRDataset(
-        numeric=log.numeric,
+        numeric=log.numeric if dtype is None else log.numeric.astype(dtype),
         sparse=dict(log.sparse),
         labels=log.labels,
         session_ids=log.session_ids,

@@ -81,6 +81,11 @@ class FeatureEmbedder(nn.Module):
                                             rng=rng, std=std))
 
     @property
+    def dtype(self) -> np.dtype:
+        """The float dtype the embedder computes in (its tables' dtype)."""
+        return self.tables[0].weight.dtype
+
+    @property
     def input_width(self) -> int:
         """Width of X: k*q + m (eq. 2)."""
         return len(self.input_features) * self.embedding_dim + self.spec.num_numeric
@@ -96,10 +101,20 @@ class FeatureEmbedder(nn.Module):
         """Embed one sparse feature column."""
         return self.tables[self._table_index[name]](ids)
 
+    def _numeric_tensor(self, batch: Batch) -> nn.Tensor:
+        """Wrap the batch's numeric block at the embedder's dtype.
+
+        ``np.asarray`` is a no-copy pass-through when the dataset was cast
+        once at load time (:meth:`repro.data.LTRDataset.astype`); a
+        mismatched dataset still trains correctly, just with a per-batch
+        cast instead of silently upcasting the whole graph to float64.
+        """
+        return nn.Tensor(np.asarray(batch.numeric, dtype=self.dtype))
+
     def model_input(self, batch: Batch) -> nn.Tensor:
         """Build X = [embeddings | numeric] for the ranking towers."""
         parts = [self.embed(name, batch.sparse[name]) for name in self.input_features]
-        parts.append(nn.Tensor(batch.numeric))
+        parts.append(self._numeric_tensor(batch))
         return nn.concatenate(parts, axis=1)
 
     def gate_input(self, batch: Batch, gate_features: tuple[str, ...],
@@ -107,7 +122,7 @@ class FeatureEmbedder(nn.Module):
         """Build the gate input vector (x_sc in the default configuration)."""
         parts = [self.embed(name, batch.sparse[name]) for name in gate_features]
         if include_numeric:
-            parts.append(nn.Tensor(batch.numeric))
+            parts.append(self._numeric_tensor(batch))
         return parts[0] if len(parts) == 1 and not include_numeric else nn.concatenate(parts, axis=1)
 
 

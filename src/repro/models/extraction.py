@@ -50,7 +50,8 @@ class DedicatedRanker(RankingModel):
     def forward(self, batch: Batch) -> ModelOutput:
         x = self.embedder.model_input(batch)
         expert_logits = nn.concatenate([expert(x) for expert in self.experts], axis=1)
-        logits = (expert_logits * nn.Tensor(self.gate_weights)).sum(axis=1)
+        logits = (expert_logits * nn.Tensor(self.gate_weights,
+                                            dtype=expert_logits.dtype)).sum(axis=1)
         return ModelOutput(logits=logits, expert_logits=expert_logits)
 
     def loss(self, batch: Batch, rng: np.random.Generator | None = None

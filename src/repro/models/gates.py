@@ -68,7 +68,10 @@ class NoisyTopKGate(nn.Module):
             raw_noise = x @ self.noise_weight + self.noise_bias
             # softplus(z) = log(1 + e^z), stable form.
             softplus = (1.0 + (-(raw_noise.abs())).exp()).log() + raw_noise.relu()
-            epsilon = nn.Tensor(self._rng.standard_normal(clean.shape))
+            # Noise lands at the gate's compute dtype so float32 graphs are
+            # not silently promoted back to float64 every training batch.
+            epsilon = nn.Tensor(self._rng.standard_normal(clean.shape),
+                                dtype=clean.dtype)
             noisy = clean + epsilon * softplus
         else:
             noisy = clean

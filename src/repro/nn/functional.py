@@ -13,6 +13,19 @@ intermediate array allocations, and redundant mask/exp recomputation — the
 dominant costs of the pure-numpy engine on MLP towers and losses.  Every op
 here must pass :func:`repro.nn.gradcheck.check_grad` in float64 (the test
 suite sweeps ``__all__``).
+
+Fused recurrent kernels
+-----------------------
+``gru_cell_fused`` is one graph node per GRU timestep: the backward closure
+computes every gate gradient analytically from cached forward activations
+(``r``, ``z``, ``n``, the hidden gate pre-activations), and the optional
+length mask is applied *inside* the kernel instead of via four extra
+mul/add nodes.  ``gru_sequence`` drives a whole (batch, time, features)
+scan: the input projection ``x @ W_ih + b_ih`` is hoisted out of the time
+loop into a single (B·T, 3H) matmul, sliced per step through lightweight
+view nodes whose backwards write into one shared gradient buffer.  Weight
+gradients accumulate across steps into the parameter's single ``.grad``
+buffer (allocated once on the first step's backward).
 """
 
 from __future__ import annotations
@@ -35,6 +48,8 @@ __all__ = [
     "linear_relu",
     "softmax_cross_entropy",
     "bce_with_logits_fused",
+    "gru_cell_fused",
+    "gru_sequence",
 ]
 
 def relu(x: Tensor) -> Tensor:
@@ -267,6 +282,156 @@ def bce_with_logits_fused(logits: Tensor, targets, reduction: str = "mean") -> T
                 targets._accumulate(_unbroadcast(np.broadcast_to(gy, loss.shape), y.shape))
         out._backward = _backward
     return out
+
+
+def gru_cell_fused(x_gates: Tensor, h: Tensor, weight_hh: Tensor,
+                   bias_hh: Tensor, mask: np.ndarray | None = None) -> Tensor:
+    """Fused GRU step (Cho et al. 2014) — one graph node per timestep.
+
+    Parameters
+    ----------
+    x_gates:
+        Precomputed input projection ``x @ W_ih + b_ih`` of shape (B, 3H),
+        gate columns ordered ``[r | z | n]``.  Hoisting this matmul out of
+        the kernel lets :func:`gru_sequence` batch it over all timesteps.
+    h:
+        Previous hidden state, shape (B, H).
+    weight_hh, bias_hh:
+        Recurrent weights (H, 3H) and bias (3H,).
+    mask:
+        Optional plain-numpy (B, 1) float mask.  Rows with mask 0 keep
+        their previous state (``h' = m*h_new + (1-m)*h``) — the masked
+        update runs *inside* the kernel, replacing the per-op path's four
+        extra mul/add graph nodes per step.  Not differentiated.
+
+    Replaces the ~10-node per-op chain (two matmuls, three slices, two
+    sigmoids, tanh, and the convex state blend) with a single node whose
+    backward computes all gate gradients analytically from the cached
+    forward activations ``r``, ``z``, ``n`` and the hidden gate
+    pre-activations.
+    """
+    x_gates = as_tensor(x_gates)
+    h = as_tensor(h)
+    weight_hh = as_tensor(weight_hh)
+    bias_hh = as_tensor(bias_hh)
+    if x_gates.ndim != 2 or h.ndim != 2:
+        raise ValueError("gru_cell_fused expects 2-D x_gates and h")
+    hs = h.shape[1]
+    if x_gates.shape != (h.shape[0], 3 * hs) or weight_hh.shape != (hs, 3 * hs):
+        raise ValueError(
+            f"gru_cell_fused shape mismatch: h {h.shape}, x_gates {x_gates.shape}, "
+            f"weight_hh {weight_hh.shape}")
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.shape != (h.shape[0], 1):
+            raise ValueError(f"mask must have shape ({h.shape[0]}, 1), got {mask.shape}")
+        if mask.dtype != h.dtype:
+            mask = mask.astype(h.dtype)
+
+    gates_h = h.data @ weight_hh.data + bias_hh.data
+    r = _stable_sigmoid(x_gates.data[:, :hs] + gates_h[:, :hs])
+    z = _stable_sigmoid(x_gates.data[:, hs:2 * hs] + gates_h[:, hs:2 * hs])
+    hn = gates_h[:, 2 * hs:]
+    n = np.tanh(x_gates.data[:, 2 * hs:] + r * hn)
+    h_new = (1.0 - z) * n + z * h.data
+    if mask is not None:
+        h_new = mask * h_new + (1.0 - mask) * h.data
+
+    out = h._make_child(h_new, (x_gates, h, weight_hh, bias_hh), "gru_cell")
+    if out.requires_grad:
+        h_prev = h.data
+        def _backward():
+            g = out.grad if mask is None else out.grad * mask
+            dn = g * (1.0 - z)
+            dz = g * (h_prev - n)
+            dn_pre = dn * (1.0 - n * n)
+            dz_pre = dz * (z * (1.0 - z))
+            dr = dn_pre * hn
+            dr_pre = dr * (r * (1.0 - r))
+            # Gate-preactivation gradients, columns [r | z | n]: the input
+            # and hidden branches share dr_pre/dz_pre, but the n column
+            # differs (the reset gate multiplies only the hidden branch).
+            d_gates_h = np.concatenate([dr_pre, dz_pre, dn_pre * r], axis=1)
+            if x_gates.requires_grad:
+                x_gates._accumulate(np.concatenate([dr_pre, dz_pre, dn_pre], axis=1))
+            if weight_hh.requires_grad:
+                weight_hh._accumulate(h_prev.T @ d_gates_h)
+            if bias_hh.requires_grad:
+                bias_hh._accumulate(d_gates_h.sum(axis=0))
+            if h.requires_grad:
+                dh = d_gates_h @ weight_hh.data.T
+                dh += g * z
+                if mask is not None:
+                    dh += out.grad * (1.0 - mask)
+                h._accumulate(dh)
+        out._backward = _backward
+    return out
+
+
+def _time_slice(x_proj: Tensor, t: int) -> Tensor:
+    """Internal: slice timestep ``t`` from a (B, T, C) tensor.
+
+    Unlike ``Tensor.__getitem__`` (whose backward allocates a full-size
+    zeros array and ``np.add.at``s into it — O(B·T·C) per step), this
+    node's backward writes directly into the parent's shared gradient
+    buffer at O(B·C) per step.
+    """
+    out = x_proj._make_child(x_proj.data[:, t, :], (x_proj,), "time_slice")
+    if out.requires_grad:
+        def _backward():
+            if x_proj.grad is None:
+                x_proj.grad = np.zeros_like(x_proj.data)
+            x_proj.grad[:, t, :] += out.grad
+        out._backward = _backward
+    return out
+
+
+def gru_sequence(x: Tensor, weight_ih: Tensor, weight_hh: Tensor,
+                 bias_ih: Tensor, bias_hh: Tensor, h0: Tensor | None = None,
+                 lengths: np.ndarray | None = None, reverse: bool = False
+                 ) -> tuple[list[Tensor], Tensor]:
+    """Fused GRU scan over a (batch, time, features) sequence.
+
+    The input projection for *every* timestep is computed as one
+    (B·T, 3H) matmul before the time loop; each step then runs a single
+    :func:`gru_cell_fused` node on a cheap per-step view.  With ``lengths``
+    the validity mask is precomputed for all steps and applied in-kernel
+    (steps where every example is valid skip the mask entirely).
+
+    Returns ``(outputs, final_state)`` in original time order, matching
+    :meth:`repro.nn.GRU.forward`.
+    """
+    x = as_tensor(x)
+    weight_ih = as_tensor(weight_ih)
+    weight_hh = as_tensor(weight_hh)
+    bias_ih = as_tensor(bias_ih)
+    bias_hh = as_tensor(bias_hh)
+    if x.ndim != 3:
+        raise ValueError("gru_sequence expects (batch, time, features) input")
+    batch, time, features = x.shape
+    hs = weight_hh.shape[0]
+    if weight_ih.shape != (features, 3 * hs):
+        raise ValueError(f"weight_ih shape {weight_ih.shape} does not match "
+                         f"input features {features} / hidden size {hs}")
+
+    # Hoisted input projection: one matmul for the whole sequence.
+    x_proj = (x.reshape(batch * time, features) @ weight_ih + bias_ih) \
+        .reshape(batch, time, 3 * hs)
+
+    if lengths is not None:
+        valid = np.asarray(lengths).reshape(-1, 1) > np.arange(time)[None, :]
+        masks = valid.astype(x_proj.dtype)          # (B, T), plain numpy
+        full_steps = valid.all(axis=0)              # steps needing no mask
+    h = h0 if h0 is not None else Tensor(np.zeros((batch, hs), dtype=x_proj.dtype))
+    steps = range(time - 1, -1, -1) if reverse else range(time)
+    outputs: list[Tensor] = [None] * time  # type: ignore[list-item]
+    for t in steps:
+        mask = None
+        if lengths is not None and not full_steps[t]:
+            mask = masks[:, t:t + 1]
+        h = gru_cell_fused(_time_slice(x_proj, t), h, weight_hh, bias_hh, mask=mask)
+        outputs[t] = h
+    return outputs, h
 
 
 def scatter_topk_mask(logits: np.ndarray, k: int) -> np.ndarray:

@@ -3,12 +3,25 @@
 The paper's query→category classifier (§4.1) is "a bidirectional GRU model
 ... with a softmax output layer"; :class:`BiGRU` plus a Linear head in
 :mod:`repro.querycat.classifier` reproduces it.
+
+Fast path
+---------
+By default every module here runs on the fused recurrent kernels
+(:func:`repro.nn.functional.gru_cell_fused` / ``gru_sequence``): one graph
+node per timestep, the per-sequence input projection hoisted into a single
+(B·T, 3H) matmul, and length masking applied inside the kernel.  Passing
+``fused=False`` (or flipping ``cell.fused``) selects the original per-op
+graph — ~10 autograd nodes per step — kept as the reference implementation
+for gradcheck parity tests.  Both paths follow the module's parameter dtype
+end to end: initial states and length masks are created at that dtype, so
+``nn.set_default_dtype(np.float32)`` training runs never silently upcast.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import functional as F
 from . import init
 from .module import Module
 from .tensor import Parameter, Tensor, as_tensor, concatenate
@@ -25,44 +38,57 @@ class GRUCell(Module):
         z = sigmoid(x W_z + h U_z + b_z)
         n = tanh(x W_n + r * (h U_n) + b_n)
         h' = (1 - z) * n + z * h
+
+    With ``fused=True`` (default) the whole step is one
+    :func:`~repro.nn.functional.gru_cell_fused` graph node; otherwise it is
+    composed from per-op autograd nodes (the reference path).
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
+                 fused: bool = True):
         super().__init__()
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("GRUCell sizes must be positive")
         rng = rng if rng is not None else np.random.default_rng()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         # Fused weights for the three gates: columns [r | z | n].
         self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
         self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
         self.bias_ih = Parameter(init.zeros((3 * hidden_size,)))
         self.bias_hh = Parameter(init.zeros((3 * hidden_size,)))
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype the cell computes in (follows its parameters)."""
+        return self.weight_hh.dtype
+
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         x = as_tensor(x)
         h = as_tensor(h)
+        x_gates = x @ self.weight_ih + self.bias_ih
+        if self.fused:
+            return F.gru_cell_fused(x_gates, h, self.weight_hh, self.bias_hh)
         hs = self.hidden_size
-        gates_x = x @ self.weight_ih + self.bias_ih
         gates_h = h @ self.weight_hh + self.bias_hh
-        r = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
-        z = (gates_x[:, hs:2 * hs] + gates_h[:, hs:2 * hs]).sigmoid()
-        n = (gates_x[:, 2 * hs:3 * hs] + r * gates_h[:, 2 * hs:3 * hs]).tanh()
+        r = (x_gates[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        z = (x_gates[:, hs:2 * hs] + gates_h[:, hs:2 * hs]).sigmoid()
+        n = (x_gates[:, 2 * hs:3 * hs] + r * gates_h[:, 2 * hs:3 * hs]).tanh()
         return (1.0 - z) * n + z * h
 
     def initial_state(self, batch_size: int) -> Tensor:
-        """Zero hidden state for a batch."""
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        """Zero hidden state for a batch, at the cell's parameter dtype."""
+        return Tensor(np.zeros((batch_size, self.hidden_size), dtype=self.dtype))
 
 
 class GRU(Module):
     """Unidirectional GRU over a (batch, time, features) sequence."""
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
-                 reverse: bool = False):
+                 reverse: bool = False, fused: bool = True):
         super().__init__()
-        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.cell = GRUCell(input_size, hidden_size, rng=rng, fused=fused)
         self.hidden_size = hidden_size
         self.reverse = reverse
 
@@ -84,18 +110,28 @@ class GRU(Module):
             ``outputs`` is a list of per-step hidden states (each
             (batch, hidden)), in the original time order; ``final_state``
             is the state after each example's last valid step.
+
+        On the default fused path this delegates to
+        :func:`repro.nn.functional.gru_sequence`, which batches the input
+        projection over all timesteps and masks in-kernel; with
+        ``cell.fused=False`` it runs the original per-op time loop.
         """
         x = as_tensor(x)
         if x.ndim != 3:
             raise ValueError("GRU expects (batch, time, features) input")
+        cell = self.cell
+        if cell.fused:
+            return F.gru_sequence(x, cell.weight_ih, cell.weight_hh,
+                                  cell.bias_ih, cell.bias_hh,
+                                  lengths=lengths, reverse=self.reverse)
         batch, time, _ = x.shape
-        h = self.cell.initial_state(batch)
+        h = cell.initial_state(batch)
         steps = range(time - 1, -1, -1) if self.reverse else range(time)
         outputs: list[Tensor | None] = [None] * time
         for t in steps:
-            h_new = self.cell(x[:, t, :], h)
+            h_new = cell(x[:, t, :], h)
             if lengths is not None:
-                mask = (np.asarray(lengths) > t).astype(np.float64).reshape(-1, 1)
+                mask = (np.asarray(lengths) > t).astype(h_new.dtype).reshape(-1, 1)
                 h = h_new * Tensor(mask) + h * Tensor(1.0 - mask)
             else:
                 h = h_new
@@ -106,10 +142,11 @@ class GRU(Module):
 class BiGRU(Module):
     """Bidirectional GRU; final representation concatenates both directions."""
 
-    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
+                 fused: bool = True):
         super().__init__()
-        self.forward_gru = GRU(input_size, hidden_size, rng=rng, reverse=False)
-        self.backward_gru = GRU(input_size, hidden_size, rng=rng, reverse=True)
+        self.forward_gru = GRU(input_size, hidden_size, rng=rng, reverse=False, fused=fused)
+        self.backward_gru = GRU(input_size, hidden_size, rng=rng, reverse=True, fused=fused)
         self.hidden_size = hidden_size
 
     @property

@@ -45,7 +45,15 @@ class ClassifierResult:
 
 
 class QueryCategoryClassifier(nn.Module):
-    """Token embedding → BiGRU → linear softmax over sub-categories."""
+    """Token embedding → BiGRU → linear softmax over sub-categories.
+
+    The encoder runs on the fused recurrent fast path
+    (:func:`repro.nn.functional.gru_sequence`): the token-embedding
+    projection for all timesteps is one matmul per direction, each step is
+    a single graph node, and length masking happens in-kernel.  Under
+    ``nn.set_default_dtype(np.float32)`` the whole pipeline — embeddings,
+    recurrent states, masks, head, loss — stays float32 end to end.
+    """
 
     def __init__(self, vocab_size: int, num_sub_categories: int,
                  config: QueryClassifierConfig | None = None):
@@ -90,6 +98,13 @@ def train_classifier(model: QueryCategoryClassifier, queries: QueryTable,
     cut = max(1, int(round(n * test_fraction)))
     test_rows, train_rows = order[:cut], order[cut:]
 
+    # Cast the query table once at load time: int64 token/length/label
+    # arrays mean every minibatch slice below is a pure gather, with no
+    # per-batch dtype coercion inside the hot loop.
+    tokens = np.ascontiguousarray(queries.tokens, dtype=np.int64)
+    lengths = np.ascontiguousarray(queries.lengths, dtype=np.int64)
+    sc_ids = np.ascontiguousarray(queries.sc_ids, dtype=np.int64)
+
     optimizer = nn.optim.AdamW(model.parameters(), lr=config.learning_rate,
                                weight_decay=1e-4)
     history: list[float] = []
@@ -99,14 +114,14 @@ def train_classifier(model: QueryCategoryClassifier, queries: QueryTable,
         for start in range(0, len(train_rows), config.batch_size):
             rows = train_rows[start:start + config.batch_size]
             optimizer.zero_grad()
-            logits = model(queries.tokens[rows], queries.lengths[rows])
-            loss = nn.losses.cross_entropy(logits, queries.sc_ids[rows])
+            logits = model(tokens[rows], lengths[rows])
+            loss = nn.losses.cross_entropy(logits, sc_ids[rows])
             loss.backward()
             optimizer.step()
             losses.append(loss.item())
         history.append(float(np.mean(losses)))
 
-    predicted_sc = model.predict_sc(queries.tokens[test_rows], queries.lengths[test_rows])
+    predicted_sc = model.predict_sc(tokens[test_rows], lengths[test_rows])
     sc_accuracy = float((predicted_sc == queries.sc_ids[test_rows]).mean())
     predicted_tc = taxonomy.parents_of(predicted_sc)
     tc_accuracy = float((predicted_tc == queries.tc_ids[test_rows]).mean())

@@ -161,8 +161,24 @@ class Trainer:
         mean_info = {k: float(np.mean(v)) for k, v in diagnostics.items()}
         return float(np.mean(losses)), mean_info
 
+    def _model_dtype(self) -> np.dtype | None:
+        """The float dtype the model's parameters live in (None if none)."""
+        for param in self.model.parameters():
+            return param.data.dtype
+        return None
+
     def fit(self, train: LTRDataset, eval_dataset: LTRDataset | None = None) -> TrainResult:
-        """Train for ``config.epochs`` epochs, evaluating after each one."""
+        """Train for ``config.epochs`` epochs, evaluating after each one.
+
+        Numeric features are cast to the model's parameter dtype *once*
+        here (a no-op view when they already match), so a float32 model
+        never re-promotes — or re-casts — its input every minibatch.
+        """
+        dtype = self._model_dtype()
+        if dtype is not None:
+            train = train.astype(dtype)
+            if eval_dataset is not None:
+                eval_dataset = eval_dataset.astype(dtype)
         history: list[EpochRecord] = []
         started = time.time()
         best_auc = -np.inf

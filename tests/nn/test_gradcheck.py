@@ -32,6 +32,15 @@ _GATHER_IDX = np.array([[0, 2], [1, 1], [3, 0]])
 _CLASS_TARGETS = np.array([0, 2, 1])
 _BCE_TARGETS = np.array([[0.0, 1.0, 0.5, 1.0], [1.0, 0.0, 0.25, 0.0],
                          [0.5, 0.5, 1.0, 0.0]])
+# GRU kernel fixtures: hidden size 3, input size 2, batch 4, 3 timesteps.
+# The mask / ragged lengths exercise the in-kernel masked state update.
+_GRU_WHH = Tensor(RNG(3).normal(size=(3, 9)) * 0.5)
+_GRU_BHH = Tensor(RNG(4).normal(size=9) * 0.1)
+_GRU_H0 = Tensor(RNG(5).normal(size=(4, 3)))
+_GRU_WIH = Tensor(RNG(6).normal(size=(2, 9)) * 0.5)
+_GRU_BIH = Tensor(RNG(7).normal(size=9) * 0.1)
+_GRU_MASK = np.array([[1.0], [1.0], [0.0], [1.0]])
+_SEQ_LENGTHS = np.array([3, 1, 2, 3])
 
 # name -> (fn, input) pairs; inputs avoid non-differentiable points (e.g.
 # relu kinks at 0) so central differences are well-defined.
@@ -56,6 +65,13 @@ GRADCHECK_CASES = {
     "bce_with_logits_fused": (lambda t: F.bce_with_logits_fused(t, _BCE_TARGETS,
                                                                 reduction="sum"),
                               RNG(0).normal(size=(3, 4))),
+    "gru_cell_fused": (lambda t: F.gru_cell_fused(t, _GRU_H0, _GRU_WHH,
+                                                  _GRU_BHH, mask=_GRU_MASK),
+                       RNG(0).normal(size=(4, 9))),
+    "gru_sequence": (lambda t: F.gru_sequence(t, _GRU_WIH, _GRU_WHH, _GRU_BIH,
+                                              _GRU_BHH, lengths=_SEQ_LENGTHS,
+                                              reverse=True)[1],
+                     RNG(0).normal(size=(4, 3, 2))),
 }
 
 # Exports that intentionally have no gradient path: plain-numpy helpers for
@@ -75,6 +91,55 @@ def test_every_functional_export_is_covered():
 def test_op_matches_finite_differences(name):
     fn, x = GRADCHECK_CASES[name]
     check_grad(fn, x)
+
+
+class TestGRUKernelGradients:
+    """The sweep checks the fused GRU kernels wrt their first argument;
+    these cover every other differentiable input (hidden state, recurrent
+    weights, biases, and the hoisted input projection)."""
+
+    _XG = Tensor(RNG(8).normal(size=(4, 9)))
+    _XSEQ = RNG(9).normal(size=(4, 3, 2))
+
+    def test_cell_hidden_state(self):
+        check_grad(lambda t: F.gru_cell_fused(self._XG, t, _GRU_WHH, _GRU_BHH,
+                                              mask=_GRU_MASK), _GRU_H0.data)
+
+    def test_cell_weight_hh(self):
+        check_grad(lambda t: F.gru_cell_fused(self._XG, _GRU_H0, t, _GRU_BHH),
+                   _GRU_WHH.data)
+
+    def test_cell_bias_hh(self):
+        check_grad(lambda t: F.gru_cell_fused(self._XG, _GRU_H0, _GRU_WHH, t,
+                                              mask=_GRU_MASK), _GRU_BHH.data)
+
+    def test_sequence_weight_ih(self):
+        check_grad(lambda t: F.gru_sequence(self._XSEQ, t, _GRU_WHH, _GRU_BIH,
+                                            _GRU_BHH, lengths=_SEQ_LENGTHS)[1],
+                   _GRU_WIH.data)
+
+    def test_sequence_weight_hh(self):
+        check_grad(lambda t: F.gru_sequence(self._XSEQ, _GRU_WIH, t, _GRU_BIH,
+                                            _GRU_BHH, lengths=_SEQ_LENGTHS)[1],
+                   _GRU_WHH.data)
+
+    def test_sequence_biases(self):
+        check_grad(lambda t: F.gru_sequence(self._XSEQ, _GRU_WIH, _GRU_WHH, t,
+                                            _GRU_BHH)[1], _GRU_BIH.data)
+        check_grad(lambda t: F.gru_sequence(self._XSEQ, _GRU_WIH, _GRU_WHH,
+                                            _GRU_BIH, t)[1], _GRU_BHH.data)
+
+    def test_sequence_all_step_outputs(self):
+        """Gradients through intermediate step outputs (not just the final
+        state) — every per-step time_slice backward must land correctly."""
+        def through_all_steps(t):
+            outputs, _ = F.gru_sequence(t, _GRU_WIH, _GRU_WHH, _GRU_BIH,
+                                        _GRU_BHH, lengths=_SEQ_LENGTHS)
+            total = outputs[0]
+            for step in outputs[1:]:
+                total = total + step
+            return total
+        check_grad(through_all_steps, self._XSEQ)
 
 
 class TestCheckGrad:
@@ -200,9 +265,11 @@ class TestGradcheckModule:
         gradcheck_module(tower, Tensor(RNG(1).normal(size=(3, 5))),
                          max_entries_per_param=4, rng=RNG(2))
 
-    def test_gru_cell(self):
-        """GRUCell.forward takes (x, h); adapt through a closure module."""
-        cell = nn.GRUCell(3, 4, rng=RNG(0))
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_gru_cell(self, fused):
+        """GRUCell.forward takes (x, h); adapt through a closure module.
+        Both the fused kernel and the per-op reference path must pass."""
+        cell = nn.GRUCell(3, 4, rng=RNG(0), fused=fused)
         x = Tensor(RNG(1).normal(size=(2, 3)))
         h = Tensor(RNG(2).normal(size=(2, 4)))
 

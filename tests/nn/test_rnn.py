@@ -125,3 +125,94 @@ class TestBiGRU:
         a = bigru(Tensor(x)).data
         b = bigru(Tensor(x[:, ::-1, :].copy())).data
         assert not np.allclose(a, b)
+
+
+def _paired_bigrus(dtype, seed=0):
+    """A fused and a per-op BiGRU with identical weights at ``dtype``."""
+    fused = nn.BiGRU(3, 4, rng=np.random.default_rng(seed), fused=True)
+    slow = nn.BiGRU(3, 4, rng=np.random.default_rng(seed), fused=False)
+    if dtype != np.float64:
+        fused.astype(dtype)
+        slow.astype(dtype)
+    return fused, slow
+
+
+class TestFusedMatchesPerOp:
+    """The fused kernels must be numerically interchangeable with the
+    per-op reference graph — forward values and every parameter/input
+    gradient — across direction, ragged lengths, and both dtypes."""
+
+    LENGTHS = np.array([5, 2, 4, 1])
+
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12), (np.float32, 1e-5)])
+    @pytest.mark.parametrize("lengths", [None, "ragged"])
+    def test_bigru_forward_and_gradients(self, dtype, tol, lengths):
+        lens = self.LENGTHS if lengths == "ragged" else None
+        fused, slow = _paired_bigrus(dtype)
+        x = np.random.default_rng(1).normal(size=(4, 5, 3)).astype(dtype)
+        xf, xs = Tensor(x, requires_grad=True), Tensor(x, requires_grad=True)
+        out_fused, out_slow = fused(xf, lengths=lens), slow(xs, lengths=lens)
+        np.testing.assert_allclose(out_fused.data, out_slow.data, atol=tol)
+        assert out_fused.dtype == dtype
+        out_fused.sum().backward()
+        out_slow.sum().backward()
+        np.testing.assert_allclose(xf.grad, xs.grad, atol=tol)
+        for (name, pf), (_, ps) in zip(fused.named_parameters(),
+                                       slow.named_parameters()):
+            np.testing.assert_allclose(pf.grad, ps.grad, atol=tol,
+                                       err_msg=name)
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_gru_reverse_direction(self, reverse):
+        gru_fused = nn.GRU(3, 4, rng=np.random.default_rng(0), reverse=reverse,
+                           fused=True)
+        gru_slow = nn.GRU(3, 4, rng=np.random.default_rng(0), reverse=reverse,
+                          fused=False)
+        x = np.random.default_rng(2).normal(size=(3, 6, 3))
+        outs_fused, final_fused = gru_fused(Tensor(x), lengths=self.LENGTHS[:3])
+        outs_slow, final_slow = gru_slow(Tensor(x), lengths=self.LENGTHS[:3])
+        np.testing.assert_allclose(final_fused.data, final_slow.data, atol=1e-12)
+        for step_fused, step_slow in zip(outs_fused, outs_slow):
+            np.testing.assert_allclose(step_fused.data, step_slow.data, atol=1e-12)
+
+    def test_gru_cell_single_step(self):
+        cell_fused = nn.GRUCell(3, 4, rng=np.random.default_rng(0), fused=True)
+        cell_slow = nn.GRUCell(3, 4, rng=np.random.default_rng(0), fused=False)
+        rng = np.random.default_rng(3)
+        x, h = Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(2, 4)))
+        np.testing.assert_allclose(cell_fused(x, h).data, cell_slow(x, h).data,
+                                   atol=1e-12)
+
+
+class TestRecurrentDtype:
+    """The recurrent path must follow the module/default dtype end to end —
+    no silent float64 upcasts from initial states or length masks."""
+
+    def test_initial_state_follows_parameter_dtype(self):
+        cell = nn.GRUCell(3, 4, rng=np.random.default_rng(0)).astype(np.float32)
+        assert cell.initial_state(2).dtype == np.float32
+        assert cell.dtype == np.float32
+
+    def test_initial_state_follows_default_dtype(self):
+        with nn.default_dtype(np.float32):
+            cell = nn.GRUCell(3, 4, rng=np.random.default_rng(0))
+            assert cell.initial_state(2).dtype == np.float32
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_masked_gru_stays_float32(self, fused):
+        """The length mask must not upcast a float32 graph (this was a live
+        bug: masks were hardcoded float64)."""
+        with nn.default_dtype(np.float32):
+            gru = nn.GRU(3, 4, rng=np.random.default_rng(0), fused=fused)
+            x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 3)),
+                       dtype=np.float32)
+            outputs, final = gru(x, lengths=np.array([3, 5]))
+            assert final.dtype == np.float32
+            assert all(step.dtype == np.float32 for step in outputs)
+            final.sum().backward()
+            assert all(p.grad.dtype == np.float32 for p in gru.parameters())
+
+    def test_bigru_float32_output(self):
+        bigru = nn.BiGRU(3, 4, rng=np.random.default_rng(0)).astype(np.float32)
+        x = Tensor(np.ones((2, 4, 3), dtype=np.float32))
+        assert bigru(x, lengths=np.array([2, 4])).dtype == np.float32
