@@ -1,0 +1,103 @@
+"""Serving-layer benchmarks: single-request latency and micro-batched throughput.
+
+Tracks the two numbers that matter for the production story:
+
+* **single-request latency** — one candidate batch through ``model.score``
+  (the compiled graph-free plan) vs the no_grad Tensor ``model.predict``
+  reference, and end to end through :meth:`RankingService.rank` including
+  querycat intent classification.
+* **micro-batched throughput** — many concurrent single-session requests
+  drained through :class:`repro.serving.BatchScorer`, which coalesces them
+  into a few model invocations (≈54 µs/row at batch 1 vs ≈10 µs/row at
+  batch 32 on the paper tower, f64).
+
+Scale comes from ``REPRO_BENCH_SCALE`` (see conftest); models are built
+untrained — scoring cost does not depend on the weight values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.common import build_environment, model_config
+from repro.models import build_model
+from repro.querycat import QueryCategoryClassifier, QueryClassifierConfig
+from repro.serving import BatchScorer, ModelRegistry, RankingService
+
+
+@pytest.fixture(scope="module")
+def served(scale):
+    """(environment, ranking model, classifier) at the bench scale."""
+    env = build_environment(scale)
+    with nn.default_dtype(scale.np_dtype):
+        model = build_model("adv-hsc-moe", env.dataset.spec, env.taxonomy,
+                            model_config(scale), train_dataset=env.train)
+        classifier = QueryCategoryClassifier(
+            env.log.queries.vocab_size, env.taxonomy.max_sc_id() + 1,
+            QueryClassifierConfig(embedding_dim=8, hidden_size=12))
+    dataset = env.dataset.astype(scale.np_dtype)
+    return env, dataset, model, classifier
+
+
+def test_single_request_predict(benchmark, served):
+    """Baseline: one 8-candidate session through the no_grad Tensor path."""
+    _, dataset, model, _ = served
+    batch = dataset.batch(np.arange(8))
+    scores = benchmark(model.predict, batch)
+    assert scores.shape == (8,)
+
+
+def test_single_request_score(benchmark, served):
+    """One 8-candidate session through the compiled scoring plan."""
+    _, dataset, model, _ = served
+    batch = dataset.batch(np.arange(8))
+    scores = benchmark(model.score, batch)
+    assert scores.shape == (8,)
+
+
+def test_single_request_service_rank(benchmark, served):
+    """End to end: intent classification + routing + scoring + top-k."""
+    env, dataset, model, classifier = served
+    registry = ModelRegistry()
+    registry.register("ranker", model)
+    batch = dataset.batch(np.arange(8))
+    tokens = env.log.queries.tokens[0]
+    lengths = env.log.queries.lengths[0]
+    with RankingService(registry, default_model="ranker", classifier=classifier,
+                        taxonomy=env.taxonomy, max_wait_ms=0.0) as service:
+        response = benchmark(service.rank, batch, query_tokens=tokens,
+                             query_lengths=lengths, top_k=5)
+        benchmark.extra_info["stats"] = str(service.stats())
+    assert len(response.indices) == 5
+
+
+def test_microbatched_throughput(benchmark, served):
+    """64 concurrent 4-row requests drained through the BatchScorer.
+
+    The scorer coalesces them into a handful of model invocations; the
+    interesting number is rows/second versus the single-request bench.
+    """
+    _, dataset, model, _ = served
+    requests = [dataset.batch(np.arange(i, i + 4)) for i in range(64)]
+
+    with BatchScorer(model.score, max_batch_rows=256, max_wait_ms=2.0) as scorer:
+        def drain():
+            futures = [scorer.submit(batch) for batch in requests]
+            return [future.result() for future in futures]
+
+        results = benchmark(drain)
+        stats = scorer.stats()
+        benchmark.extra_info["mean_batch_rows"] = stats.mean_batch_rows
+        benchmark.extra_info["throughput_rows_per_s"] = stats.throughput_rows_per_s
+    assert len(results) == 64
+    assert stats.mean_batch_rows > 4.0  # coalescing happened
+
+
+def test_sequential_scoring_throughput(benchmark, served):
+    """The same 256 rows scored as one batch (upper bound, no queueing)."""
+    _, dataset, model, _ = served
+    batch = dataset.batch(np.arange(256))
+    scores = benchmark(model.score, batch)
+    assert scores.shape == (256,)

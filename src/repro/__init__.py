@@ -12,9 +12,11 @@ Top-level packages:
 * :mod:`repro.analysis` — t-SNE, gate clustering, case studies.
 * :mod:`repro.querycat` — BiGRU query→category classifier (§4.1).
 * :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.serving` — checkpoints, model registry, micro-batched scoring.
 """
 
-from . import analysis, data, experiments, hierarchy, metrics, models, nn, querycat, training, utils
+from . import (analysis, data, experiments, hierarchy, metrics, models, nn,
+               querycat, serving, training, utils)
 
 __version__ = "1.0.0"
 
@@ -28,6 +30,7 @@ __all__ = [
     "analysis",
     "querycat",
     "experiments",
+    "serving",
     "utils",
     "__version__",
 ]

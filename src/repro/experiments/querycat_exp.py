@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import nn
 from ..querycat import (ClassifierResult, QueryCategoryClassifier,
                         QueryClassifierConfig, train_classifier)
 from .common import DEFAULT, Scale, build_environment
@@ -19,11 +20,12 @@ __all__ = ["QuerycatResult", "run"]
 
 @dataclass
 class QuerycatResult:
-    """Classifier accuracies."""
+    """Classifier accuracies (plus the trained model, for serving)."""
 
     result: ClassifierResult
     num_queries: int
     num_classes: int
+    model: QueryCategoryClassifier | None = None
 
     def format(self) -> str:
         return ("Query classifier (§4.1): "
@@ -43,8 +45,11 @@ def run(scale: Scale = DEFAULT, epochs: int | None = None, seed: int = 0) -> Que
         config.epochs = 2
         config.hidden_size = 12
         config.embedding_dim = 8
-    model = QueryCategoryClassifier(queries.vocab_size,
-                                    env.taxonomy.max_sc_id() + 1, config)
-    result = train_classifier(model, queries, env.taxonomy)
+    # Build and train at the scale's dtype (float32 by default since the
+    # recurrent pipeline holds f32 end to end).
+    with nn.default_dtype(scale.np_dtype):
+        model = QueryCategoryClassifier(queries.vocab_size,
+                                        env.taxonomy.max_sc_id() + 1, config)
+        result = train_classifier(model, queries, env.taxonomy)
     return QuerycatResult(result=result, num_queries=queries.num_queries,
-                          num_classes=env.taxonomy.max_sc_id() + 1)
+                          num_classes=env.taxonomy.max_sc_id() + 1, model=model)

@@ -34,8 +34,15 @@ def run_experiment(name: str, scale: Scale = DEFAULT):
 
 
 def run_all(scale: Scale = DEFAULT, names: list[str] | None = None) -> dict[str, object]:
-    """Run every (or the named) experiments and return id → result."""
-    selected = names or list(EXPERIMENTS)
+    """Run every (or the named) experiments and return id → result.
+
+    Unknown names are rejected up front, before any experiment runs — a
+    typo at position N must not waste the N-1 experiments before it.
+    """
+    selected = list(names) if names else list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown!r}; choices: {sorted(EXPERIMENTS)}")
     return {name: run_experiment(name, scale) for name in selected}
 
 

@@ -9,6 +9,7 @@ and all gate networks — share the same embedding tables, reflecting
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,6 +17,8 @@ import numpy as np
 from .. import nn
 from ..data.dataset import Batch
 from ..data.schema import FeatureSpec
+from ..nn.infer import sigmoid_array
+from ..nn.layers import check_embedding_ids
 
 __all__ = ["ModelOutput", "FeatureEmbedder", "RankingModel",
            "DEFAULT_INPUT_FEATURES", "GATE_FEATURE_PRESETS"]
@@ -52,8 +55,12 @@ class ModelOutput:
 
     @property
     def scores(self) -> np.ndarray:
-        """Predicted purchase probabilities as a plain array."""
-        return 1.0 / (1.0 + np.exp(-self.logits.data))
+        """Predicted purchase probabilities as a plain array.
+
+        Uses the shared stable sigmoid so the Tensor path and the compiled
+        serving path produce bit-identical probabilities.
+        """
+        return sigmoid_array(self.logits.data)
 
 
 class FeatureEmbedder(nn.Module):
@@ -125,9 +132,45 @@ class FeatureEmbedder(nn.Module):
             parts.append(self._numeric_tensor(batch))
         return parts[0] if len(parts) == 1 and not include_numeric else nn.concatenate(parts, axis=1)
 
+    # ------------------------------------------------------------------
+    # Graph-free input construction (the serving fast lane)
+    # ------------------------------------------------------------------
+    def embed_array(self, name: str, ids: np.ndarray) -> np.ndarray:
+        """Embed one sparse feature column as a plain array (no graph).
+
+        Shares the Tensor path's id contract (a corrupt serving request
+        must fail, not wrap) via :func:`repro.nn.layers.check_embedding_ids`.
+        """
+        table = self.tables[self._table_index[name]]
+        ids = check_embedding_ids(ids, table.num_embeddings,
+                                  context=f"feature {name!r}")
+        return table.weight.data[ids]
+
+    def model_input_array(self, batch: Batch) -> np.ndarray:
+        """Plain-numpy X = [embeddings | numeric]; same values as
+        :meth:`model_input` with zero Tensor/graph bookkeeping."""
+        parts = [self.embed_array(name, batch.sparse[name]) for name in self.input_features]
+        parts.append(np.asarray(batch.numeric, dtype=self.dtype))
+        return np.concatenate(parts, axis=1)
+
+    def gate_input_array(self, batch: Batch, gate_features: tuple[str, ...],
+                         include_numeric: bool = False) -> np.ndarray:
+        """Plain-numpy gate input; same values as :meth:`gate_input`."""
+        parts = [self.embed_array(name, batch.sparse[name]) for name in gate_features]
+        if include_numeric:
+            parts.append(np.asarray(batch.numeric, dtype=self.dtype))
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+
 
 class RankingModel(nn.Module):
     """Interface all ranking models implement."""
+
+    def __init__(self):
+        super().__init__()
+        # Serializes compiled scoring (shared plan scratch buffers) and
+        # guards the lazy scorer build.
+        self._scorer_lock = threading.Lock()
+        self._scorer = None
 
     def forward(self, batch: Batch) -> ModelOutput:
         raise NotImplementedError
@@ -138,7 +181,14 @@ class RankingModel(nn.Module):
         raise NotImplementedError
 
     def predict(self, batch: Batch) -> np.ndarray:
-        """Predicted purchase probabilities (no graph construction)."""
+        """Purchase probabilities via the Tensor reference path (no_grad).
+
+        This builds (and discards) no backward closures but still routes
+        through :class:`~repro.nn.tensor.Tensor` ops; :meth:`score` is the
+        compiled graph-free fast lane and is what evaluation and serving
+        use.  ``predict`` is kept as the reference the parity tests compare
+        against.
+        """
         with nn.no_grad():
             was_training = self.training
             self.eval()
@@ -147,3 +197,39 @@ class RankingModel(nn.Module):
             finally:
                 self.train(was_training)
         return output.scores
+
+    # ------------------------------------------------------------------
+    # Compiled scoring (the serving fast lane)
+    # ------------------------------------------------------------------
+    def score(self, batch: Batch) -> np.ndarray:
+        """Purchase probabilities via the compiled graph-free plan.
+
+        The scorer is compiled lazily on first use and cached; it reads
+        parameters live, so training steps and ``load_state_dict`` are
+        picked up without invalidation.  Matches :meth:`predict` to float
+        rounding (the parity suite pins ≤1e-12 f64 / ≤1e-6 f32).
+
+        Calls are serialized by a per-model lock: the compiled plan's
+        scratch buffers are shared state, and one model object may sit
+        behind several serving routes (or be scored from caller threads
+        directly), so thread safety belongs here, not in the callers.
+        """
+        with self._scorer_lock:
+            if self._scorer is None:
+                self._scorer = self._build_scorer()
+            return self._scorer(batch)
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Alias for :meth:`score` (sklearn-style naming)."""
+        return self.score(batch)
+
+    def _build_scorer(self):
+        """Build the compiled scoring closure.
+
+        Subclasses compile their towers/gates into plain-numpy plans; the
+        base fallback is the Tensor reference path, so custom models get a
+        working (if slower) ``score`` for free.  The closure should return
+        a caller-owned array — not a compiled plan's scratch buffer (the
+        in-repo scorers all end with an allocating sigmoid/softmax).
+        """
+        return self.predict

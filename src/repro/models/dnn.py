@@ -12,6 +12,7 @@ import numpy as np
 from .. import nn
 from ..data.dataset import Batch
 from ..data.schema import FeatureSpec
+from ..nn.infer import sigmoid_array
 from .base import FeatureEmbedder, ModelOutput, RankingModel
 from .config import ModelConfig
 
@@ -33,6 +34,15 @@ class DNNRanker(RankingModel):
         x = self.embedder.model_input(batch)
         logits = self.tower(x).reshape(-1)
         return ModelOutput(logits=logits)
+
+    def _build_scorer(self):
+        """Compiled scoring: embedding gather -> compiled tower -> sigmoid."""
+        tower = self.tower.compiled()
+
+        def score(batch: Batch) -> np.ndarray:
+            x = self.embedder.model_input_array(batch)
+            return sigmoid_array(tower(x).reshape(-1))
+        return score
 
     def loss(self, batch: Batch, rng: np.random.Generator | None = None
              ) -> tuple[nn.Tensor, dict[str, float]]:

@@ -22,6 +22,7 @@ from .. import nn
 from ..data.dataset import Batch
 from ..data.schema import FeatureSpec
 from ..nn import functional as F
+from ..nn.infer import sigmoid_array, softmax_array
 from .base import FeatureEmbedder, ModelOutput, RankingModel
 from .config import ModelConfig
 
@@ -109,3 +110,25 @@ class MMoERanker(RankingModel):
         # up-front float64 copy is needed (and float32 mode stays float32).
         ce = nn.losses.bce_with_logits(output.logits, batch.labels)
         return ce, {"ce": ce.item()}
+
+    def _build_scorer(self):
+        """Compiled scoring: per-bucket gate selection in plain numpy +
+        compiled expert towers, mirroring the forward exactly."""
+        experts = [expert.compiled() for expert in self.experts]
+        config = self.config
+
+        def score(batch: Batch) -> np.ndarray:
+            x = self.embedder.model_input_array(batch)
+            gate_in = self.embedder.gate_input_array(batch, config.gate_features, False)
+            batch_size, n = x.shape[0], config.num_experts
+            all_logits = (gate_in @ self.gate_weight.data).reshape(
+                batch_size, self.num_tasks, n)
+            buckets = self._buckets_for(batch)
+            index = np.broadcast_to(buckets.reshape(-1, 1, 1), (batch_size, 1, n))
+            task_logits = np.take_along_axis(all_logits, index, axis=1).reshape(batch_size, n)
+            probs = softmax_array(task_logits, axis=1)
+            expert_logits = np.empty((batch_size, n), dtype=x.dtype)
+            for i, plan in enumerate(experts):
+                expert_logits[:, i] = plan(x).reshape(-1)
+            return sigmoid_array((probs * expert_logits).sum(axis=1))
+        return score

@@ -26,6 +26,8 @@ from .. import nn
 from ..data.dataset import Batch
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
+from ..nn import functional as F
+from ..nn.infer import masked_softmax_array, sigmoid_array
 from .base import FeatureEmbedder, ModelOutput, RankingModel
 from .config import ModelConfig
 from .gates import NoisyTopKGate
@@ -146,6 +148,26 @@ class MoERanker(RankingModel):
         diagnostics["total"] = total.item()
         return total, diagnostics
 
+    def _build_scorer(self):
+        """Compiled scoring: numpy gate (clean logits, eval semantics) +
+        compiled expert towers, mirroring the eval-mode forward exactly."""
+        experts = [expert.compiled() for expert in self.experts]
+        gate = self.inference_gate
+        config = self.config
+
+        def score(batch: Batch) -> np.ndarray:
+            x = self.embedder.model_input_array(batch)
+            gate_in = self.embedder.gate_input_array(
+                batch, config.gate_features, config.gate_include_numeric)
+            clean = gate_in @ gate.weight.data
+            mask = F.scatter_topk_mask(clean, gate.k)
+            probs = masked_softmax_array(clean, mask, axis=1)
+            expert_logits = np.empty((x.shape[0], len(experts)), dtype=x.dtype)
+            for index, plan in enumerate(experts):
+                expert_logits[:, index] = plan(x).reshape(-1)
+            return sigmoid_array((probs * expert_logits).sum(axis=1))
+        return score
+
     # ------------------------------------------------------------------
     def gate_vectors(self, batch: Batch) -> np.ndarray:
         """Inference gate probability vectors for analysis (Fig. 6).
@@ -172,5 +194,5 @@ class MoERanker(RankingModel):
                 output = self.forward(batch)
             finally:
                 self.train(was_training)
-        sigma = 1.0 / (1.0 + np.exp(-output.expert_logits.data))
+        sigma = sigmoid_array(output.expert_logits.data)
         return sigma, output.extras["gate"].topk_mask

@@ -5,7 +5,7 @@ layers, recurrent cells, losses, optimizers) sufficient to train every model
 in the paper on CPU.  See DESIGN.md §3 for the inventory.
 """
 
-from . import functional, gradcheck, init, losses, optim
+from . import functional, gradcheck, infer, init, losses, optim
 from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sigmoid, Tanh
 from .module import Module, ModuleList, Sequential
 from .rnn import GRU, BiGRU, GRUCell
@@ -39,6 +39,7 @@ __all__ = [
     "BiGRU",
     "functional",
     "gradcheck",
+    "infer",
     "init",
     "losses",
     "optim",

@@ -1,0 +1,404 @@
+"""Graph-free inference engine: compile modules into plain-numpy plans.
+
+Training rides the autograd :class:`~repro.nn.tensor.Tensor` graph, but a
+prediction has no use for the node closures that graph allocates — they are
+built and immediately thrown away.  This module compiles a
+:class:`~repro.nn.module.Module` tree into a flat plan of plain-numpy
+closures that reuse the fused kernels' *forward* math (``linear_relu``'s
+matmul+bias+relu collapse, ``gru_sequence``'s hoisted input projection and
+in-loop masking) with no Tensor wrappers, no graph bookkeeping, and
+preallocated per-batch-size scratch buffers:
+
+>>> plan = model.compiled()          # Module.compiled() -> CompiledPlan
+>>> probs = plan(x)                  # plain ndarray in, plain ndarray out
+
+Semantics
+---------
+* Plans always run in **inference mode**: Dropout compiles to the identity
+  and recurrent scans use the parameters' dtype throughout.  Modules whose
+  eval-mode forward differs from their train-mode forward get eval-mode
+  behaviour.
+* Plans read parameters through the live :class:`Parameter` objects at call
+  time, so an optimizer step, ``load_state_dict`` or ``astype`` is picked up
+  without recompiling.  (Buffers are keyed by shape *and* dtype, so a dtype
+  flip simply allocates a fresh set.)
+* Returned arrays are **owned by the plan** and overwritten by the next
+  call with the same batch size — ``.copy()`` them to retain results.
+* Plans are **not thread-safe** (the scratch buffers are shared state);
+  :class:`repro.serving.BatchScorer` serializes calls through one worker.
+* :class:`~repro.nn.rnn.GRU` compiles to its serving-relevant output — the
+  final hidden state ``(batch, hidden)`` — rather than the per-step output
+  list the Tensor path returns.  ``BiGRU`` returns the same concatenated
+  final states as its Tensor forward.
+* Unknown module types fall back to the module's Tensor forward under
+  ``no_grad`` so custom models still compile; only the types registered
+  here get the fast closures.
+
+Numerics match the Tensor path operation for operation (same kernels, same
+evaluation order), so compiled scoring is bit-comparable to ``no_grad``
+evaluation — the parity suite pins ≤1e-12 in float64 and ≤1e-6 in float32.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .layers import (MLP, Dropout, Embedding, Linear, ReLU, Sigmoid, Tanh,
+                     check_embedding_ids)
+from .module import Module, Sequential
+from .rnn import GRU, BiGRU, GRUCell
+from .tensor import Tensor, _stable_sigmoid, no_grad
+
+__all__ = ["CompiledPlan", "BufferPool", "compile_module", "register_compiler",
+           "softmax_array", "masked_softmax_array", "sigmoid_array"]
+
+
+# ----------------------------------------------------------------------
+# Plain-numpy math shared with the serving scorers
+# ----------------------------------------------------------------------
+def sigmoid_array(x: np.ndarray) -> np.ndarray:
+    """Stable logistic on a raw array (same numerics as Tensor.sigmoid)."""
+    return _stable_sigmoid(x)
+
+
+def softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Plain-numpy softmax mirroring :func:`repro.nn.functional.softmax`.
+
+    Keeps the exact forward numerics (max-shift, zero-total guard) so
+    compiled scores match the Tensor path to float rounding.
+    """
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    with np.errstate(invalid="ignore"):
+        exps = np.exp(shifted)
+    total = exps.sum(axis=axis, keepdims=True)
+    return np.where(total > 0, exps / np.where(total == 0, 1.0, total), 0.0)
+
+
+def masked_softmax_array(x: np.ndarray, mask: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Plain-numpy masked softmax mirroring ``functional.masked_softmax``."""
+    mask = np.asarray(mask, dtype=bool)
+    return softmax_array(np.where(mask, x, -np.inf), axis=axis)
+
+
+# ----------------------------------------------------------------------
+# Buffer pool
+# ----------------------------------------------------------------------
+class BufferPool:
+    """Preallocated scratch arrays keyed by (step id, shape, dtype).
+
+    Each compiled step reserves an id at compile time and fetches its
+    output buffer per call; the first call at a given batch size allocates,
+    every later call reuses.  The pool is LRU-bounded (``max_buffers``):
+    a long-running service whose micro-batches arrive in many distinct
+    sizes evicts cold entries instead of growing without bound.  ``nbytes``
+    reports the pool's footprint.
+    """
+
+    def __init__(self, max_buffers: int = 512):
+        if max_buffers <= 0:
+            raise ValueError("max_buffers must be positive")
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._max_buffers = max_buffers
+        self._next_id = 0
+
+    def reserve(self) -> int:
+        """Hand out a unique step id."""
+        self._next_id += 1
+        return self._next_id
+
+    def get(self, step: int, shape: tuple, dtype) -> np.ndarray:
+        key = (step, shape, np.dtype(dtype))
+        buffer = self._buffers.pop(key, None)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            if len(self._buffers) >= self._max_buffers:
+                # dicts preserve insertion order; re-inserting on every hit
+                # (the pop above) makes the first key the least recent.
+                self._buffers.pop(next(iter(self._buffers)))
+        self._buffers[key] = buffer
+        return buffer
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+# ----------------------------------------------------------------------
+# Compiler registry
+# ----------------------------------------------------------------------
+_COMPILERS: dict[type, Callable] = {}
+
+
+def register_compiler(module_type: type):
+    """Decorator registering a compile function for a Module subclass.
+
+    The compile function receives ``(module, pool)`` and returns the step
+    closure.  Lookup walks the module's MRO, so subclasses inherit their
+    parent's compiler unless they register their own.
+    """
+    def decorate(fn):
+        _COMPILERS[module_type] = fn
+        return fn
+    return decorate
+
+
+def _compile(module: Module, pool: BufferPool) -> Callable:
+    for cls in type(module).__mro__:
+        compiler = _COMPILERS.get(cls)
+        if compiler is not None:
+            return compiler(module, pool)
+    return _compile_generic(module, pool)
+
+
+def _compile_generic(module: Module, pool: BufferPool) -> Callable:
+    """Fallback for unregistered types: Tensor forward under no_grad."""
+    def run(*args, **kwargs):
+        with no_grad():
+            out = module(*args, **kwargs)
+        return out.data if isinstance(out, Tensor) else out
+    return run
+
+
+class CompiledPlan:
+    """A compiled, graph-free forward for one module tree.
+
+    Call it like the module; inputs may be plain arrays or Tensors (the
+    data is used).  Float inputs are cast once at entry to the plan's
+    parameter dtype, so a float64 feed into a float32 model does not
+    silently promote the whole plan.
+    """
+
+    def __init__(self, module: Module, fn: Callable, pool: BufferPool):
+        self.module = module
+        self.pool = pool
+        self._fn = fn
+
+    @property
+    def dtype(self) -> np.dtype | None:
+        """The parameter dtype the plan computes in (None if parameterless)."""
+        for param in self.module.parameters():
+            return param.data.dtype
+        return None
+
+    def __call__(self, x, *args, **kwargs):
+        if isinstance(x, Tensor):
+            x = x.data
+        x = np.asarray(x)
+        dtype = self.dtype
+        if dtype is not None and np.issubdtype(x.dtype, np.floating) and x.dtype != dtype:
+            x = x.astype(dtype)
+        return self._fn(x, *args, **kwargs)
+
+    def __repr__(self) -> str:
+        return (f"CompiledPlan({type(self.module).__name__}, "
+                f"buffers={len(self.pool)}, nbytes={self.pool.nbytes})")
+
+
+def compile_module(module: Module) -> CompiledPlan:
+    """Compile ``module`` into a :class:`CompiledPlan` (see module docs)."""
+    pool = BufferPool()
+    return CompiledPlan(module, _compile(module, pool), pool)
+
+
+# ----------------------------------------------------------------------
+# Layer compilers
+# ----------------------------------------------------------------------
+@register_compiler(Linear)
+def _compile_linear(module: Linear, pool: BufferPool) -> Callable:
+    step = pool.reserve()
+    weight, bias = module.weight, module.bias
+
+    def run(x):
+        w = weight.data
+        out = pool.get(step, (x.shape[0], w.shape[1]), w.dtype)
+        np.matmul(x, w, out=out)
+        if bias is not None:
+            out += bias.data
+        return out
+    return run
+
+
+def _linear_relu_step(module: Linear, pool: BufferPool) -> Callable:
+    """The fused kernel's forward math: matmul + bias + in-place relu."""
+    step = pool.reserve()
+    weight, bias = module.weight, module.bias
+
+    def run(x):
+        w = weight.data
+        out = pool.get(step, (x.shape[0], w.shape[1]), w.dtype)
+        np.matmul(x, w, out=out)
+        if bias is not None:
+            out += bias.data
+        np.maximum(out, 0.0, out=out)
+        return out
+    return run
+
+
+@register_compiler(ReLU)
+def _compile_relu(module: ReLU, pool: BufferPool) -> Callable:
+    step = pool.reserve()
+
+    def run(x):
+        out = pool.get(step, x.shape, x.dtype)
+        np.maximum(x, 0.0, out=out)
+        return out
+    return run
+
+
+@register_compiler(Sigmoid)
+def _compile_sigmoid(module: Sigmoid, pool: BufferPool) -> Callable:
+    def run(x):
+        return _stable_sigmoid(x)
+    return run
+
+
+@register_compiler(Tanh)
+def _compile_tanh(module: Tanh, pool: BufferPool) -> Callable:
+    step = pool.reserve()
+
+    def run(x):
+        out = pool.get(step, x.shape, x.dtype)
+        np.tanh(x, out=out)
+        return out
+    return run
+
+
+@register_compiler(Dropout)
+def _compile_dropout(module: Dropout, pool: BufferPool) -> Callable:
+    # Inference mode: inverted dropout is the identity in eval.
+    def run(x):
+        return x
+    return run
+
+
+@register_compiler(Sequential)
+def _compile_sequential(module: Sequential, pool: BufferPool) -> Callable:
+    steps = [_compile(child, pool) for child in module]
+
+    def run(x):
+        for step in steps:
+            x = step(x)
+        return x
+    return run
+
+
+@register_compiler(MLP)
+def _compile_mlp(module: MLP, pool: BufferPool) -> Callable:
+    # Mirror the module's fast-path plan: adjacent Linear+ReLU pairs become
+    # one fused step (matching F.linear_relu's forward exactly).
+    steps = []
+    for kind, sub in module._plan:
+        if kind == "linear_relu":
+            steps.append(_linear_relu_step(sub, pool))
+        else:
+            steps.append(_compile(sub, pool))
+
+    def run(x):
+        for step in steps:
+            x = step(x)
+        return x
+    return run
+
+
+@register_compiler(Embedding)
+def _compile_embedding(module: Embedding, pool: BufferPool) -> Callable:
+    step = pool.reserve()
+    weight = module.weight
+
+    def run(ids):
+        w = weight.data
+        ids = check_embedding_ids(ids, w.shape[0])
+        out = pool.get(step, ids.shape + (w.shape[1],), w.dtype)
+        np.take(w, ids, axis=0, out=out)
+        return out
+    return run
+
+
+# ----------------------------------------------------------------------
+# Recurrent compilers — gru_sequence's forward math, no graph
+# ----------------------------------------------------------------------
+def _gru_scan(cell: GRUCell, pool: BufferPool, reverse: bool) -> Callable:
+    """Compile one direction of a GRU scan to plain numpy.
+
+    Follows :func:`repro.nn.functional.gru_sequence` step for step: the
+    input projection is one (B·T, 3H) matmul hoisted out of the loop, each
+    step computes the fused cell's forward, and steps where every example
+    is valid skip the mask.  Returns the final hidden state.
+    """
+    step_proj = pool.reserve()
+    step_gates = pool.reserve()
+
+    def run(x, lengths=None):
+        w_ih, w_hh = cell.weight_ih.data, cell.weight_hh.data
+        b_ih, b_hh = cell.bias_ih.data, cell.bias_hh.data
+        batch, time, features = x.shape
+        hs = w_hh.shape[0]
+        proj = pool.get(step_proj, (batch * time, 3 * hs), w_ih.dtype)
+        np.matmul(x.reshape(batch * time, features), w_ih, out=proj)
+        proj += b_ih
+        proj = proj.reshape(batch, time, 3 * hs)
+        if lengths is not None:
+            valid = np.asarray(lengths).reshape(-1, 1) > np.arange(time)[None, :]
+            masks = valid.astype(w_hh.dtype)
+            full_steps = valid.all(axis=0)
+        h = np.zeros((batch, hs), dtype=w_hh.dtype)
+        gates = pool.get(step_gates, (batch, 3 * hs), w_hh.dtype)
+        steps = range(time - 1, -1, -1) if reverse else range(time)
+        for t in steps:
+            np.matmul(h, w_hh, out=gates)
+            gates += b_hh
+            xg = proj[:, t, :]
+            r = _stable_sigmoid(xg[:, :hs] + gates[:, :hs])
+            z = _stable_sigmoid(xg[:, hs:2 * hs] + gates[:, hs:2 * hs])
+            n = np.tanh(xg[:, 2 * hs:] + r * gates[:, 2 * hs:])
+            h_new = (1.0 - z) * n + z * h
+            if lengths is not None and not full_steps[t]:
+                m = masks[:, t:t + 1]
+                h_new = m * h_new + (1.0 - m) * h
+            h = h_new
+        return h
+    return run
+
+
+@register_compiler(GRUCell)
+def _compile_gru_cell(module: GRUCell, pool: BufferPool) -> Callable:
+    def run(x, h):
+        w_ih, w_hh = module.weight_ih.data, module.weight_hh.data
+        hs = module.hidden_size
+        if isinstance(h, Tensor):
+            h = h.data
+        x_gates = x @ w_ih + module.bias_ih.data
+        gates_h = h @ w_hh + module.bias_hh.data
+        r = _stable_sigmoid(x_gates[:, :hs] + gates_h[:, :hs])
+        z = _stable_sigmoid(x_gates[:, hs:2 * hs] + gates_h[:, hs:2 * hs])
+        n = np.tanh(x_gates[:, 2 * hs:] + r * gates_h[:, 2 * hs:])
+        return (1.0 - z) * n + z * h
+    return run
+
+
+@register_compiler(GRU)
+def _compile_gru(module: GRU, pool: BufferPool) -> Callable:
+    # Serving output: the final hidden state (B, H) — not the per-step list.
+    return _gru_scan(module.cell, pool, module.reverse)
+
+
+@register_compiler(BiGRU)
+def _compile_bigru(module: BiGRU, pool: BufferPool) -> Callable:
+    forward = _gru_scan(module.forward_gru.cell, pool, reverse=False)
+    backward = _gru_scan(module.backward_gru.cell, pool, reverse=True)
+    step = pool.reserve()
+    hs = module.hidden_size
+
+    def run(x, lengths=None):
+        h_forward = forward(x, lengths=lengths)
+        h_backward = backward(x, lengths=lengths)
+        out = pool.get(step, (x.shape[0], 2 * hs), h_forward.dtype)
+        out[:, :hs] = h_forward
+        out[:, hs:] = h_backward
+        return out
+    return run

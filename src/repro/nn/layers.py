@@ -13,7 +13,25 @@ from . import init
 from .module import Module
 from .tensor import Parameter, Tensor, as_tensor
 
-__all__ = ["Linear", "Embedding", "Dropout", "ReLU", "Sigmoid", "Tanh", "MLP"]
+__all__ = ["Linear", "Embedding", "Dropout", "ReLU", "Sigmoid", "Tanh", "MLP",
+           "check_embedding_ids"]
+
+
+def check_embedding_ids(ids, num_embeddings: int,
+                        context: str = "embedding") -> np.ndarray:
+    """Validate and coerce embedding ids to int64.
+
+    The single id contract for every lookup path — the Tensor forward, the
+    compiled plan, and the serving-side raw-array gather — so a policy
+    change (e.g. an OOV bucket) lands in exactly one place.  Negative ids
+    must fail loudly: numpy fancy indexing would silently wrap them.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= num_embeddings):
+        raise IndexError(
+            f"{context} index out of range [0, {num_embeddings}) "
+            f"(got min={ids.min()}, max={ids.max()})")
+    return ids
 
 
 class Linear(Module):
@@ -60,11 +78,7 @@ class Embedding(Module):
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=std))
 
     def forward(self, indices) -> Tensor:
-        indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
-            raise IndexError(
-                f"embedding index out of range [0, {self.num_embeddings}) "
-                f"(got min={indices.min()}, max={indices.max()})")
+        indices = check_embedding_ids(indices, self.num_embeddings)
         return self.weight.take_rows(indices)
 
     def __repr__(self) -> str:

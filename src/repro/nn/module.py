@@ -130,6 +130,18 @@ class Module:
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
+    def compiled(self):
+        """Compile this module into a graph-free inference plan.
+
+        Returns a :class:`repro.nn.infer.CompiledPlan` — a callable that
+        runs the forward pass as plain-numpy closures (eval-mode semantics,
+        preallocated scratch buffers, no autograd graph).  Parameters are
+        read live, so optimizer steps and ``load_state_dict`` are picked up
+        without recompiling.
+        """
+        from . import infer
+        return infer.compile_module(self)
+
 
 class ModuleList(Module):
     """Hold an ordered list of sub-modules, registering each one."""

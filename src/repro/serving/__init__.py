@@ -1,0 +1,32 @@
+"""``repro.serving`` — the scoring side of the system.
+
+Training produces models; this package serves them: checkpoint
+persistence (``state_dict`` → ``.npz`` + JSON config), a versioned
+:class:`ModelRegistry`, a micro-batching :class:`BatchScorer` with
+latency/throughput stats, and a :class:`RankingService` that composes
+querycat intent → model selection → scoring → top-k ranking.  All scoring
+rides the compiled graph-free fast lane (:mod:`repro.nn.infer`).
+"""
+
+from .checkpoint import (load_checkpoint, load_classifier_checkpoint,
+                         load_model, save_checkpoint,
+                         save_classifier_checkpoint)
+from .registry import ModelRegistry, RegisteredModel
+from .scorer import BatchScorer, ScorerStats, concat_batches
+from .service import RankingResponse, RankingService, candidate_batch
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_model",
+    "save_classifier_checkpoint",
+    "load_classifier_checkpoint",
+    "ModelRegistry",
+    "RegisteredModel",
+    "BatchScorer",
+    "ScorerStats",
+    "concat_batches",
+    "RankingService",
+    "RankingResponse",
+    "candidate_batch",
+]

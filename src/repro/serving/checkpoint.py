@@ -1,0 +1,78 @@
+"""Checkpoint format for the serving layer.
+
+Ranking-model checkpoints are the ``state_dict → .npz + JSON config`` format
+from :mod:`repro.utils.serialization` (re-exported here so serving code has
+one import surface).  This module adds the same treatment for the BiGRU
+query classifier — the intent stage of :class:`repro.serving.RankingService`
+— whose architecture is described by ``(vocab_size, num_sub_categories,
+QueryClassifierConfig)`` rather than a :class:`~repro.models.config.ModelConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..querycat import QueryCategoryClassifier, QueryClassifierConfig
+from ..utils.serialization import (load_checkpoint, load_model,
+                                   save_checkpoint)
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_model",
+           "save_classifier_checkpoint", "load_classifier_checkpoint"]
+
+_CLASSIFIER_FORMAT_VERSION = 1
+
+
+def save_classifier_checkpoint(model: QueryCategoryClassifier,
+                               path: str | Path,
+                               extra: dict | None = None) -> Path:
+    """Persist a query classifier to ``<path>.npz`` + ``<path>.json``.
+
+    The JSON sidecar records the vocabulary size, class count, and the
+    :class:`QueryClassifierConfig`, so :func:`load_classifier_checkpoint`
+    can rebuild the exact architecture.  Returns the weights path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    weights_path = path.with_suffix(".npz")
+    meta_path = path.with_suffix(".json")
+    np.savez(weights_path, **model.state_dict())
+    meta = {
+        "format_version": _CLASSIFIER_FORMAT_VERSION,
+        "kind": "querycat_classifier",
+        "vocab_size": int(model.embedding.num_embeddings),
+        "num_sub_categories": int(model.head.out_features),
+        "config": dataclasses.asdict(model.config),
+        "dtype": str(model.embedding.weight.dtype),
+        "extra": extra or {},
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+    return weights_path
+
+
+def load_classifier_checkpoint(path: str | Path) -> QueryCategoryClassifier:
+    """Rebuild a query classifier from a checkpoint and restore its weights."""
+    path = Path(path)
+    weights_path = path.with_suffix(".npz")
+    meta_path = path.with_suffix(".json")
+    if not weights_path.exists() or not meta_path.exists():
+        raise FileNotFoundError(f"classifier checkpoint incomplete at {path}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("kind") != "querycat_classifier":
+        raise ValueError(f"not a classifier checkpoint: {path}")
+    if meta.get("format_version") != _CLASSIFIER_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported classifier checkpoint version {meta.get('format_version')}")
+    config = QueryClassifierConfig(**meta["config"])
+    model = QueryCategoryClassifier(meta["vocab_size"],
+                                    meta["num_sub_categories"], config)
+    dtype = np.dtype(meta.get("dtype", "float64"))
+    if model.embedding.weight.dtype != dtype:
+        model.astype(dtype)
+    with np.load(weights_path) as archive:
+        state = {key: archive[key] for key in archive.files}
+        model.load_state_dict(state)
+    return model

@@ -1,0 +1,124 @@
+"""Versioned model registry for the serving layer.
+
+Production serving needs to answer "which weights are live for this
+traffic?" — the registry keys every model by ``(name, version)``, hands out
+the latest version by default, and can hydrate entries straight from
+checkpoints so a scoring process never touches training code.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
+from .checkpoint import load_model
+
+__all__ = ["ModelRegistry", "RegisteredModel"]
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One registry entry: a scorable model plus its identity/metadata."""
+
+    name: str
+    version: int
+    model: object                       # anything with .score(batch)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.name, self.version)
+
+
+class ModelRegistry:
+    """In-memory ``(name, version) → model`` store.
+
+    Versions are positive integers; ``register`` without an explicit
+    version auto-increments past the newest one, and lookups without a
+    version resolve to the newest.  Registration and lookup are
+    thread-safe (serving workers may hot-swap models under traffic).
+    """
+
+    def __init__(self):
+        self._entries: dict[str, dict[int, RegisteredModel]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, model, version: int | None = None,
+                 metadata: dict | None = None) -> RegisteredModel:
+        """Register ``model`` under ``name``; returns the new entry.
+
+        ``version=None`` assigns the next free version.  Re-registering an
+        existing (name, version) raises — versions are immutable once live.
+        """
+        if not name:
+            raise ValueError("model name must be non-empty")
+        with self._lock:
+            versions = self._entries.setdefault(name, {})
+            if version is None:
+                version = max(versions, default=0) + 1
+            version = int(version)
+            if version <= 0:
+                raise ValueError("version must be a positive integer")
+            if version in versions:
+                raise ValueError(f"{name!r} version {version} already registered")
+            entry = RegisteredModel(name=name, version=version, model=model,
+                                    metadata=dict(metadata or {}))
+            versions[version] = entry
+            return entry
+
+    def register_checkpoint(self, name: str, path: str | Path,
+                            spec: FeatureSpec, taxonomy: Taxonomy,
+                            version: int | None = None,
+                            metadata: dict | None = None) -> RegisteredModel:
+        """Load a ranking-model checkpoint and register it."""
+        model = load_model(path, spec, taxonomy)
+        metadata = {"checkpoint": str(path), **(metadata or {})}
+        return self.register(name, model, version=version, metadata=metadata)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def entry(self, name: str, version: int | None = None) -> RegisteredModel:
+        """The entry for ``(name, version)``; latest version when None."""
+        with self._lock:
+            versions = self._entries.get(name)
+            if not versions:
+                raise KeyError(f"no model registered under {name!r}; "
+                               f"known: {sorted(self._entries)}")
+            if version is None:
+                version = max(versions)
+            if version not in versions:
+                raise KeyError(f"{name!r} has no version {version}; "
+                               f"known: {sorted(versions)}")
+            return versions[version]
+
+    def get(self, name: str, version: int | None = None):
+        """The model for ``(name, version)``; latest version when None."""
+        return self.entry(name, version).model
+
+    def latest_version(self, name: str) -> int:
+        return self.entry(name).version
+
+    def versions(self, name: str) -> list[int]:
+        with self._lock:
+            if name not in self._entries:
+                raise KeyError(f"no model registered under {name!r}")
+            return sorted(self._entries[name])
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._entries.values())

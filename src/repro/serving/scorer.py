@@ -1,0 +1,256 @@
+"""Micro-batched scoring: the latency/throughput workhorse of the serving layer.
+
+Single-request scoring on the compiled plan is memory-bound — every request
+re-streams the full weight matrices.  Micro-batching amortizes that stream
+across concurrent requests: :class:`BatchScorer` queues incoming score
+requests and a single worker drains them in batches of up to
+``max_batch_rows`` rows, waiting at most ``max_wait_ms`` for stragglers
+(measured on the paper tower: ≈54 µs/row at batch 1 vs ≈10 µs/row at batch
+32 in float64 — the batching itself is a >3x per-row win before dtype even
+enters).  The worker also serializes access to the compiled plan's scratch
+buffers, which are not thread-safe.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import Batch
+
+__all__ = ["BatchScorer", "ScorerStats", "concat_batches"]
+
+
+def concat_batches(batches: list[Batch]) -> Batch:
+    """Concatenate request batches into one scoring batch (row order kept)."""
+    if len(batches) == 1:
+        return batches[0]
+    return Batch(
+        numeric=np.concatenate([b.numeric for b in batches]),
+        sparse={key: np.concatenate([b.sparse[key] for b in batches])
+                for key in batches[0].sparse},
+        labels=np.concatenate([b.labels for b in batches]),
+        session_ids=np.concatenate([b.session_ids for b in batches]),
+    )
+
+
+@dataclass
+class ScorerStats:
+    """Aggregate serving statistics since scorer start."""
+
+    requests: int = 0                   # score requests completed
+    rows: int = 0                       # candidate rows scored
+    batches: int = 0                    # model invocations
+    busy_seconds: float = 0.0           # time inside the score function
+    mean_latency_ms: float = 0.0        # request submit -> result
+    p95_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+
+    @property
+    def mean_batch_rows(self) -> float:
+        """Average rows per model invocation (micro-batching effectiveness)."""
+        return self.rows / self.batches if self.batches else 0.0
+
+    @property
+    def throughput_rows_per_s(self) -> float:
+        """Rows scored per second of model time."""
+        return self.rows / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+
+class _Request:
+    __slots__ = ("batch", "future", "enqueued_at")
+
+    def __init__(self, batch: Batch):
+        self.batch = batch
+        self.future: Future = Future()
+        self.enqueued_at = time.monotonic()
+
+
+_SHUTDOWN = object()
+_LATENCY_WINDOW = 4096                  # latency samples kept for percentiles
+
+
+def _resolve(future: Future, result=None, error=None) -> None:
+    """Complete a future, tolerating callers that already cancelled it."""
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except Exception:
+        pass                            # cancelled/raced future: nothing to do
+
+
+class BatchScorer:
+    """Queue + worker that micro-batches score requests for one model.
+
+    Parameters
+    ----------
+    score_fn:
+        ``Batch -> (n,) scores``; typically a model's compiled
+        :meth:`~repro.models.base.RankingModel.score`.
+    max_batch_rows:
+        Flush the pending micro-batch once it holds this many rows.
+    max_wait_ms:
+        How long the worker waits for more requests after the first one
+        before scoring what it has.  0 scores each request immediately
+        (still serialized, still counted in stats).
+
+    ``submit`` returns a :class:`~concurrent.futures.Future`; ``score`` is
+    the blocking convenience wrapper.  Use as a context manager (or call
+    :meth:`close`) to stop the worker.
+    """
+
+    def __init__(self, score_fn, max_batch_rows: int = 256,
+                 max_wait_ms: float = 2.0, name: str = "scorer"):
+        if max_batch_rows <= 0:
+            raise ValueError("max_batch_rows must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.name = name
+        self._score_fn = score_fn
+        self._max_batch_rows = int(max_batch_rows)
+        self._max_wait = max_wait_ms / 1000.0
+        self._queue: queue.Queue = queue.Queue()
+        # Serializes submit against close: without it a submit could pass
+        # the closed check, lose the CPU, and enqueue after the worker
+        # drained — leaving its future forever unresolved.
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._rows = 0
+        self._batches = 0
+        self._busy_seconds = 0.0
+        self._latencies: list[float] = []
+        self._closed = False
+        self._worker = threading.Thread(target=self._loop, daemon=True,
+                                        name=f"BatchScorer-{name}")
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, batch: Batch) -> Future:
+        """Enqueue a batch for scoring; resolves to its (n,) score array."""
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("BatchScorer is closed")
+            request = _Request(batch)
+            self._queue.put(request)
+        return request.future
+
+    def score(self, batch: Batch) -> np.ndarray:
+        """Blocking score: submit and wait for the result."""
+        return self.submit(batch).result()
+
+    def stats(self) -> ScorerStats:
+        """Snapshot of the aggregate serving statistics."""
+        with self._stats_lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            stats = ScorerStats(
+                requests=self._requests, rows=self._rows, batches=self._batches,
+                busy_seconds=self._busy_seconds)
+            if latencies.size:
+                stats.mean_latency_ms = float(latencies.mean() * 1000.0)
+                stats.p95_latency_ms = float(np.percentile(latencies, 95) * 1000.0)
+                stats.max_latency_ms = float(latencies.max() * 1000.0)
+            return stats
+
+    def close(self) -> None:
+        """Stop the worker; pending requests are completed first."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join()
+
+    def __enter__(self) -> "BatchScorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Gather requests up to the row/wait budget; True means shut down."""
+        pending = [first]
+        rows = len(first.batch)
+        deadline = time.monotonic() + self._max_wait
+        while rows < self._max_batch_rows:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._queue.get(block=remaining > 0, timeout=max(remaining, 0))
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return pending, True
+            pending.append(item)
+            rows += len(item.batch)
+        return pending, False
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._drain()
+                return
+            pending, shutdown = self._collect(item)
+            self._run_batch(pending)
+            if shutdown:
+                self._drain()
+                return
+
+    def _drain(self) -> None:
+        """Complete any requests that raced past the shutdown sentinel."""
+        leftovers: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+        if leftovers:
+            self._run_batch(leftovers)
+
+    def _run_batch(self, pending: list[_Request]) -> None:
+        """Score one micro-batch.  Must never raise: an escaping exception
+        would kill the worker thread and hang every current and future
+        caller, so *any* failure — merging, scoring, bad score shape — is
+        routed to the waiting futures instead."""
+        try:
+            merged = concat_batches([request.batch for request in pending])
+            started = time.monotonic()
+            scores = np.asarray(self._score_fn(merged))
+            busy = time.monotonic() - started
+            if scores.ndim == 0 or scores.shape[0] != len(merged):
+                raise ValueError(
+                    f"score_fn returned shape {scores.shape} for {len(merged)} rows")
+        except BaseException as error:  # propagate to every waiting caller
+            for request in pending:
+                _resolve(request.future, error=error)
+            return
+        finished = time.monotonic()
+        offset = 0
+        for request in pending:
+            count = len(request.batch)
+            # Copy the slice: the compiled plan owns (and will overwrite)
+            # the backing buffer on its next call.
+            _resolve(request.future, result=scores[offset:offset + count].copy())
+            offset += count
+        with self._stats_lock:
+            self._requests += len(pending)
+            self._rows += len(merged)
+            self._batches += 1
+            self._busy_seconds += busy
+            self._latencies.extend(finished - r.enqueued_at for r in pending)
+            if len(self._latencies) > _LATENCY_WINDOW:
+                del self._latencies[:-_LATENCY_WINDOW]

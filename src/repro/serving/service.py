@@ -1,0 +1,207 @@
+"""End-to-end ranking service: intent → model selection → scoring → top-k.
+
+This is the serving-side composition of the paper's pipeline: the query is
+classified into its sub/top category by the BiGRU classifier (§4.1), the
+top category selects which registered ranking model handles the traffic
+(per-category routing with a default fallback — the "category-dedicated
+model extraction" direction of the paper's conclusions), candidates are
+scored through that model's micro-batching :class:`BatchScorer`, and the
+top-k items come back with scores and latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Batch
+from ..hierarchy import Taxonomy
+from ..querycat import QueryCategoryClassifier
+from .registry import ModelRegistry
+from .scorer import BatchScorer, ScorerStats
+
+__all__ = ["RankingService", "RankingResponse", "candidate_batch"]
+
+
+def candidate_batch(numeric: np.ndarray, sparse: dict[str, np.ndarray]) -> Batch:
+    """Build a scoring :class:`Batch` from candidate features.
+
+    Serving requests have no labels or session structure; they are filled
+    with zeros (models never read them when scoring).
+    """
+    numeric = np.atleast_2d(np.asarray(numeric))
+    n = numeric.shape[0]
+    sparse = {name: np.asarray(ids) for name, ids in sparse.items()}
+    return Batch(numeric=numeric, sparse=sparse,
+                 labels=np.zeros(n), session_ids=np.zeros(n, dtype=np.int64))
+
+
+@dataclass
+class RankingResponse:
+    """Result of one :meth:`RankingService.rank` call."""
+
+    indices: np.ndarray                 # candidate rows, best first
+    scores: np.ndarray                  # matching purchase probabilities
+    model_name: str
+    model_version: int
+    predicted_sc: int | None = None     # query intent (when classified)
+    predicted_tc: int | None = None
+    latency_ms: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+class RankingService:
+    """Compose querycat intent, model routing, and micro-batched scoring.
+
+    Parameters
+    ----------
+    registry:
+        Versioned model store; every routed name must be registered.
+    default_model:
+        Name used when no routing rule matches (default: the registry's
+        sole name, an error if it is ambiguous at rank time).
+    classifier / taxonomy:
+        Optional BiGRU query classifier and category tree.  When both are
+        given and a request carries query tokens, the predicted top
+        category drives routing.
+    routing:
+        ``top-category id → model name`` rules for category-dedicated
+        models.
+    max_batch_rows / max_wait_ms:
+        Micro-batching knobs handed to each model's :class:`BatchScorer`.
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 default_model: str | None = None,
+                 classifier: QueryCategoryClassifier | None = None,
+                 taxonomy: Taxonomy | None = None,
+                 routing: dict[int, str] | None = None,
+                 max_batch_rows: int = 256, max_wait_ms: float = 2.0):
+        self.registry = registry
+        self.default_model = default_model
+        self.classifier = classifier
+        self.taxonomy = taxonomy
+        self.routing = dict(routing or {})
+        self._max_batch_rows = max_batch_rows
+        self._max_wait_ms = max_wait_ms
+        self._scorers: dict[tuple[str, int], BatchScorer] = {}
+        # Guards scorer creation: two concurrent rank() calls for the same
+        # model must share one BatchScorer — its single worker is what
+        # serializes access to the compiled plan's scratch buffers.
+        self._scorers_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Intent
+    # ------------------------------------------------------------------
+    def classify_query(self, tokens: np.ndarray,
+                       lengths: np.ndarray | int | None = None
+                       ) -> tuple[int | None, int | None]:
+        """Predict (sub category, top category) for one query, or Nones."""
+        if self.classifier is None:
+            return None, None
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        if lengths is None:
+            lengths = np.full(tokens.shape[0], tokens.shape[1], dtype=np.int64)
+        lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
+        sc = int(self.classifier.predict_sc(tokens, lengths)[0])
+        tc = int(self.taxonomy.parents_of(np.asarray([sc]))[0]) \
+            if self.taxonomy is not None else None
+        return sc, tc
+
+    # ------------------------------------------------------------------
+    # Routing and scoring
+    # ------------------------------------------------------------------
+    def _select_model(self, tc: int | None, model: str | None) -> str:
+        if model is not None:
+            return model
+        if tc is not None and tc in self.routing:
+            return self.routing[tc]
+        if self.default_model is not None:
+            return self.default_model
+        names = self.registry.names()
+        if len(names) == 1:
+            return names[0]
+        raise ValueError("no default_model configured and routing is "
+                         f"ambiguous between {names}")
+
+    def _scorer_for(self, name: str, version: int | None) -> tuple[BatchScorer, int]:
+        entry = self.registry.entry(name, version)
+        stale: list[BatchScorer] = []
+        with self._scorers_lock:
+            scorer = self._scorers.get(entry.key)
+            if scorer is None:
+                scorer = BatchScorer(entry.model.score,
+                                     max_batch_rows=self._max_batch_rows,
+                                     max_wait_ms=self._max_wait_ms,
+                                     name=f"{entry.name}-v{entry.version}")
+                self._scorers[entry.key] = scorer
+                # Hot swap: a newer version's scorer retires older ones for
+                # the same name, else every swap leaks a worker thread and
+                # keeps the superseded model's weights alive.  A caller
+                # still pinning an old version just gets a fresh scorer on
+                # its next request.
+                for key in [k for k in self._scorers
+                            if k[0] == name and k[1] < entry.version]:
+                    stale.append(self._scorers.pop(key))
+        for old in stale:
+            old.close()                 # completes its pending requests first
+        return scorer, entry.version
+
+    def score(self, candidates: Batch, model: str | None = None,
+              version: int | None = None) -> np.ndarray:
+        """Micro-batched scores for ``candidates`` under a routed model."""
+        name = self._select_model(None, model)
+        scorer, _ = self._scorer_for(name, version)
+        return scorer.score(candidates)
+
+    def rank(self, candidates: Batch, query_tokens: np.ndarray | None = None,
+             query_lengths: np.ndarray | int | None = None, top_k: int = 10,
+             model: str | None = None, version: int | None = None
+             ) -> RankingResponse:
+        """Rank ``candidates`` for a query; returns the top-k best first."""
+        started = time.monotonic()
+        sc = tc = None
+        if query_tokens is not None:
+            sc, tc = self.classify_query(query_tokens, query_lengths)
+        name = self._select_model(tc, model)
+        scorer, resolved_version = self._scorer_for(name, version)
+        scores = scorer.score(candidates)
+        top_k = min(top_k, len(scores))
+        order = np.argsort(-scores, kind="stable")[:top_k]
+        return RankingResponse(
+            indices=order,
+            scores=scores[order],
+            model_name=name,
+            model_version=resolved_version,
+            predicted_sc=sc,
+            predicted_tc=tc,
+            latency_ms=(time.monotonic() - started) * 1000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, ScorerStats]:
+        """Per-model serving statistics, keyed by ``name:vVERSION``."""
+        with self._scorers_lock:
+            scorers = dict(self._scorers)
+        return {f"{name}:v{version}": scorer.stats()
+                for (name, version), scorer in scorers.items()}
+
+    def close(self) -> None:
+        """Stop every scorer worker (pending requests complete first)."""
+        with self._scorers_lock:
+            scorers, self._scorers = dict(self._scorers), {}
+        for scorer in scorers.values():
+            scorer.close()
+
+    def __enter__(self) -> "RankingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

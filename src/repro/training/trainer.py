@@ -84,7 +84,12 @@ class TrainResult:
 
 def evaluate(model: RankingModel, dataset: LTRDataset, ndcg_k: int = 10,
              batch_size: int = 8192) -> dict[str, float]:
-    """Session AUC / NDCG / NDCG@k of a model on a dataset."""
+    """Session AUC / NDCG / NDCG@k of a model on a dataset.
+
+    Scoring rides the compiled graph-free fast lane
+    (:meth:`~repro.models.base.RankingModel.score`), which matches the
+    Tensor path to float rounding.
+    """
     scores = predict_dataset(model, dataset, batch_size=batch_size)
     return {
         "auc": session_auc(scores, dataset.labels, dataset.session_ids),
@@ -95,11 +100,17 @@ def evaluate(model: RankingModel, dataset: LTRDataset, ndcg_k: int = 10,
 
 def predict_dataset(model: RankingModel, dataset: LTRDataset,
                     batch_size: int = 8192) -> np.ndarray:
-    """Model scores over the full dataset, batched to bound memory."""
+    """Model scores over the full dataset, batched to bound memory.
+
+    Uses the model's compiled ``score`` (every :class:`RankingModel` has
+    one; the base ``_build_scorer`` fallback is the Tensor path).
+    """
     chunks = []
     for start in range(0, len(dataset), batch_size):
         indices = np.arange(start, min(start + batch_size, len(dataset)))
-        chunks.append(model.predict(dataset.batch(indices)))
+        # Copy: a custom scorer may return plan-owned scratch that the next
+        # chunk's call overwrites (scores are 1-D, so this is cheap).
+        chunks.append(np.array(model.score(dataset.batch(indices))))
     return np.concatenate(chunks) if chunks else np.empty(0)
 
 

@@ -44,10 +44,14 @@ def save_checkpoint(model: RankingModel, path: str | Path,
     config = getattr(model, "config", None)
     if not isinstance(config, ModelConfig):
         raise TypeError("model has no ModelConfig; cannot serialize architecture")
+    dtypes = {str(param.dtype) for param in model.parameters()}
     meta = {
         "format_version": _FORMAT_VERSION,
         "model_name": model_name,
         "config": dataclasses.asdict(config),
+        # Parameter dtype (recorded when uniform) so a float32-served model
+        # reloads as float32 regardless of the ambient default dtype.
+        "dtype": dtypes.pop() if len(dtypes) == 1 else None,
         "extra": extra or {},
     }
     # MMoE's task routing lives outside the parameter arrays; persist it so
@@ -95,6 +99,9 @@ def load_model(path: str | Path, spec: FeatureSpec, taxonomy: Taxonomy,
     else:
         model = build_model(meta["model_name"], spec, taxonomy, config,
                             train_dataset=train_dataset)
+    dtype = meta.get("dtype")
+    if dtype is not None and any(p.dtype != np.dtype(dtype) for p in model.parameters()):
+        model.astype(np.dtype(dtype))
     model.load_state_dict(state)
     return model
 

@@ -7,6 +7,7 @@ from repro.experiments import CI, DEFAULT, PAPER, SCALES
 from repro.experiments.common import (build_environment, model_config,
                                       train_and_eval, train_config)
 from repro.experiments.registry import main as registry_main
+from repro.experiments.registry import run_all
 from repro.models.base import GATE_FEATURE_PRESETS
 
 
@@ -27,6 +28,14 @@ class TestScales:
 
     def test_ci_smaller_than_default(self):
         assert CI.num_queries < DEFAULT.num_queries
+
+    def test_float32_is_the_default_dtype(self):
+        """ROADMAP open item (safe since PR 2): presets train in float32."""
+        for scale in SCALES.values():
+            assert scale.np_dtype == np.float32
+
+    def test_dtype_override(self):
+        assert CI.with_updates(dtype="float64").np_dtype == np.float64
 
 
 class TestConfigHelpers:
@@ -60,6 +69,14 @@ class TestTrainAndEval:
         assert hasattr(model, "predict")
         assert 0.0 <= metrics["auc"] <= 1.0
 
+    def test_models_train_at_scale_dtype(self):
+        env = build_environment(CI)
+        _, model = train_and_eval("dnn", env, CI, return_model=True)
+        assert all(p.dtype == np.float32 for p in model.parameters())
+        _, model64 = train_and_eval("dnn", env, CI.with_updates(dtype="float64"),
+                                    return_model=True)
+        assert all(p.dtype == np.float64 for p in model64.parameters())
+
     def test_custom_datasets(self):
         env = build_environment(CI)
         tc = int(env.train.query_tc[0])
@@ -67,6 +84,17 @@ class TestTrainAndEval:
                                  train_dataset=env.train.filter_by_tc(tc),
                                  test_dataset=env.test)
         assert np.isfinite(metrics["auc"])
+
+
+class TestRunAllValidation:
+    def test_unknown_names_rejected_before_any_run(self):
+        """A typo must fail fast, not after earlier experiments executed."""
+        with pytest.raises(KeyError, match="table99"):
+            run_all(CI, names=["table1", "table99"])
+
+    def test_known_names_accepted(self):
+        results = run_all(CI, names=["table1"])
+        assert set(results) == {"table1"}
 
 
 class TestRegistryCLI:

@@ -1,0 +1,312 @@
+"""Tests for the ``repro.serving`` subsystem."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn, serving
+from repro.models import build_model
+from repro.querycat import QueryCategoryClassifier, QueryClassifierConfig
+from repro.serving import (BatchScorer, ModelRegistry, RankingService,
+                           candidate_batch, concat_batches)
+
+
+@pytest.fixture(scope="module")
+def model(dataset, taxonomy, tiny_model_config):
+    return build_model("adv-hsc-moe", dataset.spec, taxonomy,
+                       tiny_model_config, train_dataset=dataset)
+
+
+@pytest.fixture(scope="module")
+def classifier(log, taxonomy):
+    return QueryCategoryClassifier(
+        log.queries.vocab_size, taxonomy.max_sc_id() + 1,
+        QueryClassifierConfig(embedding_dim=8, hidden_size=10))
+
+
+@pytest.fixture()
+def batch(dataset):
+    return dataset.batch(np.arange(24))
+
+
+class TestCheckpoints:
+    def test_ranking_round_trip(self, model, dataset, taxonomy, batch, tmp_path):
+        path = tmp_path / "ranker"
+        serving.save_checkpoint(model, path, "adv-hsc-moe")
+        reloaded = serving.load_model(path, dataset.spec, taxonomy)
+        np.testing.assert_allclose(reloaded.score(batch), model.score(batch),
+                                   atol=1e-12)
+
+    def test_ranking_round_trip_preserves_f32(self, dataset, taxonomy,
+                                              tiny_model_config, tmp_path):
+        with nn.default_dtype(np.float32):
+            model32 = build_model("dnn", dataset.spec, taxonomy, tiny_model_config)
+        path = tmp_path / "f32"
+        serving.save_checkpoint(model32, path, "dnn")
+        reloaded = serving.load_model(path, dataset.spec, taxonomy)
+        assert all(p.dtype == np.float32 for p in reloaded.parameters())
+        batch32 = dataset.astype(np.float32).batch(np.arange(16))
+        np.testing.assert_array_equal(reloaded.score(batch32),
+                                      model32.score(batch32))
+
+    def test_classifier_round_trip(self, classifier, log, tmp_path):
+        path = tmp_path / "clf"
+        serving.save_classifier_checkpoint(classifier, path, extra={"note": "t"})
+        reloaded = serving.load_classifier_checkpoint(path)
+        tokens, lengths = log.queries.tokens[:16], log.queries.lengths[:16]
+        np.testing.assert_array_equal(
+            reloaded.predict_proba(tokens, lengths),
+            classifier.predict_proba(tokens, lengths))
+
+    def test_classifier_checkpoint_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            serving.load_classifier_checkpoint(tmp_path / "nope")
+
+    def test_classifier_checkpoint_rejects_ranking_meta(self, model, tmp_path):
+        path = tmp_path / "ranker"
+        serving.save_checkpoint(model, path, "adv-hsc-moe")
+        with pytest.raises(ValueError):
+            serving.load_classifier_checkpoint(path)
+
+
+class TestModelRegistry:
+    def test_register_and_get(self, model):
+        registry = ModelRegistry()
+        entry = registry.register("ranker", model, metadata={"auc": 0.7})
+        assert entry.version == 1 and entry.metadata["auc"] == 0.7
+        assert registry.get("ranker") is model
+        assert "ranker" in registry and len(registry) == 1
+
+    def test_versions_auto_increment_and_latest_wins(self, model):
+        registry = ModelRegistry()
+        registry.register("ranker", "v1-model")
+        registry.register("ranker", "v2-model")
+        assert registry.versions("ranker") == [1, 2]
+        assert registry.latest_version("ranker") == 2
+        assert registry.get("ranker") == "v2-model"
+        assert registry.get("ranker", version=1) == "v1-model"
+
+    def test_duplicate_version_rejected(self):
+        registry = ModelRegistry()
+        registry.register("m", object(), version=3)
+        with pytest.raises(ValueError):
+            registry.register("m", object(), version=3)
+
+    def test_unknown_lookups_raise(self):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.get("ghost")
+        registry.register("m", object())
+        with pytest.raises(KeyError):
+            registry.get("m", version=9)
+
+    def test_register_checkpoint(self, model, dataset, taxonomy, batch, tmp_path):
+        path = tmp_path / "ckpt"
+        serving.save_checkpoint(model, path, "adv-hsc-moe")
+        registry = ModelRegistry()
+        entry = registry.register_checkpoint("ranker", path, dataset.spec, taxonomy)
+        assert entry.metadata["checkpoint"] == str(path)
+        np.testing.assert_allclose(entry.model.score(batch), model.score(batch),
+                                   atol=1e-12)
+
+
+class TestBatchScorer:
+    def test_scores_match_direct(self, model, batch):
+        with BatchScorer(model.score, max_wait_ms=0.0) as scorer:
+            np.testing.assert_array_equal(scorer.score(batch), model.score(batch))
+
+    def test_concurrent_requests_micro_batched(self, model, dataset):
+        batches = [dataset.batch(np.arange(i, i + 5)) for i in range(40)]
+        expected = [model.score(b) for b in batches]
+        with BatchScorer(model.score, max_batch_rows=64, max_wait_ms=20.0) as scorer:
+            futures = [scorer.submit(b) for b in batches]
+            for future, want in zip(futures, expected):
+                np.testing.assert_allclose(future.result(timeout=10), want,
+                                           atol=1e-12)
+            stats = scorer.stats()
+        assert stats.requests == 40
+        assert stats.rows == 200
+        assert stats.batches < 40           # coalescing actually happened
+        assert stats.mean_batch_rows > 5.0
+        assert stats.throughput_rows_per_s > 0
+        assert stats.max_latency_ms >= stats.mean_latency_ms > 0
+
+    def test_submit_after_close_raises(self, model, batch):
+        scorer = BatchScorer(model.score)
+        scorer.close()
+        with pytest.raises(RuntimeError):
+            scorer.submit(batch)
+
+    def test_close_completes_pending(self, model, batch):
+        scorer = BatchScorer(model.score, max_wait_ms=50.0)
+        future = scorer.submit(batch)
+        scorer.close()
+        np.testing.assert_array_equal(future.result(timeout=10), model.score(batch))
+
+    def test_exception_propagates_to_future(self, batch):
+        def broken(_):
+            raise RuntimeError("model exploded")
+        with BatchScorer(broken, max_wait_ms=0.0) as scorer:
+            future = scorer.submit(batch)
+            with pytest.raises(RuntimeError, match="model exploded"):
+                future.result(timeout=10)
+
+    def test_worker_survives_bad_requests(self, model, batch, dataset):
+        """Merge failures and bad score shapes must fail the waiting
+        futures, not kill the worker (which would hang later callers)."""
+        with BatchScorer(model.score, max_wait_ms=0.0) as scorer:
+            malformed = dataset.batch(np.arange(4))
+            malformed.sparse = {"only_key": np.zeros(4, dtype=np.int64)}
+            with pytest.raises(Exception):
+                scorer.submit(malformed).result(timeout=10)
+            # Worker still alive and scoring correctly afterwards.
+            np.testing.assert_array_equal(scorer.score(batch), model.score(batch))
+
+    def test_worker_survives_scalar_score_fn(self, batch):
+        with BatchScorer(lambda b: np.float64(0.5), max_wait_ms=0.0) as scorer:
+            with pytest.raises(ValueError, match="shape"):
+                scorer.submit(batch).result(timeout=10)
+
+    def test_many_threads_submit(self, model, dataset):
+        results = {}
+        with BatchScorer(model.score, max_batch_rows=128, max_wait_ms=5.0) as scorer:
+            def submit(i):
+                results[i] = scorer.score(dataset.batch(np.arange(i, i + 3)))
+            threads = [threading.Thread(target=submit, args=(i,)) for i in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i in range(16):
+            np.testing.assert_allclose(
+                results[i], model.score(dataset.batch(np.arange(i, i + 3))),
+                atol=1e-12)
+
+    def test_concat_batches_round_trip(self, dataset):
+        a, b = dataset.batch(np.arange(5)), dataset.batch(np.arange(5, 12))
+        merged = concat_batches([a, b])
+        assert len(merged) == 12
+        np.testing.assert_array_equal(merged.numeric[:5], a.numeric)
+        np.testing.assert_array_equal(merged.sparse["query_sc"][5:],
+                                      b.sparse["query_sc"])
+
+    def test_invalid_knobs_rejected(self, model):
+        with pytest.raises(ValueError):
+            BatchScorer(model.score, max_batch_rows=0)
+        with pytest.raises(ValueError):
+            BatchScorer(model.score, max_wait_ms=-1.0)
+
+
+class TestRankingService:
+    @pytest.fixture()
+    def registry(self, model):
+        registry = ModelRegistry()
+        registry.register("ranker", model)
+        return registry
+
+    def test_rank_returns_topk_best_first(self, registry, model, batch):
+        with RankingService(registry, default_model="ranker",
+                            max_wait_ms=0.0) as service:
+            response = service.rank(batch, top_k=5)
+        direct = model.score(batch)
+        assert response.indices.shape == (5,)
+        np.testing.assert_allclose(response.scores,
+                                   np.sort(direct)[::-1][:5], atol=1e-12)
+        np.testing.assert_allclose(direct[response.indices], response.scores)
+        assert response.model_name == "ranker" and response.model_version == 1
+        assert response.latency_ms > 0
+
+    def test_query_intent_populated(self, registry, classifier, taxonomy,
+                                    log, batch):
+        queries = log.queries
+        with RankingService(registry, default_model="ranker",
+                            classifier=classifier, taxonomy=taxonomy,
+                            max_wait_ms=0.0) as service:
+            response = service.rank(batch, query_tokens=queries.tokens[0],
+                                    query_lengths=queries.lengths[0], top_k=3)
+        assert response.predicted_sc is not None
+        expected_tc = int(taxonomy.parents_of(
+            np.asarray([response.predicted_sc]))[0])
+        assert response.predicted_tc == expected_tc
+
+    def test_category_routing_selects_dedicated_model(self, model, classifier,
+                                                      taxonomy, log, batch):
+        registry = ModelRegistry()
+        registry.register("general", model)
+        registry.register("dedicated", model)
+        queries = log.queries
+        sc, tc = None, None
+        with RankingService(registry, default_model="general",
+                            classifier=classifier, taxonomy=taxonomy,
+                            max_wait_ms=0.0) as probe:
+            sc, tc = probe.classify_query(queries.tokens[0], queries.lengths[0])
+        with RankingService(registry, default_model="general",
+                            classifier=classifier, taxonomy=taxonomy,
+                            routing={tc: "dedicated"}, max_wait_ms=0.0) as service:
+            routed = service.rank(batch, query_tokens=queries.tokens[0],
+                                  query_lengths=queries.lengths[0])
+            unrouted = service.rank(batch)
+        assert routed.model_name == "dedicated"
+        assert unrouted.model_name == "general"
+
+    def test_single_registered_model_is_implicit_default(self, registry, batch):
+        with RankingService(registry, max_wait_ms=0.0) as service:
+            assert service.rank(batch).model_name == "ranker"
+
+    def test_ambiguous_routing_raises(self, model, batch):
+        registry = ModelRegistry()
+        registry.register("a", model)
+        registry.register("b", model)
+        with RankingService(registry, max_wait_ms=0.0) as service:
+            with pytest.raises(ValueError):
+                service.rank(batch)
+
+    def test_hot_swap_retires_old_version_scorer(self, model, batch):
+        """Registering a new version must not leak the old version's
+        worker thread / model reference once traffic moves over."""
+        registry = ModelRegistry()
+        registry.register("ranker", model)
+        with RankingService(registry, default_model="ranker",
+                            max_wait_ms=0.0) as service:
+            first = service.rank(batch)
+            assert first.model_version == 1
+            registry.register("ranker", model)  # hot swap to v2
+            second = service.rank(batch)
+            assert second.model_version == 2
+            assert list(service.stats()) == ["ranker:v2"]  # v1 retired
+            # Pinning the old version still works (fresh scorer on demand).
+            assert service.rank(batch, version=1).model_version == 1
+
+    def test_stats_exposed_per_model(self, registry, batch):
+        with RankingService(registry, max_wait_ms=0.0) as service:
+            service.rank(batch)
+            stats = service.stats()
+        assert "ranker:v1" in stats
+        assert stats["ranker:v1"].requests == 1
+
+    def test_candidate_batch_shapes(self, dataset):
+        raw = dataset.batch(np.arange(6))
+        built = candidate_batch(raw.numeric, raw.sparse)
+        assert len(built) == 6
+        assert built.labels.sum() == 0
+        np.testing.assert_array_equal(built.numeric, raw.numeric)
+
+    def test_checkpoint_to_service_end_to_end(self, model, classifier, dataset,
+                                              taxonomy, log, tmp_path):
+        """The quickstart path: save -> register from disk -> rank."""
+        path = tmp_path / "ranker"
+        serving.save_checkpoint(model, path, "adv-hsc-moe")
+        clf_path = tmp_path / "clf"
+        serving.save_classifier_checkpoint(classifier, clf_path)
+        registry = ModelRegistry()
+        registry.register_checkpoint("ranker", path, dataset.spec, taxonomy)
+        batch = dataset.batch(np.arange(24))
+        with RankingService(registry, default_model="ranker",
+                            classifier=serving.load_classifier_checkpoint(clf_path),
+                            taxonomy=taxonomy, max_wait_ms=0.0) as service:
+            response = service.rank(batch, query_tokens=log.queries.tokens[0],
+                                    query_lengths=log.queries.lengths[0], top_k=4)
+        np.testing.assert_allclose(response.scores,
+                                   np.sort(model.score(batch))[::-1][:4],
+                                   atol=1e-12)

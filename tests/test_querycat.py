@@ -48,6 +48,43 @@ class TestClassifierModel:
         np.testing.assert_array_equal(model.predict_sc(corrupted, lengths), clean)
 
 
+class TestLengthBucketing:
+    def test_bucketed_batches_cover_all_rows_once(self, log, config):
+        """Bucketing reorders rows into length-homogeneous batches but must
+        keep the epoch an exact partition of the training rows."""
+        from repro.querycat.classifier import _epoch_batches
+        rng = np.random.default_rng(0)
+        lengths = np.ascontiguousarray(log.queries.lengths, dtype=np.int64)
+        rows = rng.permutation(len(lengths))[:300]
+        batches = list(_epoch_batches(rows, lengths, config, rng))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == sorted(rows.tolist())
+        assert all(len(b) <= config.batch_size for b in batches)
+        # Sorted slicing makes each batch a narrow length band on average.
+        spans = [lengths[b].max() - lengths[b].min() for b in batches]
+        assert np.mean(spans) <= lengths[rows].max() - lengths[rows].min()
+
+    def test_unbucketed_batches_are_contiguous_slices(self, log, config):
+        from repro.querycat.classifier import _epoch_batches
+        config_off = QueryClassifierConfig(**{**config.__dict__,
+                                              "bucket_by_length": False})
+        rng = np.random.default_rng(0)
+        lengths = np.ascontiguousarray(log.queries.lengths, dtype=np.int64)
+        rows = np.arange(200)
+        batches = list(_epoch_batches(rows, lengths, config_off, rng))
+        np.testing.assert_array_equal(np.concatenate(batches), rows)
+
+    def test_bucketed_training_reaches_same_quality(self, log, taxonomy, config):
+        """Trimmed, length-bucketed epochs must not cost accuracy."""
+        queries = log.queries
+        model = QueryCategoryClassifier(queries.vocab_size,
+                                        taxonomy.max_sc_id() + 1, config)
+        result = train_classifier(model, queries, taxonomy)
+        assert config.bucket_by_length  # default on
+        assert result.sc_accuracy > 3.0 / 68
+        assert result.history[-1] < result.history[0]
+
+
 class TestTraining:
     def test_beats_chance_quickly(self, log, taxonomy, config):
         """Even 2 epochs on 600 queries should beat 1/68 chance by a wide
