@@ -106,6 +106,25 @@ class FeatureSpec:
         names = self.sparse_names if sparse_names is None else sparse_names
         return len(names) * embedding_dim + self.num_numeric
 
+    # ------------------------------------------------------------------
+    # Serialization (serving environment bundles)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "sparse": [{"name": f.name, "cardinality": f.cardinality,
+                        "side": f.side} for f in self.sparse],
+            "numeric": [{"name": f.name, "side": f.side} for f in self.numeric],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FeatureSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a JSON bundle)."""
+        return cls(
+            sparse=[SparseFeature(**f) for f in payload["sparse"]],
+            numeric=[NumericFeature(**f) for f in payload["numeric"]],
+        )
+
 
 def build_feature_spec(num_sub_categories: int, num_top_categories: int,
                        num_brands: int, num_user_segments: int,

@@ -128,6 +128,28 @@ class Taxonomy:
         """Largest TC id."""
         return max(tc.tc_id for tc in self.top_categories) if self.top_categories else -1
 
+    # ------------------------------------------------------------------
+    # Serialization (serving environment bundles)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "top_categories": [{"tc_id": tc.tc_id, "name": tc.name,
+                                "semantic_group": tc.semantic_group}
+                               for tc in self.top_categories],
+            "sub_categories": [{"sc_id": sc.sc_id, "name": sc.name,
+                                "tc_id": sc.tc_id}
+                               for sc in self.sub_categories],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Taxonomy":
+        """Rebuild a taxonomy from :meth:`to_dict` output (e.g. a JSON bundle)."""
+        return cls(
+            top_categories=[TopCategory(**tc) for tc in payload["top_categories"]],
+            sub_categories=[SubCategory(**sc) for sc in payload["sub_categories"]],
+        )
+
     def describe(self) -> str:
         """Human-readable tree summary."""
         lines = [f"Taxonomy: {self.num_top_categories} top categories, "

@@ -223,6 +223,28 @@ class RankingModel(nn.Module):
         """Alias for :meth:`score` (sklearn-style naming)."""
         return self.score(batch)
 
+    def make_scorer(self):
+        """A fresh compiled scoring closure for one caller's exclusive use.
+
+        Unlike :meth:`score` (one cached plan per model, serialized by a
+        lock), every call compiles an independent plan over the same live
+        parameters — so a :class:`~repro.serving.ScorerPool` can hand one
+        to each worker and score this model from several threads at once.
+        The base ``_build_scorer`` fallback returns the bound
+        :meth:`predict`, which toggles shared module state (train/eval)
+        and is therefore handed out lock-serialized instead.
+        """
+        scorer = self._build_scorer()
+        if getattr(scorer, "__self__", None) is self:
+            lock = self._scorer_lock
+
+            def serialized(batch: Batch) -> np.ndarray:
+                with lock:
+                    return scorer(batch)
+
+            return serialized
+        return scorer
+
     def _build_scorer(self):
         """Build the compiled scoring closure.
 

@@ -1,18 +1,29 @@
 """``repro.serving`` — the scoring side of the system.
 
 Training produces models; this package serves them: checkpoint
-persistence (``state_dict`` → ``.npz`` + JSON config), a versioned
-:class:`ModelRegistry`, a micro-batching :class:`BatchScorer` with
-latency/throughput stats, and a :class:`RankingService` that composes
-querycat intent → model selection → scoring → top-k ranking.  All scoring
-rides the compiled graph-free fast lane (:mod:`repro.nn.infer`).
+persistence (``state_dict`` → ``.npz`` + JSON config, plus the
+``environment.json`` bundle a checkpoint directory is served from), a
+versioned :class:`ModelRegistry` with hot reload-from-directory, the
+micro-batching :class:`BatchScorer` and its N-worker
+:class:`ScorerPool` generalization (latency/throughput stats included),
+a :class:`RankingService` composing querycat intent → model selection →
+pooled scoring → top-k, and a wire layer: the :class:`ServingServer`
+HTTP/JSON gateway (``python -m repro.serving.server``), the
+:class:`ServingClient`, and a closed-loop load generator
+(``python -m repro.serving.loadgen``).  All scoring rides the compiled
+graph-free fast lane (:mod:`repro.nn.infer`).
 """
 
-from .checkpoint import (load_checkpoint, load_classifier_checkpoint,
-                         load_model, save_checkpoint,
-                         save_classifier_checkpoint)
+from .checkpoint import (ENVIRONMENT_FILENAME, find_classifier_checkpoint,
+                         load_checkpoint, load_classifier_checkpoint,
+                         load_environment, load_model, save_checkpoint,
+                         save_classifier_checkpoint, save_environment)
+from .client import ServingClient, ServingError
+from .loadgen import LoadSummary, run_load
 from .registry import ModelRegistry, RegisteredModel
-from .scorer import BatchScorer, ScorerStats, concat_batches
+from .scorer import (BatchScorer, ScorerPool, ScorerStats, concat_batches,
+                     latency_percentile)
+from .server import ApiError, ServingServer, serve_from_directory
 from .service import RankingResponse, RankingService, candidate_batch
 
 __all__ = [
@@ -21,12 +32,25 @@ __all__ = [
     "load_model",
     "save_classifier_checkpoint",
     "load_classifier_checkpoint",
+    "save_environment",
+    "load_environment",
+    "find_classifier_checkpoint",
+    "ENVIRONMENT_FILENAME",
     "ModelRegistry",
     "RegisteredModel",
     "BatchScorer",
+    "ScorerPool",
     "ScorerStats",
     "concat_batches",
+    "latency_percentile",
     "RankingService",
     "RankingResponse",
     "candidate_batch",
+    "ServingServer",
+    "serve_from_directory",
+    "ApiError",
+    "ServingClient",
+    "ServingError",
+    "LoadSummary",
+    "run_load",
 ]

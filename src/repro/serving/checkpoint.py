@@ -6,6 +6,14 @@ one import surface).  This module adds the same treatment for the BiGRU
 query classifier — the intent stage of :class:`repro.serving.RankingService`
 — whose architecture is described by ``(vocab_size, num_sub_categories,
 QueryClassifierConfig)`` rather than a :class:`~repro.models.config.ModelConfig`.
+
+It also defines the **checkpoint-directory layout** the HTTP gateway serves
+from: one ``<name>.npz`` + ``<name>.json`` pair per ranking model (served
+under ``name``), optionally a classifier checkpoint (its sidecar carries
+``kind: querycat_classifier``), and an ``environment.json`` bundle
+(:func:`save_environment`) holding the :class:`~repro.data.schema.FeatureSpec`
+and :class:`~repro.hierarchy.Taxonomy` the models were trained against — so
+``python -m repro.serving.server`` can rebuild every model from disk alone.
 """
 
 from __future__ import annotations
@@ -16,14 +24,21 @@ from pathlib import Path
 
 import numpy as np
 
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
 from ..querycat import QueryCategoryClassifier, QueryClassifierConfig
 from ..utils.serialization import (load_checkpoint, load_model,
                                    save_checkpoint)
 
 __all__ = ["save_checkpoint", "load_checkpoint", "load_model",
-           "save_classifier_checkpoint", "load_classifier_checkpoint"]
+           "save_classifier_checkpoint", "load_classifier_checkpoint",
+           "save_environment", "load_environment",
+           "find_classifier_checkpoint", "ENVIRONMENT_FILENAME"]
 
 _CLASSIFIER_FORMAT_VERSION = 1
+_ENVIRONMENT_FORMAT_VERSION = 1
+
+ENVIRONMENT_FILENAME = "environment.json"
 
 
 def save_classifier_checkpoint(model: QueryCategoryClassifier,
@@ -76,3 +91,67 @@ def load_classifier_checkpoint(path: str | Path) -> QueryCategoryClassifier:
         state = {key: archive[key] for key in archive.files}
         model.load_state_dict(state)
     return model
+
+
+# ----------------------------------------------------------------------
+# Environment bundles (checkpoint-directory serving)
+# ----------------------------------------------------------------------
+def save_environment(directory: str | Path, spec: FeatureSpec,
+                     taxonomy: Taxonomy) -> Path:
+    """Write ``environment.json`` describing a checkpoint directory.
+
+    The bundle pins the feature schema and category tree every checkpoint
+    in ``directory`` was trained against, which is exactly what
+    :func:`repro.utils.serialization.load_model` needs to rebuild them —
+    the serving gateway reads it at boot so a scoring process carries no
+    dependency on the training-side world generator.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / ENVIRONMENT_FILENAME
+    payload = {
+        "format_version": _ENVIRONMENT_FORMAT_VERSION,
+        "kind": "serving_environment",
+        "spec": spec.to_dict(),
+        "taxonomy": taxonomy.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_environment(directory: str | Path) -> tuple[FeatureSpec, Taxonomy]:
+    """Load the (spec, taxonomy) bundle written by :func:`save_environment`."""
+    path = Path(directory) / ENVIRONMENT_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no {ENVIRONMENT_FILENAME} in {directory} — write one with "
+            "serving.save_environment(dir, spec, taxonomy) when checkpointing")
+    payload = json.loads(path.read_text())
+    if payload.get("kind") != "serving_environment":
+        raise ValueError(f"not a serving environment bundle: {path}")
+    if payload.get("format_version") != _ENVIRONMENT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported environment bundle version {payload.get('format_version')}")
+    return (FeatureSpec.from_dict(payload["spec"]),
+            Taxonomy.from_dict(payload["taxonomy"]))
+
+
+def find_classifier_checkpoint(directory: str | Path) -> Path | None:
+    """Locate a query-classifier checkpoint in a checkpoint directory.
+
+    Returns the checkpoint *base* path (no suffix) of the first sidecar
+    whose ``kind`` is ``querycat_classifier``, or None when the directory
+    serves ranking models only.
+    """
+    directory = Path(directory)
+    for meta_path in sorted(directory.glob("*.json")):
+        if meta_path.name == ENVIRONMENT_FILENAME:
+            continue
+        try:
+            meta = json.loads(meta_path.read_text())
+        except ValueError:
+            continue
+        if isinstance(meta, dict) and meta.get("kind") == "querycat_classifier":
+            if meta_path.with_suffix(".npz").exists():
+                return meta_path.with_suffix("")
+    return None

@@ -1,0 +1,201 @@
+"""Tiny HTTP client for the serving gateway (stdlib ``urllib`` only).
+
+:class:`ServingClient` is the caller-side mirror of
+:mod:`repro.serving.server`: it turns arrays into the gateway's JSON wire
+format and structured error bodies back into :class:`ServingError`.  It is
+what the end-to-end tests and the load generator drive the service with —
+and the shortest path for any external process::
+
+    client = ServingClient("http://127.0.0.1:8000")
+    result = client.rank(numeric, sparse, query_tokens=tokens, top_k=10)
+    result["scores"], result["model_version"]
+
+One client instance may be shared across threads: each thread keeps its own
+persistent keep-alive connection (HTTP/1.1), which matters under load — a
+fresh TCP connection per request costs a socket handshake *and* a new
+handler thread on the gateway side.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.parse
+
+import numpy as np
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class ServingError(RuntimeError):
+    """A structured error response from the gateway.
+
+    ``status`` is the HTTP status, ``kind`` the machine-readable error
+    type from the body (``bad_json``, ``unknown_model``, ...).
+    """
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(f"[{status} {kind}] {message}")
+        self.status = status
+        self.kind = kind
+        self.message = message
+
+
+def _listify(value):
+    """Arrays → JSON lists; None and scalars pass through."""
+    if value is None:
+        return None
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+class ServingClient:
+    """JSON-over-HTTP client for one gateway base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ValueError(f"base_url must be http://host[:port], "
+                             f"got {base_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._local = threading.local()     # one keep-alive conn per thread
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(self._host, self._port,
+                                                    timeout=self.timeout)
+            connection.connect()
+            # Small request/response pairs on a persistent connection:
+            # without TCP_NODELAY, Nagle + delayed ACK serialize them at
+            # ~tens of ms each on loopback.
+            connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # One retry on a fresh connection: an idle keep-alive connection
+        # may have been closed by the server between requests.
+        for attempt in (0, 1):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=data, headers=headers)
+                response = connection.getresponse()
+                body = response.read()
+                status = response.status
+            except (http.client.HTTPException, OSError):
+                self._drop_connection()
+                if attempt:
+                    raise
+                continue
+            if status >= 400:
+                try:
+                    detail = json.loads(body).get("error", {})
+                except ValueError:
+                    detail = {}
+                raise ServingError(status,
+                                   detail.get("type", "http_error"),
+                                   detail.get("message",
+                                              body.decode("utf-8", "replace")))
+            return json.loads(body)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def rank(self, numeric, sparse, query_tokens=None, query_lengths=None,
+             top_k: int = 10, model: str | None = None,
+             version: int | None = None) -> dict:
+        """POST /rank; returns the response dict with ``indices``/``scores``
+        converted back to numpy arrays."""
+        payload = {
+            "candidates": {
+                "numeric": np.asarray(numeric).tolist(),
+                "sparse": {name: np.asarray(ids).tolist()
+                           for name, ids in sparse.items()},
+            },
+            "top_k": top_k,
+        }
+        if query_tokens is not None:
+            payload["query_tokens"] = _listify(np.asarray(query_tokens))
+        if query_lengths is not None:
+            payload["query_lengths"] = _listify(query_lengths)
+        if model is not None:
+            payload["model"] = model
+        if version is not None:
+            payload["version"] = int(version)
+        result = self._request("POST", "/rank", payload)
+        result["indices"] = np.asarray(result["indices"], dtype=np.int64)
+        result["scores"] = np.asarray(result["scores"], dtype=np.float64)
+        return result
+
+    def classify(self, tokens, lengths=None, probs: bool = False) -> dict:
+        """POST /classify for one query; returns ``{"sc", "tc"[, "probs"]}``."""
+        payload = {"tokens": np.asarray(tokens).tolist()}
+        if lengths is not None:
+            payload["lengths"] = _listify(lengths)
+        if probs:
+            payload["probs"] = True
+        result = self._request("POST", "/classify", payload)
+        if "probs" in result:
+            result["probs"] = np.asarray(result["probs"], dtype=np.float64)
+        return result
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def models(self) -> dict:
+        return self._request("GET", "/models")
+
+    def reload(self) -> dict:
+        """POST /reload: hot-reload changed checkpoints on the gateway."""
+        return self._request("POST", "/reload", {})
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout_s: float = 30.0, interval_s: float = 0.1) -> dict:
+        """Poll /healthz until the gateway answers; returns its payload.
+
+        Raises TimeoutError when the deadline passes — used by tests, the
+        load generator, and CI to synchronize with a server booting in
+        another thread or process.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, http.client.HTTPException, ServingError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"gateway at {self.base_url} not ready "
+                        f"after {timeout_s:.0f}s") from None
+                time.sleep(interval_s)

@@ -1,0 +1,184 @@
+"""Closed-loop load generator for the HTTP serving gateway.
+
+``run_load`` drives N client threads against a gateway for a fixed
+duration, each looping rank requests with randomly generated (but
+schema-valid) candidates — the feature shapes come from the gateway's own
+``GET /models`` spec block, so the generator needs no local dataset.  The
+result is a :class:`LoadSummary` with throughput and client-observed
+latency percentiles; the CLI writes it as JSON (the CI serving smoke job
+uploads that file as a build artifact) and exits non-zero when any request
+errored::
+
+    python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
+        --duration 5 --clients 4 --rows 8 --out latency_summary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from .client import ServingClient, ServingError
+from .scorer import latency_percentile
+
+__all__ = ["LoadSummary", "run_load", "main"]
+
+
+@dataclass
+class LoadSummary:
+    """One load run's aggregate results (latencies are client-observed)."""
+
+    duration_s: float
+    clients: int
+    rows_per_request: int
+    requests: int
+    rows: int
+    errors: int
+    rps: float                          # successful requests per second
+    rows_per_s: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def format(self) -> str:
+        return (f"{self.requests} requests ({self.rows} rows) in "
+                f"{self.duration_s:.2f}s from {self.clients} clients — "
+                f"{self.rps:,.0f} req/s, {self.rows_per_s:,.0f} rows/s, "
+                f"{self.errors} errors; latency mean {self.mean_ms:.2f}ms "
+                f"p50 {self.p50_ms:.2f}ms p95 {self.p95_ms:.2f}ms "
+                f"p99 {self.p99_ms:.2f}ms max {self.max_ms:.2f}ms")
+
+
+def _summarize(duration_s: float, clients: int, rows_per_request: int,
+               latencies: list[float], errors: int) -> LoadSummary:
+    samples = np.asarray(latencies, dtype=np.float64)
+    requests = int(samples.size)
+    return LoadSummary(
+        duration_s=duration_s,
+        clients=clients,
+        rows_per_request=rows_per_request,
+        requests=requests,
+        rows=requests * rows_per_request,
+        errors=errors,
+        rps=requests / duration_s if duration_s > 0 else 0.0,
+        rows_per_s=requests * rows_per_request / duration_s
+        if duration_s > 0 else 0.0,
+        mean_ms=float(samples.mean() * 1000.0) if requests else 0.0,
+        p50_ms=latency_percentile(samples, 50) * 1000.0,
+        p95_ms=latency_percentile(samples, 95) * 1000.0,
+        p99_ms=latency_percentile(samples, 99) * 1000.0,
+        max_ms=float(samples.max() * 1000.0) if requests else 0.0,
+    )
+
+
+def _candidate_generator(spec: dict, rows: int, rng: np.random.Generator):
+    """Yield (numeric, sparse) payloads valid under the gateway's spec."""
+    num_numeric = len(spec["numeric"])
+    cardinalities = spec["sparse"]
+
+    def generate():
+        numeric = rng.standard_normal((rows, num_numeric))
+        sparse = {name: rng.integers(0, cardinality, size=rows)
+                  for name, cardinality in cardinalities.items()}
+        return numeric, sparse
+
+    return generate
+
+
+def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
+             rows_per_request: int = 8, top_k: int = 5, seed: int = 0,
+             ready_timeout_s: float = 30.0) -> LoadSummary:
+    """Drive ``clients`` closed-loop rank threads against ``url``.
+
+    Each thread waits for its previous response before sending the next
+    request (closed loop), so concurrency equals ``clients``.  Connection
+    failures and error responses both count as errors; latencies are
+    recorded for successful requests only.
+    """
+    probe = ServingClient(url)
+    probe.wait_ready(timeout_s=ready_timeout_s)
+    spec = probe.models().get("spec")
+    if spec is None:
+        raise RuntimeError(f"gateway at {url} publishes no feature spec; "
+                           "start it with spec= (or from a checkpoint dir)")
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    started = threading.Event()
+    deadline_holder = [0.0]
+
+    def worker(index: int) -> None:
+        client = ServingClient(url)
+        generate = _candidate_generator(spec, rows_per_request,
+                                        np.random.default_rng(seed + index))
+        started.wait()
+        while time.monotonic() < deadline_holder[0]:
+            numeric, sparse = generate()
+            t0 = time.monotonic()
+            try:
+                client.rank(numeric, sparse, top_k=top_k)
+            except (ServingError, OSError):
+                errors[index] += 1
+                continue
+            latencies[index].append(time.monotonic() - t0)
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    run_started = time.monotonic()
+    deadline_holder[0] = run_started + duration_s
+    started.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - run_started
+    merged = [sample for bucket in latencies for sample in bucket]
+    return _summarize(elapsed, clients, rows_per_request, merged, sum(errors))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.loadgen",
+        description="Closed-loop load generator for the serving gateway.")
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--rows", type=int, default=8,
+                        help="candidate rows per rank request")
+    parser.add_argument("--top-k", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON summary to this path")
+    parser.add_argument("--allow-errors", action="store_true",
+                        help="exit 0 even when some requests errored")
+    args = parser.parse_args(argv)
+
+    summary = run_load(args.url, duration_s=args.duration,
+                       clients=args.clients, rows_per_request=args.rows,
+                       top_k=args.top_k, seed=args.seed)
+    print(summary.format())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary.to_dict(), handle, indent=2)
+        print(f"summary written to {args.out}")
+    if summary.requests == 0:
+        print("FAIL: no successful requests")
+        return 1
+    if summary.errors and not args.allow_errors:
+        print(f"FAIL: {summary.errors} error responses")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

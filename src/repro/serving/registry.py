@@ -8,13 +8,14 @@ checkpoints so a scoring process never touches training code.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
-from .checkpoint import load_model
+from .checkpoint import ENVIRONMENT_FILENAME, load_model
 
 __all__ = ["ModelRegistry", "RegisteredModel"]
 
@@ -45,6 +46,10 @@ class ModelRegistry:
     def __init__(self):
         self._entries: dict[str, dict[int, RegisteredModel]] = {}
         self._lock = threading.Lock()
+        # Serializes directory reloads: two concurrent reloads seeing the
+        # same changed checkpoint must not both register it (each would
+        # get a fresh auto-incremented version for identical weights).
+        self._reload_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Registration
@@ -81,6 +86,49 @@ class ModelRegistry:
         metadata = {"checkpoint": str(path), **(metadata or {})}
         return self.register(name, model, version=version, metadata=metadata)
 
+    def reload_from_directory(self, directory: str | Path, spec: FeatureSpec,
+                              taxonomy: Taxonomy) -> list[RegisteredModel]:
+        """Scan a checkpoint directory; register new or changed checkpoints.
+
+        Every ``<name>.json`` + ``<name>.npz`` sidecar/weights pair is a
+        ranking-model checkpoint served under ``name`` (classifier
+        checkpoints and the ``environment.json`` bundle are skipped — the
+        gateway owns those).  A checkpoint is registered as a *new
+        version* of its name only when the weights file changed since the
+        last reload (mtime + size fingerprint), so polling the directory
+        is cheap and idempotent; overwriting a checkpoint in place is the
+        hot-reload path.  Returns the newly registered entries.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"checkpoint directory not found: {directory}")
+        registered: list[RegisteredModel] = []
+        with self._reload_lock:
+            for meta_path in sorted(directory.glob("*.json")):
+                if meta_path.name == ENVIRONMENT_FILENAME:
+                    continue
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except ValueError:
+                    continue                  # not a checkpoint sidecar
+                if not isinstance(meta, dict) or "model_name" not in meta:
+                    continue                  # classifier / foreign JSON
+                weights_path = meta_path.with_suffix(".npz")
+                if not weights_path.exists():
+                    continue                  # half-written checkpoint
+                stat = weights_path.stat()
+                fingerprint = [int(stat.st_mtime_ns), int(stat.st_size)]
+                name = meta_path.stem
+                if name in self:
+                    latest = self.entry(name)
+                    if latest.metadata.get("fingerprint") == fingerprint:
+                        continue              # unchanged since last reload
+                entry = self.register_checkpoint(
+                    name, meta_path.with_suffix(""), spec, taxonomy,
+                    metadata={"fingerprint": fingerprint})
+                registered.append(entry)
+        return registered
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -114,6 +162,13 @@ class ModelRegistry:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._entries)
+
+    def entries(self) -> list[RegisteredModel]:
+        """Every registered entry, ordered by (name, version)."""
+        with self._lock:
+            return [self._entries[name][version]
+                    for name in sorted(self._entries)
+                    for version in sorted(self._entries[name])]
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

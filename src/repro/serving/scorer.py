@@ -2,13 +2,27 @@
 
 Single-request scoring on the compiled plan is memory-bound — every request
 re-streams the full weight matrices.  Micro-batching amortizes that stream
-across concurrent requests: :class:`BatchScorer` queues incoming score
-requests and a single worker drains them in batches of up to
-``max_batch_rows`` rows, waiting at most ``max_wait_ms`` for stragglers
-(measured on the paper tower: ≈54 µs/row at batch 1 vs ≈10 µs/row at batch
-32 in float64 — the batching itself is a >3x per-row win before dtype even
-enters).  The worker also serializes access to the compiled plan's scratch
-buffers, which are not thread-safe.
+across concurrent requests: score requests land on a shared queue and a
+worker drains them in batches of up to ``max_batch_rows`` rows, waiting at
+most ``max_wait_ms`` for stragglers (measured on the paper tower: ≈54 µs/row
+at batch 1 vs ≈10 µs/row at batch 32 in float64 — the batching itself is a
+>3x per-row win before dtype even enters).
+
+Two front-ends share that machinery:
+
+* :class:`BatchScorer` — one worker around one score function (the PR 3
+  API).  The single worker also serializes access to a compiled plan's
+  scratch buffers, which are not thread-safe.
+* :class:`ScorerPool` — N workers, each owning its *own* score closure
+  built by a caller-supplied factory (compiled plans are cheap; see
+  :meth:`repro.models.base.RankingModel.make_scorer`).  Collection is
+  pipelined against scoring: a collector token lets exactly one worker
+  assemble a micro-batch at a time (racing collectors would shred the
+  queue into fragment batches and give up the amortization that justifies
+  micro-batching), while the workers *holding finished batches* score
+  concurrently.  One worker's coalescing wait therefore overlaps the
+  others' scoring even on one core, and on multi-core BLAS the scoring
+  itself parallelizes too.
 """
 
 from __future__ import annotations
@@ -23,7 +37,8 @@ import numpy as np
 
 from ..data.dataset import Batch
 
-__all__ = ["BatchScorer", "ScorerStats", "concat_batches"]
+__all__ = ["BatchScorer", "ScorerPool", "ScorerStats", "concat_batches",
+           "latency_percentile"]
 
 
 def concat_batches(batches: list[Batch]) -> Batch:
@@ -39,17 +54,41 @@ def concat_batches(batches: list[Batch]) -> Batch:
     )
 
 
+def latency_percentile(samples: np.ndarray, q: float) -> float:
+    """Percentile of latency ``samples`` with pinned small-window semantics.
+
+    Uses the nearest-rank-above method, so the reported value is always a
+    latency that was actually observed — with one sample every percentile
+    is that sample, and p95 of a tiny window equals its max instead of an
+    interpolated value below anything measured.  An **empty window is
+    defined as 0.0** (no traffic yet / stats just rotated) rather than
+    letting ``np.percentile``'s empty-array error leak to callers.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return 0.0
+    return float(np.percentile(samples, q, method="higher"))
+
+
 @dataclass
 class ScorerStats:
-    """Aggregate serving statistics since scorer start."""
+    """Aggregate serving statistics since scorer start.
+
+    Latency fields summarize a sliding window of the most recent request
+    latencies (``latency_samples`` of them, capped per worker); when the
+    window is empty they are all exactly 0.0 — see
+    :func:`latency_percentile` for the small-sample semantics.
+    """
 
     requests: int = 0                   # score requests completed
     rows: int = 0                       # candidate rows scored
     batches: int = 0                    # model invocations
     busy_seconds: float = 0.0           # time inside the score function
+    latency_samples: int = 0            # samples behind the latency fields
     mean_latency_ms: float = 0.0        # request submit -> result
     p95_latency_ms: float = 0.0
     max_latency_ms: float = 0.0
+    workers: int = 1                    # workers aggregated into this view
 
     @property
     def mean_batch_rows(self) -> float:
@@ -60,6 +99,22 @@ class ScorerStats:
     def throughput_rows_per_s(self) -> float:
         """Rows scored per second of model time."""
         return self.rows / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+    @staticmethod
+    def from_window(requests: int, rows: int, batches: int,
+                    busy_seconds: float, latencies: np.ndarray,
+                    workers: int = 1) -> "ScorerStats":
+        """Build stats from raw counters + a latency window (may be empty)."""
+        latencies = np.asarray(latencies, dtype=np.float64)
+        stats = ScorerStats(requests=requests, rows=rows, batches=batches,
+                            busy_seconds=busy_seconds,
+                            latency_samples=int(latencies.size),
+                            workers=workers)
+        if latencies.size:
+            stats.mean_latency_ms = float(latencies.mean() * 1000.0)
+            stats.p95_latency_ms = latency_percentile(latencies, 95) * 1000.0
+            stats.max_latency_ms = float(latencies.max() * 1000.0)
+        return stats
 
 
 class _Request:
@@ -72,7 +127,7 @@ class _Request:
 
 
 _SHUTDOWN = object()
-_LATENCY_WINDOW = 4096                  # latency samples kept for percentiles
+_LATENCY_WINDOW = 4096                  # latency samples kept per worker
 
 
 def _resolve(future: Future, result=None, error=None) -> None:
@@ -86,108 +141,63 @@ def _resolve(future: Future, result=None, error=None) -> None:
         pass                            # cancelled/raced future: nothing to do
 
 
-class BatchScorer:
-    """Queue + worker that micro-batches score requests for one model.
+class _Worker:
+    """One scoring worker: a thread + its own score closure and counters.
 
-    Parameters
-    ----------
-    score_fn:
-        ``Batch -> (n,) scores``; typically a model's compiled
-        :meth:`~repro.models.base.RankingModel.score`.
-    max_batch_rows:
-        Flush the pending micro-batch once it holds this many rows.
-    max_wait_ms:
-        How long the worker waits for more requests after the first one
-        before scoring what it has.  0 scores each request immediately
-        (still serialized, still counted in stats).
-
-    ``submit`` returns a :class:`~concurrent.futures.Future`; ``score`` is
-    the blocking convenience wrapper.  Use as a context manager (or call
-    :meth:`close`) to stop the worker.
+    The counters are written only by the worker thread; the lock orders
+    those writes against concurrent :meth:`snapshot` readers.
     """
 
-    def __init__(self, score_fn, max_batch_rows: int = 256,
-                 max_wait_ms: float = 2.0, name: str = "scorer"):
-        if max_batch_rows <= 0:
-            raise ValueError("max_batch_rows must be positive")
-        if max_wait_ms < 0:
-            raise ValueError("max_wait_ms must be >= 0")
-        self.name = name
+    def __init__(self, pool: "ScorerPool", index: int, score_fn):
+        self.index = index
+        self._pool = pool
         self._score_fn = score_fn
-        self._max_batch_rows = int(max_batch_rows)
-        self._max_wait = max_wait_ms / 1000.0
-        self._queue: queue.Queue = queue.Queue()
-        # Serializes submit against close: without it a submit could pass
-        # the closed check, lose the CPU, and enqueue after the worker
-        # drained — leaving its future forever unresolved.
-        self._submit_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._lock = threading.Lock()
         self._requests = 0
         self._rows = 0
         self._batches = 0
         self._busy_seconds = 0.0
         self._latencies: list[float] = []
-        self._closed = False
-        self._worker = threading.Thread(target=self._loop, daemon=True,
-                                        name=f"BatchScorer-{name}")
-        self._worker.start()
+        self.thread = threading.Thread(
+            target=self._loop, daemon=True,
+            name=f"{type(pool).__name__}-{pool.name}-{index}")
 
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def submit(self, batch: Batch) -> Future:
-        """Enqueue a batch for scoring; resolves to its (n,) score array."""
-        with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("BatchScorer is closed")
-            request = _Request(batch)
-            self._queue.put(request)
-        return request.future
+    # -- stats ----------------------------------------------------------
+    def snapshot(self) -> ScorerStats:
+        with self._lock:
+            return ScorerStats.from_window(
+                self._requests, self._rows, self._batches,
+                self._busy_seconds, np.asarray(self._latencies))
 
-    def score(self, batch: Batch) -> np.ndarray:
-        """Blocking score: submit and wait for the result."""
-        return self.submit(batch).result()
+    def latency_window(self) -> np.ndarray:
+        with self._lock:
+            return np.asarray(self._latencies, dtype=np.float64)
 
-    def stats(self) -> ScorerStats:
-        """Snapshot of the aggregate serving statistics."""
-        with self._stats_lock:
-            latencies = np.asarray(self._latencies, dtype=np.float64)
-            stats = ScorerStats(
-                requests=self._requests, rows=self._rows, batches=self._batches,
-                busy_seconds=self._busy_seconds)
-            if latencies.size:
-                stats.mean_latency_ms = float(latencies.mean() * 1000.0)
-                stats.p95_latency_ms = float(np.percentile(latencies, 95) * 1000.0)
-                stats.max_latency_ms = float(latencies.max() * 1000.0)
-            return stats
-
-    def close(self) -> None:
-        """Stop the worker; pending requests are completed first."""
-        with self._submit_lock:
-            if self._closed:
+    # -- loop -----------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            # The collector token serializes batch assembly (preserving
+            # the single-worker coalescing semantics); scoring below runs
+            # token-free, so it pipelines with the next worker's collect.
+            with self._pool._collect_lock:
+                item = self._pool._queue.get()
+                if item is _SHUTDOWN:
+                    return
+                pending, shutdown = self._collect(item)
+            self._run_batch(pending)
+            if shutdown:
                 return
-            self._closed = True
-            self._queue.put(_SHUTDOWN)
-        self._worker.join()
 
-    def __enter__(self) -> "BatchScorer":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    # ------------------------------------------------------------------
-    # Worker
-    # ------------------------------------------------------------------
     def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
         """Gather requests up to the row/wait budget; True means shut down."""
         pending = [first]
         rows = len(first.batch)
-        deadline = time.monotonic() + self._max_wait
-        while rows < self._max_batch_rows:
+        deadline = time.monotonic() + self._pool._max_wait
+        while rows < self._pool._max_batch_rows:
             remaining = deadline - time.monotonic()
             try:
-                item = self._queue.get(block=remaining > 0, timeout=max(remaining, 0))
+                item = self._pool._queue.get(block=remaining > 0,
+                                             timeout=max(remaining, 0))
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
@@ -195,31 +205,6 @@ class BatchScorer:
             pending.append(item)
             rows += len(item.batch)
         return pending, False
-
-    def _loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
-                self._drain()
-                return
-            pending, shutdown = self._collect(item)
-            self._run_batch(pending)
-            if shutdown:
-                self._drain()
-                return
-
-    def _drain(self) -> None:
-        """Complete any requests that raced past the shutdown sentinel."""
-        leftovers: list[_Request] = []
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is not _SHUTDOWN:
-                leftovers.append(item)
-        if leftovers:
-            self._run_batch(leftovers)
 
     def _run_batch(self, pending: list[_Request]) -> None:
         """Score one micro-batch.  Must never raise: an escaping exception
@@ -246,7 +231,7 @@ class BatchScorer:
             # the backing buffer on its next call.
             _resolve(request.future, result=scores[offset:offset + count].copy())
             offset += count
-        with self._stats_lock:
+        with self._lock:
             self._requests += len(pending)
             self._rows += len(merged)
             self._batches += 1
@@ -254,3 +239,165 @@ class BatchScorer:
             self._latencies.extend(finished - r.enqueued_at for r in pending)
             if len(self._latencies) > _LATENCY_WINDOW:
                 del self._latencies[:-_LATENCY_WINDOW]
+
+
+class ScorerPool:
+    """N micro-batching workers around one shared request queue.
+
+    Parameters
+    ----------
+    scorer_factory:
+        Zero-argument callable returning a ``Batch -> (n,) scores``
+        closure.  It is invoked once per worker *on the constructing
+        thread* (so a failing compile raises here, not in a daemon
+        thread), and each worker owns its closure exclusively — pass
+        :meth:`repro.models.base.RankingModel.make_scorer` to score one
+        model from several workers, each on an independent compiled plan.
+    num_workers:
+        Worker thread count.  While one worker (the collector) assembles
+        the next micro-batch, the others score the batches they already
+        hold — so the coalescing wait pipelines with scoring, and on
+        multi-core BLAS the scoring itself parallelizes.
+    max_batch_rows:
+        A worker flushes its pending micro-batch once it holds this many
+        rows.
+    max_wait_ms:
+        How long a worker waits for more requests after its first one
+        before scoring what it has.  0 scores each request immediately
+        (still micro-batched when the queue is backed up).
+
+    ``submit`` returns a :class:`~concurrent.futures.Future`; ``score`` is
+    the blocking convenience wrapper.  Use as a context manager (or call
+    :meth:`close`) to stop the workers.
+    """
+
+    def __init__(self, scorer_factory, num_workers: int = 4,
+                 max_batch_rows: int = 256, max_wait_ms: float = 2.0,
+                 name: str = "pool"):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if max_batch_rows <= 0:
+            raise ValueError("max_batch_rows must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.name = name
+        self._max_batch_rows = int(max_batch_rows)
+        self._max_wait = max_wait_ms / 1000.0
+        self._queue: queue.Queue = queue.Queue()
+        # Collector token: at most one worker assembles a micro-batch at
+        # a time (see the worker loop).
+        self._collect_lock = threading.Lock()
+        # Serializes submit against close: without it a submit could pass
+        # the closed check, lose the CPU, and enqueue after the workers
+        # exited — leaving its future forever unresolved.
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._workers = [_Worker(self, index, scorer_factory())
+                         for index in range(num_workers)]
+        for worker in self._workers:
+            worker.thread.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` began; submissions will be refused."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, batch: Batch) -> Future:
+        """Enqueue a batch for scoring; resolves to its (n,) score array."""
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError(f"{type(self).__name__} is closed")
+            request = _Request(batch)
+            self._queue.put(request)
+        return request.future
+
+    def score(self, batch: Batch) -> np.ndarray:
+        """Blocking score: submit and wait for the result."""
+        return self.submit(batch).result()
+
+    def stats(self) -> ScorerStats:
+        """Aggregate statistics across all workers.
+
+        Counters are summed; the latency window is the union of the
+        per-worker windows (percentiles are computed over the merged
+        samples, so they reflect the whole pool's traffic).
+        """
+        per_worker = self.worker_stats()
+        # Re-derive percentiles over the merged windows rather than
+        # averaging per-worker percentiles (which would be meaningless).
+        windows = [w.latency_window() for w in self._workers]
+        merged = np.concatenate(windows) if windows else np.asarray([])
+        return ScorerStats.from_window(
+            requests=sum(s.requests for s in per_worker),
+            rows=sum(s.rows for s in per_worker),
+            batches=sum(s.batches for s in per_worker),
+            busy_seconds=sum(s.busy_seconds for s in per_worker),
+            latencies=merged, workers=len(self._workers))
+
+    def worker_stats(self) -> list[ScorerStats]:
+        """Per-worker statistics snapshots (index-aligned with workers)."""
+        return [worker.snapshot() for worker in self._workers]
+
+    def close(self) -> None:
+        """Stop the workers; pending requests are completed first.
+
+        Requests always precede the shutdown sentinels in the FIFO queue
+        (``submit`` and ``close`` share a lock), so every enqueued request
+        is picked up — and therefore completed — by some worker before
+        that worker can see a sentinel.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.thread.join()
+        # Defensive: the FIFO argument above makes leftovers impossible,
+        # but an unresolved future would hang its caller forever, so fail
+        # loudly rather than silently if the invariant is ever broken.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                _resolve(item.future,
+                         error=RuntimeError("scorer closed before request ran"))
+
+    def __enter__(self) -> "ScorerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class BatchScorer(ScorerPool):
+    """Single-worker micro-batching scorer around one score function.
+
+    The PR 3 API, kept both for callers that own a non-thread-safe score
+    closure (the lone worker serializes access to it) and as the baseline
+    :class:`ScorerPool` is benchmarked against.
+
+    Parameters
+    ----------
+    score_fn:
+        ``Batch -> (n,) scores``; typically a model's compiled
+        :meth:`~repro.models.base.RankingModel.score`.
+    max_batch_rows / max_wait_ms:
+        As for :class:`ScorerPool`.
+    """
+
+    def __init__(self, score_fn, max_batch_rows: int = 256,
+                 max_wait_ms: float = 2.0, name: str = "scorer"):
+        super().__init__(lambda: score_fn, num_workers=1,
+                         max_batch_rows=max_batch_rows,
+                         max_wait_ms=max_wait_ms, name=name)

@@ -1,0 +1,547 @@
+"""HTTP/JSON serving gateway: the wire protocol in front of :class:`RankingService`.
+
+Dependency-free (stdlib ``http.server`` only).  A :class:`ServingServer`
+wraps a :class:`~repro.serving.RankingService` in a threaded HTTP server —
+each connection gets a handler thread, so request-level concurrency feeds
+the service's :class:`~repro.serving.ScorerPool` naturally — and exposes:
+
+========  =============  ====================================================
+method    path           purpose
+========  =============  ====================================================
+POST      ``/rank``      rank candidates (optionally with query intent)
+POST      ``/classify``  query → (sub category, top category)
+GET       ``/healthz``   liveness + model inventory
+GET       ``/stats``     gateway counters + per-model scorer statistics
+GET       ``/models``    registry listing + the feature schema clients need
+POST      ``/reload``    hot checkpoint reload from the watched directory
+========  =============  ====================================================
+
+Every error is a structured JSON body ``{"error": {"type", "message"}}``
+with a 4xx status for client mistakes (malformed JSON, unknown model,
+bad feature shapes) and 500 for anything unexpected — a bad request must
+never take down a scorer worker or the gateway.
+
+Run it from a checkpoint directory (see :mod:`repro.serving.checkpoint`
+for the layout)::
+
+    python -m repro.serving.server --checkpoint-dir ckpts --port 8000 --workers 4
+
+``POST /reload`` re-scans the same directory, registering changed or new
+checkpoints as fresh versions; the service retires superseded scorer pools
+as traffic moves over, so reloads need no downtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
+from ..utils.serialization import _json_default
+from .checkpoint import find_classifier_checkpoint, load_classifier_checkpoint, load_environment
+from .registry import ModelRegistry
+from .service import RankingService, candidate_batch
+
+__all__ = ["ServingServer", "ApiError", "serve_from_directory", "main"]
+
+
+class ApiError(Exception):
+    """A client-visible error: HTTP status + machine-readable type."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def _require(payload: dict, key: str):
+    if key not in payload:
+        raise ApiError(400, "bad_request", f"missing required field {key!r}")
+    return payload[key]
+
+
+def _as_array(value, dtype, field: str, ndim: int | None = None) -> np.ndarray:
+    try:
+        array = np.asarray(value, dtype=dtype)
+    except (TypeError, ValueError) as error:
+        raise ApiError(400, "bad_request",
+                       f"field {field!r} is not a valid array: {error}") from None
+    if ndim is not None and array.ndim != ndim:
+        raise ApiError(400, "bad_request",
+                       f"field {field!r} must be {ndim}-dimensional, "
+                       f"got shape {array.shape}")
+    return array
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The gateway holds real state (scorer pools); don't let a lingering
+    # client connection on a reused address confuse a fresh server.
+    allow_reuse_address = True
+    gateway: "ServingServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/1.0"
+    protocol_version = "HTTP/1.1"       # keep-alive for multi-request clients
+    # Latency hygiene for small JSON responses on persistent connections:
+    # buffer the whole response into one TCP segment and disable Nagle,
+    # else the header/body write pattern triggers delayed-ACK stalls
+    # (measured ~8x request latency on loopback).
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    # Route table: (method, path) -> ServingServer handler name.
+    ROUTES = {
+        ("POST", "/rank"): "handle_rank",
+        ("POST", "/classify"): "handle_classify",
+        ("GET", "/healthz"): "handle_healthz",
+        ("GET", "/stats"): "handle_stats",
+        ("GET", "/models"): "handle_models",
+        ("POST", "/reload"): "handle_reload",
+    }
+
+    def log_message(self, format, *args):   # noqa: A002 - stdlib signature
+        pass                                # the gateway keeps its own counters
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        gateway = self.server.gateway
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            # Drain the body before anything can error: on a keep-alive
+            # connection an unread body would be parsed as the next
+            # request line, desyncing every request after a 4xx.
+            body = self._read_body() if method == "POST" else b""
+            handler_name = self.ROUTES.get((method, path))
+            if handler_name is None:
+                if any(route_path == path for _, route_path in self.ROUTES):
+                    raise ApiError(405, "method_not_allowed",
+                                   f"{method} not allowed on {path}")
+                raise ApiError(404, "not_found", f"unknown endpoint {path}")
+            payload = self._parse_json(body) if method == "POST" else {}
+            result = getattr(gateway, handler_name)(payload)
+            gateway._count(error=False)
+            self._send(200, result)
+        except ApiError as error:
+            gateway._count(error=True)
+            self._send(error.status,
+                       {"error": {"type": error.kind, "message": str(error)}})
+        except Exception as error:          # never kill the handler thread
+            gateway._count(error=True)
+            self._send(500, {"error": {"type": "internal",
+                                       "message": f"{type(error).__name__}: {error}"}})
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            # Unknown framing: answer, then drop the connection rather
+            # than trying to resync the stream.
+            self.close_connection = True
+            raise ApiError(400, "bad_request", "invalid Content-Length") from None
+        return self.rfile.read(length) if length > 0 else b""
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except ValueError as error:
+            raise ApiError(400, "bad_json", f"request body is not JSON: {error}") \
+                from None
+        if not isinstance(payload, dict):
+            raise ApiError(400, "bad_json", "request body must be a JSON object")
+        return payload
+
+    def _send(self, status: int, payload: dict) -> None:
+        try:
+            # _json_default (shared with checkpoint serialization) turns
+            # numpy arrays/scalars into plain JSON values.
+            body = json.dumps(payload, default=_json_default).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass                            # client went away mid-response
+
+
+class ServingServer:
+    """The HTTP gateway: owns the listener, the service, and the counters.
+
+    Parameters
+    ----------
+    service:
+        The :class:`RankingService` to expose.  The gateway owns it —
+        :meth:`close` shuts down its scorer pools too.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`port` / :attr:`url` after construction).
+    checkpoint_dir / spec / taxonomy:
+        When all are set, ``POST /reload`` re-scans ``checkpoint_dir``
+        through :meth:`ModelRegistry.reload_from_directory`; otherwise the
+        endpoint answers 400.
+
+    The constructor binds the socket but does not serve: call
+    :meth:`start` (background thread) or :meth:`serve_forever`.
+    """
+
+    def __init__(self, service: RankingService, host: str = "127.0.0.1",
+                 port: int = 0, checkpoint_dir: str | Path | None = None,
+                 spec: FeatureSpec | None = None,
+                 taxonomy: Taxonomy | None = None):
+        self.service = service
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.spec = spec
+        self.taxonomy = taxonomy
+        self._httpd = _GatewayHTTPServer((host, port), _Handler)
+        self._httpd.gateway = self
+        self._thread: threading.Thread | None = None
+        self._serving = False
+        self._started_at = time.monotonic()
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServingServer":
+        """Serve in a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        kwargs={"poll_interval": 0.05},
+                                        daemon=True, name="ServingServer")
+        self._serving = True
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._serving = True
+        self._httpd.serve_forever(poll_interval=0.5)
+
+    def close(self) -> None:
+        """Stop the listener, then the service's scorer pools."""
+        if self._serving:
+            # shutdown() waits on an event that only serve_forever() sets;
+            # calling it on a bound-but-never-served server deadlocks.
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ServingServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _count(self, error: bool) -> None:
+        with self._counter_lock:
+            self._requests += 1
+            if error:
+                self._errors += 1
+
+    def _validate_candidates(self, batch) -> None:
+        """Reject schema-invalid candidates before they reach a scorer.
+
+        Micro-batching co-batches concurrent requests: one request with a
+        missing feature or out-of-range id would fail the merged batch and
+        400 every innocent request coalesced with it.  When the gateway
+        knows the schema (``spec``), bad requests are turned away at the
+        door instead.
+        """
+        if self.spec is None:
+            return
+        expected = set(self.spec.sparse_names)
+        provided = set(batch.sparse)
+        if provided != expected:
+            raise ApiError(400, "bad_request",
+                           f"candidates.sparse must provide exactly "
+                           f"{sorted(expected)}; got {sorted(provided)}")
+        if batch.numeric.shape[1] != self.spec.num_numeric:
+            raise ApiError(400, "bad_request",
+                           f"candidates.numeric must have "
+                           f"{self.spec.num_numeric} columns, "
+                           f"got {batch.numeric.shape[1]}")
+        for name, ids in batch.sparse.items():
+            cardinality = self.spec.cardinality(name)
+            if ids.size and (ids.min() < 0 or ids.max() >= cardinality):
+                raise ApiError(400, "bad_request",
+                               f"candidates.sparse.{name} ids must be in "
+                               f"[0, {cardinality})")
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (return JSON-safe dicts; raise ApiError for 4xx)
+    # ------------------------------------------------------------------
+    def handle_rank(self, payload: dict) -> dict:
+        candidates = _require(payload, "candidates")
+        if not isinstance(candidates, dict):
+            raise ApiError(400, "bad_request",
+                           "'candidates' must be an object with "
+                           "'numeric' and 'sparse'")
+        numeric = _as_array(_require(candidates, "numeric"), np.float64,
+                            "candidates.numeric")
+        sparse_raw = candidates.get("sparse", {})
+        if not isinstance(sparse_raw, dict):
+            raise ApiError(400, "bad_request", "'candidates.sparse' must map "
+                           "feature name -> id list")
+        sparse = {name: _as_array(ids, np.int64, f"candidates.sparse.{name}",
+                                  ndim=1)
+                  for name, ids in sparse_raw.items()}
+        batch = candidate_batch(numeric, sparse)
+        if any(ids.shape[0] != len(batch) for ids in sparse.values()):
+            raise ApiError(400, "bad_request",
+                           "sparse feature lengths must match the number of "
+                           f"candidate rows ({len(batch)})")
+        self._validate_candidates(batch)
+        query_tokens = payload.get("query_tokens")
+        if query_tokens is not None:
+            query_tokens = _as_array(query_tokens, np.int64, "query_tokens")
+        query_lengths = payload.get("query_lengths")
+        top_k = payload.get("top_k", 10)
+        if not isinstance(top_k, int) or top_k <= 0:
+            raise ApiError(400, "bad_request", "'top_k' must be a positive integer")
+        model = payload.get("model")
+        version = payload.get("version")
+        if model is not None:
+            # Resolve explicitly named models up front so "unknown model"
+            # is a clean 404; KeyErrors raised *during* scoring (e.g. a
+            # missing sparse feature) are client data errors, not routing.
+            try:
+                self.service.registry.entry(model, version)
+            except KeyError as error:
+                raise ApiError(404, "unknown_model", str(error)) from None
+        try:
+            response = self.service.rank(
+                batch, query_tokens=query_tokens, query_lengths=query_lengths,
+                top_k=top_k, model=model, version=version)
+        except (KeyError, ValueError, IndexError) as error:
+            raise ApiError(400, "bad_request", str(error)) from None
+        return {
+            "indices": response.indices,
+            "scores": response.scores,
+            "model_name": response.model_name,
+            "model_version": response.model_version,
+            "predicted_sc": response.predicted_sc,
+            "predicted_tc": response.predicted_tc,
+            "latency_ms": response.latency_ms,
+        }
+
+    def handle_classify(self, payload: dict) -> dict:
+        if self.service.classifier is None:
+            raise ApiError(400, "no_classifier",
+                           "this gateway serves no query classifier")
+        tokens = _as_array(_require(payload, "tokens"), np.int64, "tokens")
+        if tokens.ndim != 1:
+            raise ApiError(400, "bad_request",
+                           "'tokens' must be one query's token id list")
+        lengths = payload.get("lengths")
+        try:
+            sc, tc = self.service.classify_query(tokens, lengths)
+        except (KeyError, ValueError, IndexError) as error:
+            raise ApiError(400, "bad_request", str(error)) from None
+        result = {"sc": sc, "tc": tc}
+        if payload.get("probs"):
+            token_matrix = tokens[None, :]
+            length_vec = np.asarray([lengths if lengths is not None
+                                     else tokens.shape[0]], dtype=np.int64)
+            result["probs"] = self.service.classifier.predict_proba(
+                token_matrix, length_vec)[0]
+        return result
+
+    def handle_healthz(self, payload: dict) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "models": self.service.registry.names(),
+            "workers": self.service.num_workers,
+            "requests": self._requests,
+            "errors": self._errors,
+        }
+
+    def handle_stats(self, payload: dict) -> dict:
+        scorers = {}
+        for key, stats in self.service.stats().items():
+            entry = asdict(stats)
+            entry["mean_batch_rows"] = stats.mean_batch_rows
+            entry["throughput_rows_per_s"] = stats.throughput_rows_per_s
+            scorers[key] = entry
+        return {
+            "server": {
+                "requests": self._requests,
+                "errors": self._errors,
+                "uptime_s": time.monotonic() - self._started_at,
+            },
+            "scorers": scorers,
+        }
+
+    def handle_models(self, payload: dict) -> dict:
+        result = {
+            "models": [{"name": entry.name, "version": entry.version,
+                        "metadata": entry.metadata}
+                       for entry in self.service.registry.entries()],
+        }
+        if self.spec is not None:
+            # The feature schema a client (or load generator) needs to
+            # construct valid /rank candidates.
+            result["spec"] = {
+                "numeric": self.spec.numeric_names,
+                "sparse": {f.name: f.cardinality for f in self.spec.sparse},
+            }
+        return result
+
+    def handle_reload(self, payload: dict) -> dict:
+        if self.checkpoint_dir is None or self.spec is None \
+                or self.taxonomy is None:
+            raise ApiError(400, "no_checkpoint_dir",
+                           "this gateway was not started from a checkpoint "
+                           "directory; nothing to reload")
+        registered = self.service.registry.reload_from_directory(
+            self.checkpoint_dir, self.spec, self.taxonomy)
+        return {
+            "registered": [{"name": entry.name, "version": entry.version}
+                           for entry in registered],
+            "models": self.service.registry.names(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Boot from a checkpoint directory
+# ----------------------------------------------------------------------
+def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
+                         port: int = 0, num_workers: int = 4,
+                         max_batch_rows: int = 256, max_wait_ms: float = 2.0,
+                         default_model: str | None = None) -> ServingServer:
+    """Build a ready-to-start gateway from a checkpoint directory.
+
+    Reads the ``environment.json`` bundle, registers every ranking
+    checkpoint, and loads the classifier checkpoint when one is present
+    (see :mod:`repro.serving.checkpoint` for the layout).
+    """
+    checkpoint_dir = Path(checkpoint_dir)
+    spec, taxonomy = load_environment(checkpoint_dir)
+    registry = ModelRegistry()
+    registered = registry.reload_from_directory(checkpoint_dir, spec, taxonomy)
+    if not registered:
+        raise FileNotFoundError(
+            f"no ranking-model checkpoints found in {checkpoint_dir}")
+    classifier = None
+    classifier_path = find_classifier_checkpoint(checkpoint_dir)
+    if classifier_path is not None:
+        classifier = load_classifier_checkpoint(classifier_path)
+    if default_model is None and len(registry.names()) == 1:
+        default_model = registry.names()[0]
+    service = RankingService(registry, default_model=default_model,
+                             classifier=classifier, taxonomy=taxonomy,
+                             max_batch_rows=max_batch_rows,
+                             max_wait_ms=max_wait_ms, num_workers=num_workers)
+    return ServingServer(service, host=host, port=port,
+                         checkpoint_dir=checkpoint_dir, spec=spec,
+                         taxonomy=taxonomy)
+
+
+def _bootstrap_demo(checkpoint_dir: Path) -> None:
+    """Populate an empty checkpoint directory with a quick demo deployment.
+
+    Builds the CI-scale synthetic world, an untrained paper-architecture
+    ranker, and a query classifier, and checkpoints all three artifacts —
+    enough for the CI serving smoke job (and a first ``curl``) without a
+    training run.  Imports training-side code, so it lives behind the
+    ``--bootstrap-demo`` flag instead of the serving path proper.
+    """
+    from ..experiments.common import CI, build_environment, model_config
+    from ..models import build_model
+    from ..querycat import QueryCategoryClassifier, QueryClassifierConfig
+    from .checkpoint import (save_checkpoint, save_classifier_checkpoint,
+                             save_environment)
+
+    env = build_environment(CI)
+    model = build_model("adv-hsc-moe", env.dataset.spec, env.taxonomy,
+                        model_config(CI), train_dataset=env.train)
+    classifier = QueryCategoryClassifier(
+        env.log.queries.vocab_size, env.taxonomy.max_sc_id() + 1,
+        QueryClassifierConfig(embedding_dim=8, hidden_size=12))
+    save_environment(checkpoint_dir, env.dataset.spec, env.taxonomy)
+    save_checkpoint(model, checkpoint_dir / "ranker", "adv-hsc-moe")
+    save_classifier_checkpoint(classifier, checkpoint_dir / "querycat")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.server",
+        description="Serve ranking models over HTTP from a checkpoint directory.")
+    parser.add_argument("--checkpoint-dir", required=True,
+                        help="directory with environment.json + checkpoints")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="0 picks an ephemeral port")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="scoring workers per model (ScorerPool size)")
+    parser.add_argument("--max-batch-rows", type=int, default=256)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--default-model", default=None,
+                        help="model name for unrouted traffic "
+                             "(default: the sole registered name)")
+    parser.add_argument("--bootstrap-demo", action="store_true",
+                        help="if the directory has no environment.json, fill "
+                             "it with a CI-scale demo deployment first")
+    args = parser.parse_args(argv)
+
+    checkpoint_dir = Path(args.checkpoint_dir)
+    if args.bootstrap_demo and not (checkpoint_dir / "environment.json").exists():
+        print(f"bootstrapping demo checkpoints into {checkpoint_dir} ...")
+        _bootstrap_demo(checkpoint_dir)
+
+    server = serve_from_directory(
+        checkpoint_dir, host=args.host, port=args.port,
+        num_workers=args.workers, max_batch_rows=args.max_batch_rows,
+        max_wait_ms=args.max_wait_ms, default_model=args.default_model)
+    names = ", ".join(server.service.registry.names())
+    print(f"serving {names} on {server.url} "
+          f"({args.workers} scoring workers; POST /reload to hot-reload)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from ..data.dataset import Batch
 from ..hierarchy import Taxonomy
 from ..querycat import QueryCategoryClassifier
 from .registry import ModelRegistry
-from .scorer import BatchScorer, ScorerStats
+from .scorer import ScorerPool, ScorerStats
 
 __all__ = ["RankingService", "RankingResponse", "candidate_batch"]
 
@@ -71,7 +71,12 @@ class RankingService:
         ``top-category id → model name`` rules for category-dedicated
         models.
     max_batch_rows / max_wait_ms:
-        Micro-batching knobs handed to each model's :class:`BatchScorer`.
+        Micro-batching knobs handed to each model's :class:`ScorerPool`.
+    num_workers:
+        Scoring workers per model.  1 (the default) reproduces the PR 3
+        single-worker ``BatchScorer`` behavior; more workers score a
+        model's micro-batches concurrently, each on its own compiled plan
+        (``model.make_scorer()``), overlapping their coalescing waits.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -79,7 +84,10 @@ class RankingService:
                  classifier: QueryCategoryClassifier | None = None,
                  taxonomy: Taxonomy | None = None,
                  routing: dict[int, str] | None = None,
-                 max_batch_rows: int = 256, max_wait_ms: float = 2.0):
+                 max_batch_rows: int = 256, max_wait_ms: float = 2.0,
+                 num_workers: int = 1):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
         self.registry = registry
         self.default_model = default_model
         self.classifier = classifier
@@ -87,11 +95,18 @@ class RankingService:
         self.routing = dict(routing or {})
         self._max_batch_rows = max_batch_rows
         self._max_wait_ms = max_wait_ms
-        self._scorers: dict[tuple[str, int], BatchScorer] = {}
-        # Guards scorer creation: two concurrent rank() calls for the same
-        # model must share one BatchScorer — its single worker is what
-        # serializes access to the compiled plan's scratch buffers.
+        self._num_workers = num_workers
+        self._scorers: dict[tuple[str, int], ScorerPool] = {}
+        self._closed = False
+        # Guards pool creation: two concurrent rank() calls for the same
+        # model must share one ScorerPool — its workers own the compiled
+        # plans, and duplicating pools would leak worker threads.
         self._scorers_lock = threading.Lock()
+
+    @property
+    def num_workers(self) -> int:
+        """Scoring workers per model pool."""
+        return self._num_workers
 
     # ------------------------------------------------------------------
     # Intent
@@ -129,16 +144,41 @@ class RankingService:
         raise ValueError("no default_model configured and routing is "
                          f"ambiguous between {names}")
 
-    def _scorer_for(self, name: str, version: int | None) -> tuple[BatchScorer, int]:
+    def _scorer_factory(self, model):
+        """Per-worker score closures for ``model``.
+
+        Models expose :meth:`~repro.models.base.RankingModel.make_scorer`
+        (an independent compiled plan per call).  Arbitrary scorable
+        objects fall back to their bound ``score`` behind one shared lock,
+        since nothing guarantees it is safe to call from several workers.
+        """
+        make_scorer = getattr(model, "make_scorer", None)
+        if make_scorer is not None:
+            return make_scorer
+        lock = threading.Lock()
+
+        def locked_score(batch: Batch) -> np.ndarray:
+            with lock:
+                return model.score(batch)
+
+        return lambda: locked_score
+
+    def _scorer_for(self, name: str, version: int | None) -> tuple[ScorerPool, int]:
         entry = self.registry.entry(name, version)
-        stale: list[BatchScorer] = []
+        stale: list[ScorerPool] = []
         with self._scorers_lock:
+            # A closed service must not resurrect pools: a late caller
+            # (e.g. an in-flight gateway request during shutdown) would
+            # otherwise build worker threads nothing ever stops.
+            if self._closed:
+                raise RuntimeError("RankingService is closed")
             scorer = self._scorers.get(entry.key)
             if scorer is None:
-                scorer = BatchScorer(entry.model.score,
-                                     max_batch_rows=self._max_batch_rows,
-                                     max_wait_ms=self._max_wait_ms,
-                                     name=f"{entry.name}-v{entry.version}")
+                scorer = ScorerPool(self._scorer_factory(entry.model),
+                                    num_workers=self._num_workers,
+                                    max_batch_rows=self._max_batch_rows,
+                                    max_wait_ms=self._max_wait_ms,
+                                    name=f"{entry.name}-v{entry.version}")
                 self._scorers[entry.key] = scorer
                 # Hot swap: a newer version's scorer retires older ones for
                 # the same name, else every swap leaks a worker thread and
@@ -152,12 +192,29 @@ class RankingService:
             old.close()                 # completes its pending requests first
         return scorer, entry.version
 
+    def _pooled_score(self, name: str, version: int | None,
+                      candidates: Batch) -> tuple[np.ndarray, int]:
+        """Resolve the pool and score, riding out hot-swap retirement.
+
+        A caller can lose the race with a hot swap: it resolves a pool,
+        a concurrent request for a newer version retires and closes that
+        pool, and the submit is refused.  Scoring is a pure function, so
+        the fix is simply to re-resolve (the retired key is gone, so the
+        lookup now yields a live pool) and try again.
+        """
+        while True:
+            scorer, resolved_version = self._scorer_for(name, version)
+            try:
+                return scorer.score(candidates), resolved_version
+            except RuntimeError:
+                if not scorer.closed:
+                    raise               # a model error, not the swap race
+
     def score(self, candidates: Batch, model: str | None = None,
               version: int | None = None) -> np.ndarray:
         """Micro-batched scores for ``candidates`` under a routed model."""
         name = self._select_model(None, model)
-        scorer, _ = self._scorer_for(name, version)
-        return scorer.score(candidates)
+        return self._pooled_score(name, version, candidates)[0]
 
     def rank(self, candidates: Batch, query_tokens: np.ndarray | None = None,
              query_lengths: np.ndarray | int | None = None, top_k: int = 10,
@@ -169,8 +226,7 @@ class RankingService:
         if query_tokens is not None:
             sc, tc = self.classify_query(query_tokens, query_lengths)
         name = self._select_model(tc, model)
-        scorer, resolved_version = self._scorer_for(name, version)
-        scores = scorer.score(candidates)
+        scores, resolved_version = self._pooled_score(name, version, candidates)
         top_k = min(top_k, len(scores))
         order = np.argsort(-scores, kind="stable")[:top_k]
         return RankingResponse(
@@ -194,8 +250,13 @@ class RankingService:
                 for (name, version), scorer in scorers.items()}
 
     def close(self) -> None:
-        """Stop every scorer worker (pending requests complete first)."""
+        """Stop every scorer worker (pending requests complete first).
+
+        Idempotent; after close every scoring call raises rather than
+        silently rebuilding a pool.
+        """
         with self._scorers_lock:
+            self._closed = True
             scorers, self._scorers = dict(self._scorers), {}
         for scorer in scorers.values():
             scorer.close()

@@ -1,0 +1,256 @@
+"""End-to-end tests for the HTTP serving gateway.
+
+A real :class:`ServingServer` is started on an ephemeral port from a
+checkpoint directory, and every request goes over the wire through
+:class:`ServingClient` (or raw urllib for malformed-payload cases).  The
+/healthz and /stats response schemas are pinned: they are the monitoring
+contract.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import serving
+from repro.models import build_model
+from repro.querycat import QueryCategoryClassifier, QueryClassifierConfig
+from repro.serving import ServingClient, ServingError
+
+
+@pytest.fixture(scope="module")
+def model(dataset, taxonomy, tiny_model_config):
+    return build_model("adv-hsc-moe", dataset.spec, taxonomy,
+                       tiny_model_config, train_dataset=dataset)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(model, dataset, taxonomy, log, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("gateway-ckpts")
+    serving.save_environment(directory, dataset.spec, taxonomy)
+    serving.save_checkpoint(model, directory / "ranker", "adv-hsc-moe")
+    classifier = QueryCategoryClassifier(
+        log.queries.vocab_size, taxonomy.max_sc_id() + 1,
+        QueryClassifierConfig(embedding_dim=8, hidden_size=10))
+    serving.save_classifier_checkpoint(classifier, directory / "querycat")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def server(checkpoint_dir):
+    server = serving.serve_from_directory(checkpoint_dir, port=0,
+                                          num_workers=2, max_wait_ms=0.5)
+    server.start()
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ServingClient(server.url)
+    client.wait_ready(timeout_s=30)
+    return client
+
+
+@pytest.fixture()
+def batch(dataset):
+    return dataset.batch(np.arange(20))
+
+
+def _raw_post(url, path, body: bytes, content_type="application/json"):
+    request = urllib.request.Request(url + path, data=body,
+                                     headers={"Content-Type": content_type})
+    return urllib.request.urlopen(request, timeout=10)
+
+
+class TestRankEndpoint:
+    def test_rank_round_trip_matches_reference(self, client, model, batch):
+        result = client.rank(batch.numeric, batch.sparse, top_k=6)
+        reference = model.score(batch)
+        assert result["model_name"] == "ranker"
+        np.testing.assert_allclose(result["scores"],
+                                   np.sort(reference)[::-1][:6], atol=1e-9)
+        np.testing.assert_allclose(reference[result["indices"]],
+                                   result["scores"], atol=1e-9)
+        assert result["latency_ms"] > 0
+
+    def test_rank_with_query_intent(self, client, log, batch, taxonomy):
+        queries = log.queries
+        result = client.rank(batch.numeric, batch.sparse,
+                             query_tokens=queries.tokens[0],
+                             query_lengths=int(queries.lengths[0]), top_k=3)
+        assert result["predicted_sc"] is not None
+        expected_tc = int(taxonomy.parents_of(
+            np.asarray([result["predicted_sc"]]))[0])
+        assert result["predicted_tc"] == expected_tc
+
+    def test_unknown_model_is_structured_404(self, client, batch):
+        with pytest.raises(ServingError) as excinfo:
+            client.rank(batch.numeric, batch.sparse, model="ghost")
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_model"
+
+    def test_unknown_version_is_structured_404(self, client, batch):
+        with pytest.raises(ServingError) as excinfo:
+            client.rank(batch.numeric, batch.sparse, model="ranker", version=99)
+        assert excinfo.value.status == 404
+
+    def test_malformed_json_is_structured_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _raw_post(server.url, "/rank", b"{not json at all")
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["type"] == "bad_json"
+        assert "message" in payload["error"]
+
+    def test_missing_candidates_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _raw_post(server.url, "/rank", json.dumps({"top_k": 3}).encode())
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["type"] == "bad_request"
+
+    def test_mismatched_sparse_lengths_is_400(self, client, batch):
+        bad_sparse = dict(batch.sparse)
+        bad_sparse["brand"] = np.asarray(bad_sparse["brand"][:3])
+        with pytest.raises(ServingError) as excinfo:
+            client.rank(batch.numeric, bad_sparse)
+        assert excinfo.value.status == 400
+
+    def test_bad_top_k_is_400(self, client, batch):
+        with pytest.raises(ServingError) as excinfo:
+            client.rank(batch.numeric, batch.sparse, top_k=0)
+        assert excinfo.value.status == 400
+
+    def test_worker_survives_bad_requests(self, client, model, batch):
+        """A stream of malformed requests must never wedge the gateway:
+        scoring keeps working afterwards."""
+        for _ in range(3):
+            with pytest.raises(ServingError):
+                client.rank(batch.numeric, {"brand": np.zeros(3, dtype=int)})
+        result = client.rank(batch.numeric, batch.sparse, top_k=4)
+        np.testing.assert_allclose(result["scores"],
+                                   np.sort(model.score(batch))[::-1][:4],
+                                   atol=1e-9)
+
+
+class TestClassifyEndpoint:
+    def test_classify_round_trip(self, client, checkpoint_dir, log, taxonomy):
+        classifier = serving.load_classifier_checkpoint(
+            checkpoint_dir / "querycat")
+        queries = log.queries
+        length = int(queries.lengths[0])
+        tokens = queries.tokens[0][:length]
+        result = client.classify(tokens, lengths=length)
+        expected_sc = int(classifier.predict_sc(
+            tokens[None, :], np.asarray([length]))[0])
+        assert result["sc"] == expected_sc
+        assert result["tc"] == int(taxonomy.parents_of(
+            np.asarray([expected_sc]))[0])
+
+    def test_classify_with_probs(self, client, log):
+        queries = log.queries
+        length = int(queries.lengths[0])
+        result = client.classify(queries.tokens[0][:length], lengths=length,
+                                 probs=True)
+        assert result["probs"].ndim == 1
+        assert result["probs"].sum() == pytest.approx(1.0)
+
+    def test_classify_requires_tokens(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _raw_post(server.url, "/classify", b"{}")
+        assert excinfo.value.code == 400
+
+
+class TestOperationalEndpoints:
+    def test_healthz_schema_pinned(self, client):
+        payload = client.healthz()
+        assert set(payload) == {"status", "uptime_s", "models", "workers",
+                                "requests", "errors"}
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 2
+        assert "ranker" in payload["models"]
+        assert payload["uptime_s"] > 0
+
+    def test_stats_schema_pinned(self, client, batch):
+        client.rank(batch.numeric, batch.sparse)
+        payload = client.stats()
+        assert set(payload) == {"server", "scorers"}
+        assert set(payload["server"]) == {"requests", "errors", "uptime_s"}
+        assert payload["server"]["requests"] > 0
+        scorer_keys = {"requests", "rows", "batches", "busy_seconds",
+                       "latency_samples", "mean_latency_ms", "p95_latency_ms",
+                       "max_latency_ms", "workers", "mean_batch_rows",
+                       "throughput_rows_per_s"}
+        assert payload["scorers"], "at least one scorer pool must report"
+        for stats in payload["scorers"].values():
+            assert set(stats) == scorer_keys
+            assert stats["workers"] == 2
+
+    def test_models_lists_registry_and_spec(self, client, dataset):
+        payload = client.models()
+        names = [(entry["name"], entry["version"])
+                 for entry in payload["models"]]
+        assert ("ranker", 1) in names
+        assert payload["spec"]["numeric"] == dataset.spec.numeric_names
+        assert payload["spec"]["sparse"] == {
+            f.name: f.cardinality for f in dataset.spec.sparse}
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "not_found"
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client._request("GET", "/rank")
+        assert excinfo.value.status == 405
+        assert excinfo.value.kind == "method_not_allowed"
+
+    def test_error_responses_counted(self, client):
+        before = client.healthz()["errors"]
+        with pytest.raises(ServingError):
+            client._request("GET", "/nope")
+        assert client.healthz()["errors"] == before + 1
+
+
+class TestHotReload:
+    def test_reload_registers_new_version_and_serves_it(
+            self, client, checkpoint_dir, dataset, taxonomy,
+            tiny_model_config, batch):
+        fresh = build_model("adv-hsc-moe", dataset.spec, taxonomy,
+                            tiny_model_config.with_updates(seed=99),
+                            train_dataset=dataset)
+        serving.save_checkpoint(fresh, checkpoint_dir / "ranker",
+                                "adv-hsc-moe")
+        result = client.reload()
+        assert {"name": "ranker", "version": 2} in result["registered"]
+        served = client.rank(batch.numeric, batch.sparse, top_k=5)
+        assert served["model_version"] == 2
+        np.testing.assert_allclose(served["scores"],
+                                   np.sort(fresh.score(batch))[::-1][:5],
+                                   atol=1e-9)
+        # Idempotent: a second reload with unchanged files registers nothing.
+        assert client.reload()["registered"] == []
+
+    def test_close_without_start_does_not_hang(self, model):
+        registry = serving.ModelRegistry()
+        registry.register("ranker", model)
+        service = serving.RankingService(registry, default_model="ranker")
+        server = serving.ServingServer(service, port=0)
+        server.close()                  # bound but never served: must return
+
+    def test_reload_without_checkpoint_dir_is_400(self, model, dataset):
+        registry = serving.ModelRegistry()
+        registry.register("ranker", model)
+        service = serving.RankingService(registry, default_model="ranker",
+                                         max_wait_ms=0.0)
+        with serving.ServingServer(service, port=0).start() as bare:
+            bare_client = ServingClient(bare.url)
+            bare_client.wait_ready(timeout_s=30)
+            with pytest.raises(ServingError) as excinfo:
+                bare_client.reload()
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "no_checkpoint_dir"

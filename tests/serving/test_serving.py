@@ -69,6 +69,25 @@ class TestCheckpoints:
         with pytest.raises(ValueError):
             serving.load_classifier_checkpoint(path)
 
+    def test_environment_bundle_round_trip(self, dataset, taxonomy, tmp_path):
+        serving.save_environment(tmp_path, dataset.spec, taxonomy)
+        spec, tax = serving.load_environment(tmp_path)
+        assert spec.to_dict() == dataset.spec.to_dict()
+        assert tax.to_dict() == taxonomy.to_dict()
+        np.testing.assert_array_equal(tax.parents_of(np.arange(10)),
+                                      taxonomy.parents_of(np.arange(10)))
+
+    def test_environment_bundle_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            serving.load_environment(tmp_path)
+
+    def test_find_classifier_checkpoint(self, model, classifier, tmp_path):
+        assert serving.find_classifier_checkpoint(tmp_path) is None
+        serving.save_checkpoint(model, tmp_path / "ranker", "adv-hsc-moe")
+        serving.save_classifier_checkpoint(classifier, tmp_path / "clf")
+        found = serving.find_classifier_checkpoint(tmp_path)
+        assert found == tmp_path / "clf"
+
 
 class TestModelRegistry:
     def test_register_and_get(self, model):
@@ -109,6 +128,38 @@ class TestModelRegistry:
         assert entry.metadata["checkpoint"] == str(path)
         np.testing.assert_allclose(entry.model.score(batch), model.score(batch),
                                    atol=1e-12)
+
+    def test_entries_ordered(self, model):
+        registry = ModelRegistry()
+        registry.register("b", model)
+        registry.register("a", model)
+        registry.register("a", model)
+        assert [(e.name, e.version) for e in registry.entries()] == \
+            [("a", 1), ("a", 2), ("b", 1)]
+
+    def test_reload_from_directory_registers_and_skips(self, model, dataset,
+                                                       taxonomy, batch,
+                                                       tmp_path):
+        serving.save_environment(tmp_path, dataset.spec, taxonomy)
+        serving.save_checkpoint(model, tmp_path / "ranker", "adv-hsc-moe")
+        registry = ModelRegistry()
+        first = registry.reload_from_directory(tmp_path, dataset.spec, taxonomy)
+        assert [(e.name, e.version) for e in first] == [("ranker", 1)]
+        np.testing.assert_allclose(first[0].model.score(batch),
+                                   model.score(batch), atol=1e-12)
+        # Unchanged weights: a re-scan is a no-op (fingerprint match).
+        assert registry.reload_from_directory(tmp_path, dataset.spec,
+                                              taxonomy) == []
+        # Overwritten weights: registered as the next version.
+        serving.save_checkpoint(model, tmp_path / "ranker", "adv-hsc-moe")
+        second = registry.reload_from_directory(tmp_path, dataset.spec, taxonomy)
+        assert [(e.name, e.version) for e in second] == [("ranker", 2)]
+
+    def test_reload_from_directory_missing_dir(self, dataset, taxonomy,
+                                               tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry().reload_from_directory(tmp_path / "nope",
+                                                  dataset.spec, taxonomy)
 
 
 class TestBatchScorer:
@@ -262,6 +313,30 @@ class TestRankingService:
             with pytest.raises(ValueError):
                 service.rank(batch)
 
+    def test_closed_service_refuses_scoring(self, registry, batch):
+        """close() must be terminal: a late caller would otherwise rebuild
+        a scorer pool whose worker threads nothing ever stops."""
+        service = RankingService(registry, default_model="ranker",
+                                 max_wait_ms=0.0)
+        service.rank(batch)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.score(batch)
+        service.close()                 # idempotent
+
+    def test_rank_rides_out_retired_pool(self, registry, model, batch):
+        """A caller can resolve a pool and lose the race with a hot swap
+        retiring it; the service must transparently re-resolve instead of
+        surfacing 'ScorerPool is closed'."""
+        with RankingService(registry, default_model="ranker",
+                            max_wait_ms=0.0) as service:
+            scorer, _ = service._scorer_for("ranker", None)
+            with service._scorers_lock:
+                service._scorers.pop(("ranker", 1))
+            scorer.close()              # simulate the losing side of the race
+            np.testing.assert_allclose(service.score(batch),
+                                       model.score(batch), atol=1e-12)
+
     def test_hot_swap_retires_old_version_scorer(self, model, batch):
         """Registering a new version must not leak the old version's
         worker thread / model reference once traffic moves over."""
@@ -284,6 +359,20 @@ class TestRankingService:
             stats = service.stats()
         assert "ranker:v1" in stats
         assert stats["ranker:v1"].requests == 1
+
+    def test_pooled_service_matches_reference(self, registry, model, batch):
+        with RankingService(registry, default_model="ranker", max_wait_ms=0.0,
+                            num_workers=3) as service:
+            response = service.rank(batch, top_k=4)
+            stats = service.stats()
+        np.testing.assert_allclose(response.scores,
+                                   np.sort(model.score(batch))[::-1][:4],
+                                   atol=1e-12)
+        assert stats["ranker:v1"].workers == 3
+
+    def test_invalid_num_workers_rejected(self, registry):
+        with pytest.raises(ValueError):
+            RankingService(registry, num_workers=0)
 
     def test_candidate_batch_shapes(self, dataset):
         raw = dataset.batch(np.arange(6))
