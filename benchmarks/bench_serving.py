@@ -16,6 +16,13 @@ Tracks the two numbers that matter for the production story:
   pool overlaps the coalescing waits (and, on multi-core BLAS, the
   scoring) of concurrent micro-batches; the PR 4 acceptance number is the
   pool:single throughput ratio at batchable load.
+* **connection scaling** — the same closed-loop load at 1 → 256 concurrent
+  keep-alive sockets, selector vs threaded backend (the PR 5 tentpole
+  comparison: the event loop holds hundreds of connections without a
+  thread each, at zero errors).
+* **micro-batch cap policy** — a static ``max_batch_rows`` sweep vs the
+  adaptive backlog-driven cap on the pool; the adaptive point must land
+  within 10% of the best hand-tuned static cap with no tuning.
 
 Scale comes from ``REPRO_BENCH_SCALE`` (see conftest); models are built
 untrained — scoring cost does not depend on the weight values.
@@ -124,16 +131,21 @@ _WIRE_ROWS = 8
 def _drain_over_wire(url: str, dataset, clients: int, requests_each: int,
                      rows: int):
     """Closed-loop drain: each client thread sends its requests back to
-    back over HTTP.  Returns (elapsed_s, latencies)."""
+    back over HTTP.  Returns (elapsed_s, latencies, errors)."""
     batches = [dataset.batch(np.arange(i, i + rows)) for i in range(clients)]
     latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
 
     def worker(index: int) -> None:
         client = ServingClient(url)
         batch = batches[index]
         for _ in range(requests_each):
             t0 = time.monotonic()
-            client.rank(batch.numeric, batch.sparse, top_k=5)
+            try:
+                client.rank(batch.numeric, batch.sparse, top_k=5)
+            except Exception:
+                errors[index] += 1
+                continue
             latencies[index].append(time.monotonic() - t0)
 
     threads = [threading.Thread(target=worker, args=(i,))
@@ -144,7 +156,7 @@ def _drain_over_wire(url: str, dataset, clients: int, requests_each: int,
     for thread in threads:
         thread.join()
     elapsed = time.monotonic() - started
-    return elapsed, [s for bucket in latencies for s in bucket]
+    return elapsed, [s for bucket in latencies for s in bucket], sum(errors)
 
 
 def _bench_wire(benchmark, served, num_workers: int) -> None:
@@ -169,9 +181,10 @@ def _bench_wire(benchmark, served, num_workers: int) -> None:
         probe.rank(warmup.numeric, warmup.sparse)   # compile plans off-clock
 
         def drain():
-            elapsed, latencies = _drain_over_wire(
+            elapsed, latencies, errors = _drain_over_wire(
                 server.url, dataset, _WIRE_CLIENTS, _WIRE_REQUESTS_EACH,
                 _WIRE_ROWS)
+            assert errors == 0
             last["elapsed"] = elapsed
             last["latencies"] = latencies
             return latencies
@@ -254,9 +267,10 @@ def _bench_wire_parallel_scoring(benchmark, served, num_workers: int) -> None:
         probe.wait_ready(timeout_s=30)
 
         def drain():
-            elapsed, latencies = _drain_over_wire(
+            elapsed, latencies, errors = _drain_over_wire(
                 server.url, dataset, _WIRE_CLIENTS, _WIRE_REQUESTS_EACH,
                 _WIRE_ROWS)
+            assert errors == 0
             last["elapsed"] = elapsed
             return latencies
 
@@ -279,3 +293,127 @@ def test_http_parallel_scoring_pool4(benchmark, served):
     parallelizes: the pool keeps 4 micro-batches in flight, so throughput
     scales toward 4x the single worker."""
     _bench_wire_parallel_scoring(benchmark, served, num_workers=4)
+
+
+# ----------------------------------------------------------------------
+# Connection scaling: selector vs threaded backend, 1 → 256 sockets
+# ----------------------------------------------------------------------
+_SCALING_TOTAL_REQUESTS = 512           # fixed work per step, any concurrency
+
+
+@pytest.mark.parametrize("backend", ["selector", "threaded"])
+@pytest.mark.parametrize("clients", [1, 8, 64, 256])
+def test_http_connection_scaling(benchmark, served, backend, clients):
+    """Closed-loop keep-alive clients at growing connection counts.
+
+    The PR 5 acceptance sweep: the selector backend must hold 256
+    concurrent sockets with zero errors at throughput no worse than the
+    threaded backend's 6-client regime, without a thread per connection.
+    The total request count is fixed, so each step's wall clock measures
+    per-connection overhead, not extra work.
+    """
+    _, dataset, model, _ = served
+    registry = ModelRegistry()
+    registry.register("ranker", model)
+    service = RankingService(registry, default_model="ranker", num_workers=4)
+    requests_each = max(1, _SCALING_TOTAL_REQUESTS // clients)
+    last = {}
+    with ServingServer(service, port=0, backend=backend) as server:
+        server.start()
+        probe = ServingClient(server.url)
+        probe.wait_ready(timeout_s=30)
+        warmup = dataset.batch(np.arange(_WIRE_ROWS))
+        probe.rank(warmup.numeric, warmup.sparse)   # compile plans off-clock
+
+        def drain():
+            elapsed, latencies, errors = _drain_over_wire(
+                server.url, dataset, clients, requests_each, _WIRE_ROWS)
+            last.update(elapsed=elapsed, latencies=latencies, errors=errors)
+            return latencies
+
+        # One timed round per step: a 256-thread drain is itself a long
+        # operation, and the sweep's shape matters more than its noise.
+        latencies = benchmark.pedantic(drain, rounds=1, iterations=1,
+                                       warmup_rounds=0)
+    # Zero errors at every connection count is the *selector* acceptance
+    # gate.  The threaded backend is expected to degrade at high socket
+    # counts (that is the motivation for the event loop); its error count
+    # is recorded as data instead.
+    if backend == "selector":
+        assert last["errors"] == 0, \
+            f"{last['errors']} errors at {clients} clients"
+    assert len(latencies) == clients * requests_each - last["errors"]
+    samples = np.asarray(last["latencies"])
+    total_rows = clients * requests_each * _WIRE_ROWS
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["errors"] = last["errors"]
+    benchmark.extra_info["rows_per_s"] = total_rows / last["elapsed"]
+    benchmark.extra_info["p50_ms"] = latency_percentile(samples, 50) * 1000
+    benchmark.extra_info["p95_ms"] = latency_percentile(samples, 95) * 1000
+
+
+# ----------------------------------------------------------------------
+# Adaptive vs static micro-batch caps on the ScorerPool
+# ----------------------------------------------------------------------
+_CAP_REQUESTS = 96
+_CAP_ROWS = 8
+_CAP_SUBMITTERS = 4
+_CAP_DELAY_PER_ROW_S = 0.00025
+
+
+def _bench_pool_cap(benchmark, served, adaptive: bool,
+                    max_batch_rows: int) -> None:
+    """Drain a concurrent burst through a 4-worker pool under one cap
+    policy, with the GIL-releasing proxy scorer (the regime where the
+    per-worker cap matters: scoring parallelizes, so how the backlog is
+    split across workers decides the wall clock — per-device batch caps,
+    as in GPU serving).  The sweep over static caps brackets the
+    hand-tuned optimum; the adaptive run must land within 10% of the best
+    static point with no tuning — the PR 5 acceptance comparison.
+
+    (With GIL-bound single-core scoring the comparison is degenerate:
+    one mega-batch is always best because splitting cannot buy
+    parallelism, so "hand-tuning" would just pick the maximum.  The
+    compute-bound batching win itself is pinned by
+    ``test_microbatched_throughput``.)
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    _, dataset, _, _ = served
+    requests = [dataset.batch(np.arange(i % 64, i % 64 + _CAP_ROWS))
+                for i in range(_CAP_REQUESTS)]
+    proxy = _ParallelScoringModel(_CAP_DELAY_PER_ROW_S)
+    from repro.serving import ScorerPool
+
+    with ScorerPool(proxy.make_scorer, num_workers=4,
+                    max_batch_rows=max_batch_rows, max_wait_ms=2.0,
+                    adaptive_batch=adaptive) as pool:
+        def drain():
+            with ThreadPoolExecutor(max_workers=_CAP_SUBMITTERS) as executor:
+                futures = list(executor.map(pool.submit, requests))
+            return [future.result(timeout=60) for future in futures]
+
+        results = benchmark(drain)
+        stats = pool.stats()
+    assert len(results) == _CAP_REQUESTS
+    benchmark.extra_info["adaptive"] = adaptive
+    benchmark.extra_info["max_batch_rows"] = max_batch_rows
+    benchmark.extra_info["mean_batch_rows"] = stats.mean_batch_rows
+    benchmark.extra_info["throughput_rows_per_s"] = stats.throughput_rows_per_s
+
+
+@pytest.mark.parametrize("cap", [8, 32, 64, 128, 256])
+def test_pool_static_cap_sweep(benchmark, served, cap):
+    """Hand-tuned static ``max_batch_rows`` sweep (the tuning the
+    adaptive policy is meant to make unnecessary).  768 rows across 4
+    workers: small caps over-fragment (per-batch overhead), large caps
+    starve workers (one mega-batch scores serially); the optimum sits
+    in between and depends on load — exactly what a config knob gets
+    wrong as traffic shifts."""
+    _bench_pool_cap(benchmark, served, adaptive=False, max_batch_rows=cap)
+
+
+def test_pool_adaptive_cap(benchmark, served):
+    """Adaptive policy, default clamps — no per-deployment tuning."""
+    _bench_pool_cap(benchmark, served, adaptive=True, max_batch_rows=256)

@@ -7,11 +7,15 @@ versioned :class:`ModelRegistry` with hot reload-from-directory, the
 micro-batching :class:`BatchScorer` and its N-worker
 :class:`ScorerPool` generalization (latency/throughput stats included),
 a :class:`RankingService` composing querycat intent → model selection →
-pooled scoring → top-k, and a wire layer: the :class:`ServingServer`
-HTTP/JSON gateway (``python -m repro.serving.server``), the
-:class:`ServingClient`, and a closed-loop load generator
-(``python -m repro.serving.loadgen``).  All scoring rides the compiled
-graph-free fast lane (:mod:`repro.nn.infer`).
+pooled scoring → top-k, and a three-layer wire stack: connection
+transports (:mod:`repro.serving.transport` — the default selector event
+loop plus the threaded fallback), incremental HTTP/1.1 framing
+(:mod:`repro.serving.protocol`), and transport-agnostic JSON dispatch
+(:mod:`repro.serving.handlers`), composed by the :class:`ServingServer`
+gateway (``python -m repro.serving.server``) with the
+:class:`ServingClient` and a closed-loop load generator
+(``python -m repro.serving.loadgen``) on the caller side.  All scoring
+rides the compiled graph-free fast lane (:mod:`repro.nn.infer`).
 """
 
 from .checkpoint import (ENVIRONMENT_FILENAME, find_classifier_checkpoint,
@@ -19,12 +23,15 @@ from .checkpoint import (ENVIRONMENT_FILENAME, find_classifier_checkpoint,
                          load_environment, load_model, save_checkpoint,
                          save_classifier_checkpoint, save_environment)
 from .client import ServingClient, ServingError
-from .loadgen import LoadSummary, run_load
+from .handlers import GatewayDispatcher
+from .loadgen import LoadSummary, run_load, run_sweep
+from .protocol import ProtocolError, RequestParser
 from .registry import ModelRegistry, RegisteredModel
 from .scorer import (BatchScorer, ScorerPool, ScorerStats, concat_batches,
                      latency_percentile)
 from .server import ApiError, ServingServer, serve_from_directory
 from .service import RankingResponse, RankingService, candidate_batch
+from .transport import GatewayCounters, SelectorTransport, ThreadedTransport
 
 __all__ = [
     "save_checkpoint",
@@ -49,8 +56,15 @@ __all__ = [
     "ServingServer",
     "serve_from_directory",
     "ApiError",
+    "GatewayDispatcher",
+    "GatewayCounters",
+    "SelectorTransport",
+    "ThreadedTransport",
+    "ProtocolError",
+    "RequestParser",
     "ServingClient",
     "ServingError",
     "LoadSummary",
     "run_load",
+    "run_sweep",
 ]

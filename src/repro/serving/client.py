@@ -58,11 +58,42 @@ def _listify(value):
 
 
 class ServingClient:
-    """JSON-over-HTTP client for one gateway base URL."""
+    """JSON-over-HTTP client for one gateway base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Parameters
+    ----------
+    base_url / timeout:
+        Gateway address and per-request socket timeout.
+    idle_reconnect_s:
+        The gateway closes keep-alive connections idle beyond its
+        ``--idle-timeout``.  When this is set and a cached connection
+        has been unused at least this long, the client reconnects
+        proactively instead of racing the server's reaper with a doomed
+        send.  (A lost race is still safe — see the stale-socket retry
+        below — but the proactive drop avoids the wasted round trip.)
+
+    A kept-alive connection found closed by the server on reuse (the
+    idle reaper fired between requests: ``ConnectionError`` /
+    ``BadStatusLine`` before any response bytes) is retried **exactly
+    once** on a fresh connection, transparently.  Every other failure —
+    a fresh connection erroring, a socket timeout, a response dying
+    midway — is surfaced immediately: retrying those could
+    double-execute a request the server may already have processed.
+    ``stale_retries`` counts the transparent retries (test hook).
+    """
+
+    # The stale-socket signature: the server tore the connection down
+    # before sending any response bytes.  Timeouts (socket.timeout is an
+    # OSError) and mid-response failures (IncompleteRead) are explicitly
+    # NOT here — the server may be processing the first copy.
+    _STALE_SOCKET_ERRORS = (ConnectionError, http.client.BadStatusLine)
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 idle_reconnect_s: float | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.idle_reconnect_s = idle_reconnect_s
+        self.stale_retries = 0              # transparent retry count
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme != "http" or parsed.hostname is None:
             raise ValueError(f"base_url must be http://host[:port], "
@@ -74,19 +105,27 @@ class ServingClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection and whether it is freshly connected."""
         connection = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = http.client.HTTPConnection(self._host, self._port,
-                                                    timeout=self.timeout)
-            connection.connect()
-            # Small request/response pairs on a persistent connection:
-            # without TCP_NODELAY, Nagle + delayed ACK serialize them at
-            # ~tens of ms each on loopback.
-            connection.sock.setsockopt(socket.IPPROTO_TCP,
-                                       socket.TCP_NODELAY, 1)
-            self._local.connection = connection
-        return connection
+        if connection is not None and self.idle_reconnect_s is not None \
+                and time.monotonic() - self._local.last_used \
+                >= self.idle_reconnect_s:
+            self._drop_connection()         # about to be (or already) reaped
+            connection = None
+        if connection is not None:
+            return connection, False
+        connection = http.client.HTTPConnection(self._host, self._port,
+                                                timeout=self.timeout)
+        connection.connect()
+        # Small request/response pairs on a persistent connection:
+        # without TCP_NODELAY, Nagle + delayed ACK serialize them at
+        # ~tens of ms each on loopback.
+        connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                   socket.TCP_NODELAY, 1)
+        self._local.connection = connection
+        self._local.last_used = time.monotonic()
+        return connection, True
 
     def _drop_connection(self) -> None:
         connection = getattr(self._local, "connection", None)
@@ -100,20 +139,30 @@ class ServingClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # One retry on a fresh connection: an idle keep-alive connection
-        # may have been closed by the server between requests.
-        for attempt in (0, 1):
-            connection = self._connection()
+        retried = False
+        while True:
+            connection, fresh = self._connection()
             try:
                 connection.request(method, path, body=data, headers=headers)
                 response = connection.getresponse()
                 body = response.read()
                 status = response.status
-            except (http.client.HTTPException, OSError):
+            except (http.client.HTTPException, OSError) as error:
                 self._drop_connection()
-                if attempt:
+                # Stale keep-alive socket: the server closed an idle
+                # connection between requests, and the failure surfaced
+                # on reuse before any response bytes.  Retry exactly
+                # once on a fresh connection.  Anything else — a fresh
+                # connection failing, a timeout, a mid-response death —
+                # is a real error (and a retry might double-send):
+                # surface it.
+                if fresh or retried \
+                        or not isinstance(error, self._STALE_SOCKET_ERRORS):
                     raise
+                retried = True
+                self.stale_retries += 1
                 continue
+            self._local.last_used = time.monotonic()
             if status >= 400:
                 try:
                     detail = json.loads(body).get("error", {})

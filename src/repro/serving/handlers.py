@@ -1,0 +1,324 @@
+"""Transport-agnostic JSON dispatch for the serving gateway.
+
+The dispatch layer of the three-layer gateway split: given a method, a
+path, and a raw body, :class:`GatewayDispatcher` routes to an endpoint
+handler and returns ``(status, payload dict)``.  It never touches a
+socket or an HTTP byte — both the selector transport and the threaded
+fallback feed it the same way, which is what pins behavioral parity
+between the two front-ends.
+
+Every endpoint handler returns a JSON-safe dict or raises
+:class:`ApiError` (4xx for client mistakes); anything else escaping a
+handler becomes a structured 500 — a bad request must never take down a
+scorer worker or the gateway, exactly as the PR 4 gateway pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..data.schema import FeatureSpec
+from ..hierarchy import Taxonomy
+from .service import RankingService, candidate_batch
+
+__all__ = ["ApiError", "GatewayDispatcher"]
+
+
+class ApiError(Exception):
+    """A client-visible error: HTTP status + machine-readable type."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def _require(payload: dict, key: str):
+    if key not in payload:
+        raise ApiError(400, "bad_request", f"missing required field {key!r}")
+    return payload[key]
+
+
+def _as_array(value, dtype, field: str, ndim: int | None = None) -> np.ndarray:
+    try:
+        array = np.asarray(value, dtype=dtype)
+    except (TypeError, ValueError) as error:
+        raise ApiError(400, "bad_request",
+                       f"field {field!r} is not a valid array: {error}") from None
+    if ndim is not None and array.ndim != ndim:
+        raise ApiError(400, "bad_request",
+                       f"field {field!r} must be {ndim}-dimensional, "
+                       f"got shape {array.shape}")
+    return array
+
+
+class GatewayDispatcher:
+    """Route requests to endpoint handlers; own the request/error counters.
+
+    Parameters
+    ----------
+    service:
+        The :class:`RankingService` behind every scoring endpoint.
+    spec / taxonomy / checkpoint_dir:
+        When all are set, ``POST /reload`` re-scans ``checkpoint_dir``
+        through :meth:`ModelRegistry.reload_from_directory`; ``spec``
+        alone additionally enables request validation and the
+        ``GET /models`` schema block.
+    connection_stats:
+        Zero-argument callable returning the transport's connection
+        counter snapshot (see
+        :class:`~repro.serving.transport.GatewayCounters`), surfaced
+        under ``GET /stats``.
+    """
+
+    # Route table: (method, path) -> handler method name.
+    ROUTES = {
+        ("POST", "/rank"): "handle_rank",
+        ("POST", "/classify"): "handle_classify",
+        ("GET", "/healthz"): "handle_healthz",
+        ("GET", "/stats"): "handle_stats",
+        ("GET", "/models"): "handle_models",
+        ("POST", "/reload"): "handle_reload",
+    }
+
+    def __init__(self, service: RankingService,
+                 spec: FeatureSpec | None = None,
+                 taxonomy: Taxonomy | None = None,
+                 checkpoint_dir: str | Path | None = None,
+                 connection_stats=None):
+        self.service = service
+        self.spec = spec
+        self.taxonomy = taxonomy
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self._connection_stats = connection_stats
+        self._started_at = time.monotonic()
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Route one request; always returns ``(status, JSON-safe dict)``.
+
+        Transport layers call this with the body already drained from
+        the stream, so a 4xx can never desync keep-alive framing.
+        """
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            handler_name = self.ROUTES.get((method, path))
+            if handler_name is None:
+                if any(route_path == path for _, route_path in self.ROUTES):
+                    raise ApiError(405, "method_not_allowed",
+                                   f"{method} not allowed on {path}")
+                raise ApiError(404, "not_found", f"unknown endpoint {path}")
+            payload = self._parse_json(body) if method == "POST" else {}
+            result = getattr(self, handler_name)(payload)
+            self._count(error=False)
+            return 200, result
+        except ApiError as error:
+            self._count(error=True)
+            return error.status, {"error": {"type": error.kind,
+                                            "message": str(error)}}
+        except Exception as error:      # never kill the serving thread
+            self._count(error=True)
+            return 500, {"error": {"type": "internal",
+                                   "message": f"{type(error).__name__}: {error}"}}
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except ValueError as error:
+            raise ApiError(400, "bad_json", f"request body is not JSON: {error}") \
+                from None
+        if not isinstance(payload, dict):
+            raise ApiError(400, "bad_json", "request body must be a JSON object")
+        return payload
+
+    def _count(self, error: bool) -> None:
+        with self._counter_lock:
+            self._requests += 1
+            if error:
+                self._errors += 1
+
+    def record_protocol_error(self) -> None:
+        """Count a transport-level framing violation (413/431/...) that
+        never reached :meth:`dispatch` — it is still a served error."""
+        self._count(error=True)
+
+    def _validate_candidates(self, batch) -> None:
+        """Reject schema-invalid candidates before they reach a scorer.
+
+        Micro-batching co-batches concurrent requests: one request with a
+        missing feature or out-of-range id would fail the merged batch and
+        400 every innocent request coalesced with it.  When the gateway
+        knows the schema (``spec``), bad requests are turned away at the
+        door instead.
+        """
+        if self.spec is None:
+            return
+        expected = set(self.spec.sparse_names)
+        provided = set(batch.sparse)
+        if provided != expected:
+            raise ApiError(400, "bad_request",
+                           f"candidates.sparse must provide exactly "
+                           f"{sorted(expected)}; got {sorted(provided)}")
+        if batch.numeric.shape[1] != self.spec.num_numeric:
+            raise ApiError(400, "bad_request",
+                           f"candidates.numeric must have "
+                           f"{self.spec.num_numeric} columns, "
+                           f"got {batch.numeric.shape[1]}")
+        for name, ids in batch.sparse.items():
+            cardinality = self.spec.cardinality(name)
+            if ids.size and (ids.min() < 0 or ids.max() >= cardinality):
+                raise ApiError(400, "bad_request",
+                               f"candidates.sparse.{name} ids must be in "
+                               f"[0, {cardinality})")
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (return JSON-safe dicts; raise ApiError for 4xx)
+    # ------------------------------------------------------------------
+    def handle_rank(self, payload: dict) -> dict:
+        candidates = _require(payload, "candidates")
+        if not isinstance(candidates, dict):
+            raise ApiError(400, "bad_request",
+                           "'candidates' must be an object with "
+                           "'numeric' and 'sparse'")
+        numeric = _as_array(_require(candidates, "numeric"), np.float64,
+                            "candidates.numeric")
+        sparse_raw = candidates.get("sparse", {})
+        if not isinstance(sparse_raw, dict):
+            raise ApiError(400, "bad_request", "'candidates.sparse' must map "
+                           "feature name -> id list")
+        sparse = {name: _as_array(ids, np.int64, f"candidates.sparse.{name}",
+                                  ndim=1)
+                  for name, ids in sparse_raw.items()}
+        batch = candidate_batch(numeric, sparse)
+        if any(ids.shape[0] != len(batch) for ids in sparse.values()):
+            raise ApiError(400, "bad_request",
+                           "sparse feature lengths must match the number of "
+                           f"candidate rows ({len(batch)})")
+        self._validate_candidates(batch)
+        query_tokens = payload.get("query_tokens")
+        if query_tokens is not None:
+            query_tokens = _as_array(query_tokens, np.int64, "query_tokens")
+        query_lengths = payload.get("query_lengths")
+        top_k = payload.get("top_k", 10)
+        if not isinstance(top_k, int) or top_k <= 0:
+            raise ApiError(400, "bad_request", "'top_k' must be a positive integer")
+        model = payload.get("model")
+        version = payload.get("version")
+        if model is not None:
+            # Resolve explicitly named models up front so "unknown model"
+            # is a clean 404; KeyErrors raised *during* scoring (e.g. a
+            # missing sparse feature) are client data errors, not routing.
+            try:
+                self.service.registry.entry(model, version)
+            except KeyError as error:
+                raise ApiError(404, "unknown_model", str(error)) from None
+        try:
+            response = self.service.rank(
+                batch, query_tokens=query_tokens, query_lengths=query_lengths,
+                top_k=top_k, model=model, version=version)
+        except (KeyError, ValueError, IndexError) as error:
+            raise ApiError(400, "bad_request", str(error)) from None
+        return {
+            "indices": response.indices,
+            "scores": response.scores,
+            "model_name": response.model_name,
+            "model_version": response.model_version,
+            "predicted_sc": response.predicted_sc,
+            "predicted_tc": response.predicted_tc,
+            "latency_ms": response.latency_ms,
+        }
+
+    def handle_classify(self, payload: dict) -> dict:
+        if self.service.classifier is None:
+            raise ApiError(400, "no_classifier",
+                           "this gateway serves no query classifier")
+        tokens = _as_array(_require(payload, "tokens"), np.int64, "tokens")
+        if tokens.ndim != 1:
+            raise ApiError(400, "bad_request",
+                           "'tokens' must be one query's token id list")
+        lengths = payload.get("lengths")
+        try:
+            sc, tc = self.service.classify_query(tokens, lengths)
+        except (KeyError, ValueError, IndexError) as error:
+            raise ApiError(400, "bad_request", str(error)) from None
+        result = {"sc": sc, "tc": tc}
+        if payload.get("probs"):
+            token_matrix = tokens[None, :]
+            length_vec = np.asarray([lengths if lengths is not None
+                                     else tokens.shape[0]], dtype=np.int64)
+            result["probs"] = self.service.classifier.predict_proba(
+                token_matrix, length_vec)[0]
+        return result
+
+    def handle_healthz(self, payload: dict) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "models": self.service.registry.names(),
+            "workers": self.service.num_workers,
+            "requests": self._requests,
+            "errors": self._errors,
+        }
+
+    def handle_stats(self, payload: dict) -> dict:
+        scorers = {}
+        for key, stats in self.service.stats().items():
+            entry = asdict(stats)
+            entry["mean_batch_rows"] = stats.mean_batch_rows
+            entry["throughput_rows_per_s"] = stats.throughput_rows_per_s
+            scorers[key] = entry
+        connections = (self._connection_stats() if self._connection_stats
+                       else {"open": 0, "accepted": 0, "requests": 0,
+                             "keepalive_reuses": 0})
+        return {
+            "server": {
+                "requests": self._requests,
+                "errors": self._errors,
+                "uptime_s": time.monotonic() - self._started_at,
+                "connections": connections,
+            },
+            "scorers": scorers,
+        }
+
+    def handle_models(self, payload: dict) -> dict:
+        result = {
+            "models": [{"name": entry.name, "version": entry.version,
+                        "metadata": entry.metadata}
+                       for entry in self.service.registry.entries()],
+        }
+        if self.spec is not None:
+            # The feature schema a client (or load generator) needs to
+            # construct valid /rank candidates.
+            result["spec"] = {
+                "numeric": self.spec.numeric_names,
+                "sparse": {f.name: f.cardinality for f in self.spec.sparse},
+            }
+        return result
+
+    def handle_reload(self, payload: dict) -> dict:
+        if self.checkpoint_dir is None or self.spec is None \
+                or self.taxonomy is None:
+            raise ApiError(400, "no_checkpoint_dir",
+                           "this gateway was not started from a checkpoint "
+                           "directory; nothing to reload")
+        registered = self.service.registry.reload_from_directory(
+            self.checkpoint_dir, self.spec, self.taxonomy)
+        return {
+            "registered": [{"name": entry.name, "version": entry.version}
+                           for entry in registered],
+            "models": self.service.registry.names(),
+        }

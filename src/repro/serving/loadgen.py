@@ -11,6 +11,13 @@ errored::
 
     python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
         --duration 5 --clients 4 --rows 8 --out latency_summary.json
+
+``--sweep`` replaces the single run with a connection-count sweep — one
+closed-loop run per count, all summaries in one JSON artifact — which is
+how the selector backend's connection scaling is measured and CI-gated::
+
+    python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
+        --sweep 1,8,64,256 --duration 3 --out connection_sweep.json
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ import numpy as np
 from .client import ServingClient, ServingError
 from .scorer import latency_percentile
 
-__all__ = ["LoadSummary", "run_load", "main"]
+__all__ = ["LoadSummary", "run_load", "run_sweep", "main"]
 
 
 @dataclass
@@ -146,6 +153,23 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     return _summarize(elapsed, clients, rows_per_request, merged, sum(errors))
 
 
+def run_sweep(url: str, client_counts: list[int], duration_s: float = 3.0,
+              rows_per_request: int = 8, top_k: int = 5, seed: int = 0,
+              ready_timeout_s: float = 30.0) -> list[LoadSummary]:
+    """Connection-scaling sweep: one closed-loop run per client count.
+
+    Each step reuses :func:`run_load` (fresh clients, fresh connections),
+    so a step's summary is exactly what a standalone run at that
+    concurrency would report.  This is the measurement behind the
+    selector backend's "sustains N concurrent keep-alive connections"
+    acceptance gate.
+    """
+    return [run_load(url, duration_s=duration_s, clients=clients,
+                     rows_per_request=rows_per_request, top_k=top_k,
+                     seed=seed, ready_timeout_s=ready_timeout_s)
+            for clients in client_counts]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving.loadgen",
@@ -153,6 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--url", required=True)
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--sweep", default=None,
+                        help="comma-separated client counts; runs one "
+                             "closed-loop load per count (--duration each) "
+                             "instead of a single --clients run")
     parser.add_argument("--rows", type=int, default=8,
                         help="candidate rows per rank request")
     parser.add_argument("--top-k", type=int, default=5)
@@ -163,19 +191,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="exit 0 even when some requests errored")
     args = parser.parse_args(argv)
 
-    summary = run_load(args.url, duration_s=args.duration,
-                       clients=args.clients, rows_per_request=args.rows,
-                       top_k=args.top_k, seed=args.seed)
-    print(summary.format())
+    if args.sweep:
+        try:
+            counts = [int(part) for part in args.sweep.split(",") if part]
+        except ValueError:
+            parser.error(f"--sweep must be comma-separated integers, "
+                         f"got {args.sweep!r}")
+        summaries = run_sweep(args.url, counts, duration_s=args.duration,
+                              rows_per_request=args.rows, top_k=args.top_k,
+                              seed=args.seed)
+        for summary in summaries:
+            print(summary.format())
+        payload = {"sweep": [summary.to_dict() for summary in summaries]}
+    else:
+        summaries = [run_load(args.url, duration_s=args.duration,
+                              clients=args.clients,
+                              rows_per_request=args.rows,
+                              top_k=args.top_k, seed=args.seed)]
+        print(summaries[0].format())
+        payload = summaries[0].to_dict()
+
     if args.out:
         with open(args.out, "w") as handle:
-            json.dump(summary.to_dict(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"summary written to {args.out}")
-    if summary.requests == 0:
+    if any(summary.requests == 0 for summary in summaries):
         print("FAIL: no successful requests")
         return 1
-    if summary.errors and not args.allow_errors:
-        print(f"FAIL: {summary.errors} error responses")
+    errors = sum(summary.errors for summary in summaries)
+    if errors and not args.allow_errors:
+        print(f"FAIL: {errors} error responses")
         return 1
     return 0
 

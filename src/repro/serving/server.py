@@ -1,9 +1,20 @@
 """HTTP/JSON serving gateway: the wire protocol in front of :class:`RankingService`.
 
-Dependency-free (stdlib ``http.server`` only).  A :class:`ServingServer`
-wraps a :class:`~repro.serving.RankingService` in a threaded HTTP server —
-each connection gets a handler thread, so request-level concurrency feeds
-the service's :class:`~repro.serving.ScorerPool` naturally — and exposes:
+Dependency-free (stdlib only).  The gateway is three layers, composed
+here:
+
+* :mod:`repro.serving.transport` — connection I/O.  The default
+  ``selector`` backend multiplexes every socket through one
+  :mod:`selectors` event loop (non-blocking reads/writes, keep-alive,
+  idle-timeout reaping — a slow client costs a buffer, not a thread);
+  ``threaded`` keeps the PR 4 thread-per-connection front-end as the
+  parity baseline.
+* :mod:`repro.serving.protocol` — incremental HTTP/1.1 framing that
+  tolerates partial reads and pipelining, with structured 4xx answers
+  for framing violations (oversized bodies → 413, stalled slow-loris
+  requests → 408).
+* :mod:`repro.serving.handlers` — the transport-agnostic JSON dispatch
+  both backends drive:
 
 ========  =============  ====================================================
 method    path           purpose
@@ -11,7 +22,7 @@ method    path           purpose
 POST      ``/rank``      rank candidates (optionally with query intent)
 POST      ``/classify``  query → (sub category, top category)
 GET       ``/healthz``   liveness + model inventory
-GET       ``/stats``     gateway counters + per-model scorer statistics
+GET       ``/stats``     gateway + connection counters, per-model scorers
 GET       ``/models``    registry listing + the feature schema clients need
 POST      ``/reload``    hot checkpoint reload from the watched directory
 ========  =============  ====================================================
@@ -24,7 +35,8 @@ never take down a scorer worker or the gateway.
 Run it from a checkpoint directory (see :mod:`repro.serving.checkpoint`
 for the layout)::
 
-    python -m repro.serving.server --checkpoint-dir ckpts --port 8000 --workers 4
+    python -m repro.serving.server --checkpoint-dir ckpts --port 8000 \\
+        --workers 4 --backend selector
 
 ``POST /reload`` re-scans the same directory, registering changed or new
 checkpoints as fresh versions; the service retires superseded scorer pools
@@ -34,157 +46,25 @@ as traffic moves over, so reloads need no downtime.
 from __future__ import annotations
 
 import argparse
-import json
 import threading
 import time
-from dataclasses import asdict
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-
-import numpy as np
 
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
-from ..utils.serialization import _json_default
 from .checkpoint import find_classifier_checkpoint, load_classifier_checkpoint, load_environment
+from .handlers import ApiError, GatewayDispatcher
+from .protocol import MAX_BODY_BYTES, MAX_HEADER_BYTES
 from .registry import ModelRegistry
-from .service import RankingService, candidate_batch
+from .service import RankingService
+from .transport import (BACKENDS, DEFAULT_IDLE_TIMEOUT_S, GatewayCounters,
+                        create_transport)
 
 __all__ = ["ServingServer", "ApiError", "serve_from_directory", "main"]
 
 
-class ApiError(Exception):
-    """A client-visible error: HTTP status + machine-readable type."""
-
-    def __init__(self, status: int, kind: str, message: str):
-        super().__init__(message)
-        self.status = status
-        self.kind = kind
-
-
-def _require(payload: dict, key: str):
-    if key not in payload:
-        raise ApiError(400, "bad_request", f"missing required field {key!r}")
-    return payload[key]
-
-
-def _as_array(value, dtype, field: str, ndim: int | None = None) -> np.ndarray:
-    try:
-        array = np.asarray(value, dtype=dtype)
-    except (TypeError, ValueError) as error:
-        raise ApiError(400, "bad_request",
-                       f"field {field!r} is not a valid array: {error}") from None
-    if ndim is not None and array.ndim != ndim:
-        raise ApiError(400, "bad_request",
-                       f"field {field!r} must be {ndim}-dimensional, "
-                       f"got shape {array.shape}")
-    return array
-
-
-class _GatewayHTTPServer(ThreadingHTTPServer):
-    daemon_threads = True
-    # The gateway holds real state (scorer pools); don't let a lingering
-    # client connection on a reused address confuse a fresh server.
-    allow_reuse_address = True
-    gateway: "ServingServer"
-
-
-class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serving/1.0"
-    protocol_version = "HTTP/1.1"       # keep-alive for multi-request clients
-    # Latency hygiene for small JSON responses on persistent connections:
-    # buffer the whole response into one TCP segment and disable Nagle,
-    # else the header/body write pattern triggers delayed-ACK stalls
-    # (measured ~8x request latency on loopback).
-    wbufsize = -1
-    disable_nagle_algorithm = True
-
-    # Route table: (method, path) -> ServingServer handler name.
-    ROUTES = {
-        ("POST", "/rank"): "handle_rank",
-        ("POST", "/classify"): "handle_classify",
-        ("GET", "/healthz"): "handle_healthz",
-        ("GET", "/stats"): "handle_stats",
-        ("GET", "/models"): "handle_models",
-        ("POST", "/reload"): "handle_reload",
-    }
-
-    def log_message(self, format, *args):   # noqa: A002 - stdlib signature
-        pass                                # the gateway keeps its own counters
-
-    def do_GET(self):
-        self._dispatch("GET")
-
-    def do_POST(self):
-        self._dispatch("POST")
-
-    def _dispatch(self, method: str) -> None:
-        gateway = self.server.gateway
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            # Drain the body before anything can error: on a keep-alive
-            # connection an unread body would be parsed as the next
-            # request line, desyncing every request after a 4xx.
-            body = self._read_body() if method == "POST" else b""
-            handler_name = self.ROUTES.get((method, path))
-            if handler_name is None:
-                if any(route_path == path for _, route_path in self.ROUTES):
-                    raise ApiError(405, "method_not_allowed",
-                                   f"{method} not allowed on {path}")
-                raise ApiError(404, "not_found", f"unknown endpoint {path}")
-            payload = self._parse_json(body) if method == "POST" else {}
-            result = getattr(gateway, handler_name)(payload)
-            gateway._count(error=False)
-            self._send(200, result)
-        except ApiError as error:
-            gateway._count(error=True)
-            self._send(error.status,
-                       {"error": {"type": error.kind, "message": str(error)}})
-        except Exception as error:          # never kill the handler thread
-            gateway._count(error=True)
-            self._send(500, {"error": {"type": "internal",
-                                       "message": f"{type(error).__name__}: {error}"}})
-
-    def _read_body(self) -> bytes:
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except (TypeError, ValueError):
-            # Unknown framing: answer, then drop the connection rather
-            # than trying to resync the stream.
-            self.close_connection = True
-            raise ApiError(400, "bad_request", "invalid Content-Length") from None
-        return self.rfile.read(length) if length > 0 else b""
-
-    @staticmethod
-    def _parse_json(body: bytes) -> dict:
-        if not body:
-            return {}
-        try:
-            payload = json.loads(body)
-        except ValueError as error:
-            raise ApiError(400, "bad_json", f"request body is not JSON: {error}") \
-                from None
-        if not isinstance(payload, dict):
-            raise ApiError(400, "bad_json", "request body must be a JSON object")
-        return payload
-
-    def _send(self, status: int, payload: dict) -> None:
-        try:
-            # _json_default (shared with checkpoint serialization) turns
-            # numpy arrays/scalars into plain JSON values.
-            body = json.dumps(payload, default=_json_default).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-            self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError):
-            pass                            # client went away mid-response
-
-
 class ServingServer:
-    """The HTTP gateway: owns the listener, the service, and the counters.
+    """The HTTP gateway: owns the transport, the dispatcher, and the service.
 
     Parameters
     ----------
@@ -198,6 +78,18 @@ class ServingServer:
         When all are set, ``POST /reload`` re-scans ``checkpoint_dir``
         through :meth:`ModelRegistry.reload_from_directory`; otherwise the
         endpoint answers 400.
+    backend:
+        ``"selector"`` (event-loop front-end, the default) or
+        ``"threaded"`` (thread per connection, the PR 4 baseline).  Both
+        serve the identical protocol and dispatch layers.
+    idle_timeout_s:
+        Keep-alive connections idle this long are closed; a request that
+        stalls mid-frame (slow loris) is answered with a 408 first.
+    max_body_bytes:
+        Request bodies beyond this answer with a structured 413.
+    dispatch_workers:
+        Selector backend only: threads running endpoint handlers (they
+        block on scorer futures; connection count is not bounded by this).
 
     The constructor binds the socket but does not serve: call
     :meth:`start` (background thread) or :meth:`serve_forever`.
@@ -206,30 +98,41 @@ class ServingServer:
     def __init__(self, service: RankingService, host: str = "127.0.0.1",
                  port: int = 0, checkpoint_dir: str | Path | None = None,
                  spec: FeatureSpec | None = None,
-                 taxonomy: Taxonomy | None = None):
+                 taxonomy: Taxonomy | None = None,
+                 backend: str = "selector",
+                 idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 dispatch_workers: int = 8):
         self.service = service
+        self.backend = backend
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.spec = spec
         self.taxonomy = taxonomy
-        self._httpd = _GatewayHTTPServer((host, port), _Handler)
-        self._httpd.gateway = self
+        self.counters = GatewayCounters()
+        self.dispatcher = GatewayDispatcher(
+            service, spec=spec, taxonomy=taxonomy,
+            checkpoint_dir=checkpoint_dir,
+            connection_stats=self.counters.snapshot)
+        self._transport = create_transport(
+            backend, host, port, self.dispatcher, counters=self.counters,
+            idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
+            max_header_bytes=max_header_bytes,
+            dispatch_workers=dispatch_workers)
         self._thread: threading.Thread | None = None
         self._serving = False
         self._started_at = time.monotonic()
-        self._counter_lock = threading.Lock()
-        self._requests = 0
-        self._errors = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        return self._transport.server_address[0]
 
     @property
     def port(self) -> int:
-        return self._httpd.server_address[1]
+        return self._transport.server_address[1]
 
     @property
     def url(self) -> str:
@@ -239,7 +142,7 @@ class ServingServer:
         """Serve in a background daemon thread; returns self."""
         if self._thread is not None:
             raise RuntimeError("server already started")
-        self._thread = threading.Thread(target=self._httpd.serve_forever,
+        self._thread = threading.Thread(target=self._transport.serve_forever,
                                         kwargs={"poll_interval": 0.05},
                                         daemon=True, name="ServingServer")
         self._serving = True
@@ -249,16 +152,16 @@ class ServingServer:
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted."""
         self._serving = True
-        self._httpd.serve_forever(poll_interval=0.5)
+        self._transport.serve_forever(poll_interval=0.5)
 
     def close(self) -> None:
         """Stop the listener, then the service's scorer pools."""
         if self._serving:
-            # shutdown() waits on an event that only serve_forever() sets;
-            # calling it on a bound-but-never-served server deadlocks.
-            self._httpd.shutdown()
+            # shutdown() waits for the serve loop to exit; calling it on
+            # a bound-but-never-served transport would deadlock.
+            self._transport.shutdown()
             self._serving = False
-        self._httpd.server_close()
+        self._transport.server_close()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
@@ -270,175 +173,6 @@ class ServingServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _count(self, error: bool) -> None:
-        with self._counter_lock:
-            self._requests += 1
-            if error:
-                self._errors += 1
-
-    def _validate_candidates(self, batch) -> None:
-        """Reject schema-invalid candidates before they reach a scorer.
-
-        Micro-batching co-batches concurrent requests: one request with a
-        missing feature or out-of-range id would fail the merged batch and
-        400 every innocent request coalesced with it.  When the gateway
-        knows the schema (``spec``), bad requests are turned away at the
-        door instead.
-        """
-        if self.spec is None:
-            return
-        expected = set(self.spec.sparse_names)
-        provided = set(batch.sparse)
-        if provided != expected:
-            raise ApiError(400, "bad_request",
-                           f"candidates.sparse must provide exactly "
-                           f"{sorted(expected)}; got {sorted(provided)}")
-        if batch.numeric.shape[1] != self.spec.num_numeric:
-            raise ApiError(400, "bad_request",
-                           f"candidates.numeric must have "
-                           f"{self.spec.num_numeric} columns, "
-                           f"got {batch.numeric.shape[1]}")
-        for name, ids in batch.sparse.items():
-            cardinality = self.spec.cardinality(name)
-            if ids.size and (ids.min() < 0 or ids.max() >= cardinality):
-                raise ApiError(400, "bad_request",
-                               f"candidates.sparse.{name} ids must be in "
-                               f"[0, {cardinality})")
-
-    # ------------------------------------------------------------------
-    # Endpoint handlers (return JSON-safe dicts; raise ApiError for 4xx)
-    # ------------------------------------------------------------------
-    def handle_rank(self, payload: dict) -> dict:
-        candidates = _require(payload, "candidates")
-        if not isinstance(candidates, dict):
-            raise ApiError(400, "bad_request",
-                           "'candidates' must be an object with "
-                           "'numeric' and 'sparse'")
-        numeric = _as_array(_require(candidates, "numeric"), np.float64,
-                            "candidates.numeric")
-        sparse_raw = candidates.get("sparse", {})
-        if not isinstance(sparse_raw, dict):
-            raise ApiError(400, "bad_request", "'candidates.sparse' must map "
-                           "feature name -> id list")
-        sparse = {name: _as_array(ids, np.int64, f"candidates.sparse.{name}",
-                                  ndim=1)
-                  for name, ids in sparse_raw.items()}
-        batch = candidate_batch(numeric, sparse)
-        if any(ids.shape[0] != len(batch) for ids in sparse.values()):
-            raise ApiError(400, "bad_request",
-                           "sparse feature lengths must match the number of "
-                           f"candidate rows ({len(batch)})")
-        self._validate_candidates(batch)
-        query_tokens = payload.get("query_tokens")
-        if query_tokens is not None:
-            query_tokens = _as_array(query_tokens, np.int64, "query_tokens")
-        query_lengths = payload.get("query_lengths")
-        top_k = payload.get("top_k", 10)
-        if not isinstance(top_k, int) or top_k <= 0:
-            raise ApiError(400, "bad_request", "'top_k' must be a positive integer")
-        model = payload.get("model")
-        version = payload.get("version")
-        if model is not None:
-            # Resolve explicitly named models up front so "unknown model"
-            # is a clean 404; KeyErrors raised *during* scoring (e.g. a
-            # missing sparse feature) are client data errors, not routing.
-            try:
-                self.service.registry.entry(model, version)
-            except KeyError as error:
-                raise ApiError(404, "unknown_model", str(error)) from None
-        try:
-            response = self.service.rank(
-                batch, query_tokens=query_tokens, query_lengths=query_lengths,
-                top_k=top_k, model=model, version=version)
-        except (KeyError, ValueError, IndexError) as error:
-            raise ApiError(400, "bad_request", str(error)) from None
-        return {
-            "indices": response.indices,
-            "scores": response.scores,
-            "model_name": response.model_name,
-            "model_version": response.model_version,
-            "predicted_sc": response.predicted_sc,
-            "predicted_tc": response.predicted_tc,
-            "latency_ms": response.latency_ms,
-        }
-
-    def handle_classify(self, payload: dict) -> dict:
-        if self.service.classifier is None:
-            raise ApiError(400, "no_classifier",
-                           "this gateway serves no query classifier")
-        tokens = _as_array(_require(payload, "tokens"), np.int64, "tokens")
-        if tokens.ndim != 1:
-            raise ApiError(400, "bad_request",
-                           "'tokens' must be one query's token id list")
-        lengths = payload.get("lengths")
-        try:
-            sc, tc = self.service.classify_query(tokens, lengths)
-        except (KeyError, ValueError, IndexError) as error:
-            raise ApiError(400, "bad_request", str(error)) from None
-        result = {"sc": sc, "tc": tc}
-        if payload.get("probs"):
-            token_matrix = tokens[None, :]
-            length_vec = np.asarray([lengths if lengths is not None
-                                     else tokens.shape[0]], dtype=np.int64)
-            result["probs"] = self.service.classifier.predict_proba(
-                token_matrix, length_vec)[0]
-        return result
-
-    def handle_healthz(self, payload: dict) -> dict:
-        return {
-            "status": "ok",
-            "uptime_s": time.monotonic() - self._started_at,
-            "models": self.service.registry.names(),
-            "workers": self.service.num_workers,
-            "requests": self._requests,
-            "errors": self._errors,
-        }
-
-    def handle_stats(self, payload: dict) -> dict:
-        scorers = {}
-        for key, stats in self.service.stats().items():
-            entry = asdict(stats)
-            entry["mean_batch_rows"] = stats.mean_batch_rows
-            entry["throughput_rows_per_s"] = stats.throughput_rows_per_s
-            scorers[key] = entry
-        return {
-            "server": {
-                "requests": self._requests,
-                "errors": self._errors,
-                "uptime_s": time.monotonic() - self._started_at,
-            },
-            "scorers": scorers,
-        }
-
-    def handle_models(self, payload: dict) -> dict:
-        result = {
-            "models": [{"name": entry.name, "version": entry.version,
-                        "metadata": entry.metadata}
-                       for entry in self.service.registry.entries()],
-        }
-        if self.spec is not None:
-            # The feature schema a client (or load generator) needs to
-            # construct valid /rank candidates.
-            result["spec"] = {
-                "numeric": self.spec.numeric_names,
-                "sparse": {f.name: f.cardinality for f in self.spec.sparse},
-            }
-        return result
-
-    def handle_reload(self, payload: dict) -> dict:
-        if self.checkpoint_dir is None or self.spec is None \
-                or self.taxonomy is None:
-            raise ApiError(400, "no_checkpoint_dir",
-                           "this gateway was not started from a checkpoint "
-                           "directory; nothing to reload")
-        registered = self.service.registry.reload_from_directory(
-            self.checkpoint_dir, self.spec, self.taxonomy)
-        return {
-            "registered": [{"name": entry.name, "version": entry.version}
-                           for entry in registered],
-            "models": self.service.registry.names(),
-        }
-
 
 # ----------------------------------------------------------------------
 # Boot from a checkpoint directory
@@ -446,7 +180,12 @@ class ServingServer:
 def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          port: int = 0, num_workers: int = 4,
                          max_batch_rows: int = 256, max_wait_ms: float = 2.0,
-                         default_model: str | None = None) -> ServingServer:
+                         default_model: str | None = None,
+                         backend: str = "selector",
+                         adaptive_batch: bool = True,
+                         min_batch_rows: int = 8,
+                         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+                         dispatch_workers: int = 8) -> ServingServer:
     """Build a ready-to-start gateway from a checkpoint directory.
 
     Reads the ``environment.json`` bundle, registers every ranking
@@ -469,10 +208,14 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
     service = RankingService(registry, default_model=default_model,
                              classifier=classifier, taxonomy=taxonomy,
                              max_batch_rows=max_batch_rows,
-                             max_wait_ms=max_wait_ms, num_workers=num_workers)
+                             max_wait_ms=max_wait_ms, num_workers=num_workers,
+                             adaptive_batch=adaptive_batch,
+                             min_batch_rows=min_batch_rows)
     return ServingServer(service, host=host, port=port,
                          checkpoint_dir=checkpoint_dir, spec=spec,
-                         taxonomy=taxonomy)
+                         taxonomy=taxonomy, backend=backend,
+                         idle_timeout_s=idle_timeout_s,
+                         dispatch_workers=dispatch_workers)
 
 
 def _bootstrap_demo(checkpoint_dir: Path) -> None:
@@ -510,10 +253,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000,
                         help="0 picks an ephemeral port")
+    parser.add_argument("--backend", choices=sorted(BACKENDS),
+                        default="selector",
+                        help="connection front-end: the selector event loop "
+                             "(default; scales to hundreds of sockets) or "
+                             "the thread-per-connection fallback")
     parser.add_argument("--workers", type=int, default=4,
                         help="scoring workers per model (ScorerPool size)")
-    parser.add_argument("--max-batch-rows", type=int, default=256)
+    parser.add_argument("--dispatch-workers", type=int, default=8,
+                        help="selector backend: threads running endpoint "
+                             "handlers")
+    parser.add_argument("--max-batch-rows", type=int, default=256,
+                        help="per-worker micro-batch row cap (the adaptive "
+                             "policy's upper clamp)")
+    parser.add_argument("--min-batch-rows", type=int, default=8,
+                        help="adaptive policy's lower clamp")
+    parser.add_argument("--static-batch", action="store_true",
+                        help="disable the adaptive micro-batch cap and use "
+                             "--max-batch-rows as a fixed per-worker cap")
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--idle-timeout", type=float,
+                        default=DEFAULT_IDLE_TIMEOUT_S,
+                        help="close keep-alive connections idle this many "
+                             "seconds")
     parser.add_argument("--default-model", default=None,
                         help="model name for unrouted traffic "
                              "(default: the sole registered name)")
@@ -530,10 +292,17 @@ def main(argv: list[str] | None = None) -> int:
     server = serve_from_directory(
         checkpoint_dir, host=args.host, port=args.port,
         num_workers=args.workers, max_batch_rows=args.max_batch_rows,
-        max_wait_ms=args.max_wait_ms, default_model=args.default_model)
+        max_wait_ms=args.max_wait_ms, default_model=args.default_model,
+        backend=args.backend, adaptive_batch=not args.static_batch,
+        min_batch_rows=args.min_batch_rows,
+        idle_timeout_s=args.idle_timeout,
+        dispatch_workers=args.dispatch_workers)
     names = ", ".join(server.service.registry.names())
+    cap = ("static" if args.static_batch
+           else f"adaptive ≤{args.max_batch_rows}")
     print(f"serving {names} on {server.url} "
-          f"({args.workers} scoring workers; POST /reload to hot-reload)")
+          f"({args.backend} backend, {args.workers} scoring workers, "
+          f"{cap} batch cap; POST /reload to hot-reload)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

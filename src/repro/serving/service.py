@@ -77,6 +77,12 @@ class RankingService:
         single-worker ``BatchScorer`` behavior; more workers score a
         model's micro-batches concurrently, each on its own compiled plan
         (``model.make_scorer()``), overlapping their coalescing waits.
+    adaptive_batch / min_batch_rows:
+        Micro-batch cap policy (see :class:`ScorerPool`): adaptive (the
+        default) recomputes the cap from the live backlog at collect
+        time, with ``max_batch_rows`` as the upper and ``min_batch_rows``
+        the lower clamp; ``adaptive_batch=False`` pins the static
+        per-worker cap.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -85,7 +91,8 @@ class RankingService:
                  taxonomy: Taxonomy | None = None,
                  routing: dict[int, str] | None = None,
                  max_batch_rows: int = 256, max_wait_ms: float = 2.0,
-                 num_workers: int = 1):
+                 num_workers: int = 1, adaptive_batch: bool = True,
+                 min_batch_rows: int = 8):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.registry = registry
@@ -96,6 +103,8 @@ class RankingService:
         self._max_batch_rows = max_batch_rows
         self._max_wait_ms = max_wait_ms
         self._num_workers = num_workers
+        self._adaptive_batch = adaptive_batch
+        self._min_batch_rows = min_batch_rows
         self._scorers: dict[tuple[str, int], ScorerPool] = {}
         self._closed = False
         # Guards pool creation: two concurrent rank() calls for the same
@@ -178,7 +187,9 @@ class RankingService:
                                     num_workers=self._num_workers,
                                     max_batch_rows=self._max_batch_rows,
                                     max_wait_ms=self._max_wait_ms,
-                                    name=f"{entry.name}-v{entry.version}")
+                                    name=f"{entry.name}-v{entry.version}",
+                                    adaptive_batch=self._adaptive_batch,
+                                    min_batch_rows=self._min_batch_rows)
                 self._scorers[entry.key] = scorer
                 # Hot swap: a newer version's scorer retires older ones for
                 # the same name, else every swap leaks a worker thread and

@@ -1,0 +1,624 @@
+"""Connection transports for the serving gateway.
+
+The transport layer of the three-layer gateway split owns sockets and
+nothing else: bytes in, bytes out, connection lifecycle.  Requests are
+framed by :mod:`repro.serving.protocol` and answered by a
+:class:`~repro.serving.handlers.GatewayDispatcher`; both transports
+drive the exact same dispatcher, which is what lets the test suite pin
+behavioral parity between them.
+
+Two implementations:
+
+* :class:`SelectorTransport` — the default.  One event-loop thread
+  multiplexes every connection through stdlib :mod:`selectors`
+  (non-blocking accept/read/write, per-connection parser state machines,
+  keep-alive and idle-timeout reaping).  Completed requests are handed
+  to a small dispatch pool (whose threads block on the
+  :class:`~repro.serving.ScorerPool` futures — scoring stays on the
+  scorer workers) and finished responses come back through a completion
+  queue that wakes the loop.  A slow client therefore costs one buffer,
+  never a thread: the loop trickles its bytes out as the socket drains,
+  which is what lets the gateway hold hundreds of concurrent sockets.
+* :class:`ThreadedTransport` — the PR 4 thread-per-connection
+  ``ThreadingHTTPServer`` front-end, kept behind ``--backend threaded``
+  as the parity baseline and for deployments that prefer its simplicity
+  at low connection counts.
+
+:class:`GatewayCounters` is the shared connection-counter block both
+transports maintain and ``GET /stats`` reports.
+"""
+
+from __future__ import annotations
+
+import queue
+import selectors
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .handlers import GatewayDispatcher
+from .protocol import (MAX_BODY_BYTES, MAX_HEADER_BYTES, ProtocolError,
+                       Request, RequestParser, encode_error, encode_json,
+                       encode_response, validate_content_length)
+
+__all__ = ["GatewayCounters", "SelectorTransport", "ThreadedTransport",
+           "BACKENDS", "create_transport"]
+
+_RECV_CHUNK = 65536
+# Write backpressure: once a connection's outbound buffer passes this,
+# stop reading it until the buffer drains.  Without the pause, a client
+# that pipelines requests but never reads responses grows the buffer
+# without bound — and its own reads would keep resetting the idle timer.
+_OUT_HIGH_WATER = 1 << 20
+DEFAULT_IDLE_TIMEOUT_S = 30.0
+
+
+class GatewayCounters:
+    """Connection-level counters shared by the transport and ``/stats``.
+
+    ``open`` is the number of currently connected sockets, ``accepted``
+    the total ever accepted, ``requests`` the responses served, and
+    ``keepalive_reuses`` how many requests arrived on an
+    already-used connection (i.e. how much work keep-alive saved).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.open = 0
+        self.accepted = 0
+        self.requests = 0
+        self.keepalive_reuses = 0
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.open += 1
+            self.accepted += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.open -= 1
+
+    def request_served(self, reused: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            if reused:
+                self.keepalive_reuses += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"open": self.open, "accepted": self.accepted,
+                    "requests": self.requests,
+                    "keepalive_reuses": self.keepalive_reuses}
+
+
+# ----------------------------------------------------------------------
+# Selector-based event loop transport
+# ----------------------------------------------------------------------
+class _Connection:
+    """Per-socket state machine for the selector loop.
+
+    Owned by the event-loop thread; dispatch threads only ever read the
+    immutable :class:`Request` they were handed and push results onto
+    the completion queue, so no per-connection locking is needed.
+    """
+
+    __slots__ = ("sock", "parser", "out", "pending", "in_flight",
+                 "requests_dispatched", "last_activity", "close_after_write",
+                 "read_closed", "registered", "alive")
+
+    def __init__(self, sock: socket.socket, max_header_bytes: int,
+                 max_body_bytes: int):
+        self.sock = sock
+        self.parser = RequestParser(max_header_bytes=max_header_bytes,
+                                    max_body_bytes=max_body_bytes)
+        self.out = bytearray()
+        # Parsed-but-not-dispatched items, strictly in arrival order.  A
+        # trailing ProtocolError rides the same queue so its error
+        # response cannot jump ahead of responses the client is owed.
+        self.pending: list[Request | ProtocolError] = []
+        self.in_flight = False              # one dispatch at a time: responses
+        self.requests_dispatched = 0        # stay in pipeline order
+        self.last_activity = time.monotonic()
+        self.close_after_write = False
+        self.read_closed = False            # stream desynced: stop reading
+        self.registered = True              # currently in the selector
+        self.alive = True
+
+
+class SelectorTransport:
+    """Non-blocking event-loop front-end on stdlib :mod:`selectors`.
+
+    Parameters
+    ----------
+    dispatcher:
+        The :class:`GatewayDispatcher` answering completed requests.
+    idle_timeout_s:
+        A connection with no byte activity for this long is reaped: a
+        quiet keep-alive connection is closed silently, a mid-request
+        stall (slow-loris) is answered with a structured 408 first.
+    max_body_bytes / max_header_bytes:
+        Framing limits; violations answer structurally (413/431) and
+        close, since the stream can no longer be trusted.
+    dispatch_workers:
+        Threads executing handlers (which block on scorer futures).
+        This caps in-flight *handler* concurrency, not connections —
+        idle keep-alive sockets cost nothing.
+    """
+
+    def __init__(self, host: str, port: int, dispatcher: GatewayDispatcher,
+                 counters: GatewayCounters | None = None,
+                 idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 dispatch_workers: int = 8):
+        if idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
+        if dispatch_workers <= 0:
+            raise ValueError("dispatch_workers must be positive")
+        self.dispatcher = dispatcher
+        self.counters = counters if counters is not None else GatewayCounters()
+        self.idle_timeout_s = idle_timeout_s
+        self._max_body_bytes = max_body_bytes
+        self._max_header_bytes = max_header_bytes
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1024)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        # Self-pipe: dispatch threads finishing a response must wake the
+        # loop out of select() to get it written.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._completions: queue.Queue = queue.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=dispatch_workers, thread_name_prefix="gateway-dispatch")
+        self._connections: set[_Connection] = set()
+        self._shutdown_requested = threading.Event()
+        self._loop_done = threading.Event()
+        self._loop_done.set()               # not serving yet
+
+    @property
+    def server_address(self) -> tuple[str, int]:
+        return self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors the http.server surface ServingServer drives)
+    # ------------------------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.05) -> None:
+        # A shutdown() issued before the serve thread got here must win:
+        # never clear the flag (serving is one-shot), never touch a
+        # selector that server_close() may already have closed.
+        if self._shutdown_requested.is_set():
+            return
+        self._loop_done.clear()
+        sel = self._selector
+        try:
+            try:
+                sel.register(self._listener, selectors.EVENT_READ, "accept")
+                sel.register(self._wake_r, selectors.EVENT_READ, "wake")
+            except (OSError, ValueError, KeyError):
+                return                  # closed before serving began
+            while not self._shutdown_requested.is_set():
+                for key, mask in sel.select(self._select_timeout(poll_interval)):
+                    if key.data == "accept":
+                        self._accept()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        connection = key.data
+                        if connection.alive and mask & selectors.EVENT_READ:
+                            self._on_readable(connection)
+                        if connection.alive and mask & selectors.EVENT_WRITE:
+                            self._on_writable(connection)
+                self._apply_completions()
+                self._reap_idle()
+        finally:
+            for connection in list(self._connections):
+                self._close_connection(connection)
+            for sock in (self._listener, self._wake_r):
+                try:
+                    sel.unregister(sock)
+                except (OSError, ValueError, KeyError):
+                    pass
+            self._loop_done.set()
+
+    def shutdown(self) -> None:
+        """Ask the loop to exit and wait until it has."""
+        self._shutdown_requested.set()
+        self._wake()
+        self._loop_done.wait()
+
+    def server_close(self) -> None:
+        self._listener.close()
+        self._selector.close()
+        self._wake_r.close()
+        self._wake_w.close()
+        # Don't wait: a dispatch thread may still be blocked on a scorer
+        # future that only resolves once the service shuts its pools
+        # (ServingServer.close does that right after this call).
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def _select_timeout(self, poll_interval: float) -> float:
+        """Sleep until the next idle deadline could fire (bounded).
+
+        Only reapable connections (no handler in flight) bound the sleep
+        — a long-scoring request must not spin the loop at its past-due
+        deadline.
+        """
+        reapable = [c.last_activity for c in self._connections
+                    if not c.in_flight]
+        if not reapable:
+            return max(poll_interval, 0.05)
+        next_deadline = min(reapable) + self.idle_timeout_s
+        return min(max(next_deadline - time.monotonic(), 0.01), 0.5)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass                        # already pending / already closed
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return                  # listener closed under us
+            sock.setblocking(False)
+            # Same latency hygiene as the threaded gateway: small JSON
+            # responses on persistent connections stall ~5x on
+            # delayed ACKs without NODELAY.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _Connection(sock, self._max_header_bytes,
+                                     self._max_body_bytes)
+            self._connections.add(connection)
+            self.counters.connection_opened()
+            self._selector.register(sock, selectors.EVENT_READ, connection)
+
+    def _on_readable(self, connection: _Connection) -> None:
+        if connection.read_closed or connection.close_after_write:
+            # Already answering a framing violation: the parser is dead
+            # and further bytes must not mint duplicate error responses.
+            return
+        try:
+            data = connection.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_connection(connection)
+            return
+        if not data:                    # peer closed its end
+            self._close_connection(connection)
+            return
+        connection.last_activity = time.monotonic()
+        try:
+            requests = connection.parser.feed(data)
+        except ProtocolError as error:
+            # The byte stream is desynced: stop reading, answer any
+            # requests this feed still completed, then the error — all
+            # through the ordered pending queue — and close.
+            self.dispatcher.record_protocol_error()
+            connection.pending.extend(error.completed)
+            connection.pending.append(error)
+            connection.read_closed = True
+            self._update_interest(connection)
+            self._pump_dispatch(connection)
+            return
+        connection.pending.extend(requests)
+        self._pump_dispatch(connection)
+
+    def _pump_dispatch(self, connection: _Connection) -> None:
+        """Hand the connection's next request to the dispatch pool.
+
+        One in-flight handler per connection: pipelined requests are
+        answered strictly in arrival order, so back-to-back requests in
+        one segment can never interleave their responses.
+        """
+        if connection.in_flight or connection.close_after_write \
+                or not connection.pending:
+            return
+        item = connection.pending.pop(0)
+        if isinstance(item, ProtocolError):
+            # Terminal by construction (reads stopped when it was queued):
+            # emit the structured error in turn, then close once written.
+            connection.out += encode_error(item.status, item.kind, str(item))
+            connection.close_after_write = True
+            self._update_interest(connection)
+            self._on_writable(connection)
+            return
+        connection.in_flight = True
+        reused = connection.requests_dispatched > 0
+        connection.requests_dispatched += 1
+        self._executor.submit(self._run_handler, connection, item, reused)
+
+    def _run_handler(self, connection: _Connection, request: Request,
+                     reused: bool) -> None:
+        """Dispatch-pool job: compute the response, enqueue, wake the loop."""
+        close = not request.keep_alive
+        try:
+            # Raw target: the dispatcher owns path normalization (the
+            # threaded backend hands it raw paths too).
+            status, payload = self.dispatcher.dispatch(
+                request.method, request.target, request.body)
+            data = encode_response(status, payload,
+                                   keep_alive=request.keep_alive)
+        except BaseException as error:  # encoding failed: still must answer
+            data = encode_error(500, "internal",
+                                f"{type(error).__name__}: {error}")
+            close = True
+        self._completions.put((connection, data, close, reused))
+        self._wake()
+
+    def _apply_completions(self) -> None:
+        while True:
+            try:
+                connection, data, close, reused = self._completions.get_nowait()
+            except queue.Empty:
+                return
+            if not connection.alive:
+                continue                # client vanished while we scored
+            connection.in_flight = False
+            connection.out += data
+            connection.close_after_write |= close
+            connection.last_activity = time.monotonic()
+            self.counters.request_served(reused=reused)
+            self._update_interest(connection)
+            self._pump_dispatch(connection)
+            # Opportunistic write: the socket is almost always writable
+            # for a small JSON response, so skip a select() round trip.
+            self._on_writable(connection)
+
+    def _on_writable(self, connection: _Connection) -> None:
+        if not connection.out:
+            self._update_interest(connection)
+            return
+        try:
+            sent = connection.sock.send(memoryview(connection.out))
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_connection(connection)
+            return
+        if sent:
+            del connection.out[:sent]
+            connection.last_activity = time.monotonic()
+        if not connection.out and connection.close_after_write:
+            self._close_connection(connection)
+            return
+        # Recompute interest on every write: draining below the
+        # high-water mark resumes reads a backpressured peer earned back.
+        self._update_interest(connection)
+
+    def _update_interest(self, connection: _Connection) -> None:
+        if not connection.alive:
+            return
+        # Read only while the stream is trusted (a dead parser must not
+        # be fed) and the peer is keeping up with its responses (write
+        # backpressure: past the high-water mark, reads pause until the
+        # buffer drains, so a never-reading pipeliner eventually goes
+        # idle and is reaped instead of growing the buffer forever).
+        mask = 0
+        if not connection.close_after_write and not connection.read_closed \
+                and len(connection.out) < _OUT_HIGH_WATER:
+            mask = selectors.EVENT_READ
+        if connection.out:
+            mask |= selectors.EVENT_WRITE
+        try:
+            if not mask:
+                # Nothing to watch (e.g. waiting on an in-flight handler
+                # with the stream already desynced): park the socket
+                # entirely.  Registering EVENT_WRITE with an empty out
+                # buffer would make the always-writable socket spin
+                # select() at 100% CPU; completions re-register it.
+                if connection.registered:
+                    self._selector.unregister(connection.sock)
+                    connection.registered = False
+            elif connection.registered:
+                self._selector.modify(connection.sock, mask, connection)
+            else:
+                self._selector.register(connection.sock, mask, connection)
+                connection.registered = True
+        except (KeyError, ValueError, OSError):
+            pass                        # unregistered in a racing close
+
+    def _reap_idle(self) -> None:
+        if not self._connections:
+            return
+        now = time.monotonic()
+        for connection in list(self._connections):
+            if connection.in_flight:
+                continue                # a handler is working: not idle
+            if now - connection.last_activity <= self.idle_timeout_s:
+                continue                # write progress also bumps activity
+            if connection.out:
+                # Write-stalled: the peer stopped reading its response
+                # (send() has made no progress for a full idle window).
+                # Nothing can be delivered, so drop it — otherwise a
+                # never-reading client leaks the socket + buffer forever.
+                self._close_connection(connection)
+            elif connection.parser.mid_request or connection.pending:
+                # Slow-loris: a request started arriving and stalled.
+                # Answer so a confused-but-honest client learns why.
+                self.dispatcher.record_protocol_error()
+                connection.out += encode_error(
+                    408, "request_timeout",
+                    f"request idle for more than {self.idle_timeout_s:g}s")
+                connection.close_after_write = True
+                self._update_interest(connection)
+                self._on_writable(connection)
+            else:
+                self._close_connection(connection)
+
+    def _close_connection(self, connection: _Connection) -> None:
+        if not connection.alive:
+            return
+        connection.alive = False
+        self._connections.discard(connection)
+        self.counters.connection_closed()
+        try:
+            self._selector.unregister(connection.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            connection.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Threaded fallback transport (the PR 4 front-end)
+# ----------------------------------------------------------------------
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The gateway holds real state (scorer pools); don't let a lingering
+    # client connection on a reused address confuse a fresh server.
+    allow_reuse_address = True
+    dispatcher: GatewayDispatcher
+    counters: GatewayCounters
+    max_body_bytes: int
+    idle_timeout_s: float
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/2.0"
+    protocol_version = "HTTP/1.1"       # keep-alive for multi-request clients
+    # Latency hygiene for small JSON responses on persistent connections:
+    # buffer the whole response into one TCP segment and disable Nagle,
+    # else the header/body write pattern triggers delayed-ACK stalls
+    # (measured ~8x request latency on loopback).
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    def setup(self):
+        # Socket timeout doubles as the keep-alive idle timeout: a read
+        # that times out makes handle_one_request close the connection,
+        # matching the selector backend's reaper.
+        self.timeout = self.server.idle_timeout_s
+        super().setup()
+        self._requests_on_connection = 0
+        self.server.counters.connection_opened()
+
+    def finish(self):
+        try:
+            super().finish()
+        finally:
+            self.server.counters.connection_closed()
+
+    def log_message(self, format, *args):   # noqa: A002 - stdlib signature
+        pass                                # the gateway keeps its own counters
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        dispatcher = self.server.dispatcher
+        try:
+            # Drain the body before anything can error: on a keep-alive
+            # connection an unread body would be parsed as the next
+            # request line, desyncing every request after a 4xx.
+            body = self._read_body() if method == "POST" else b""
+        except ProtocolError as error:
+            # Same contract as the selector backend's ProtocolError
+            # path: structured answer, then drop the connection.
+            dispatcher.record_protocol_error()
+            self.close_connection = True
+            self._send(error.status,
+                       {"error": {"type": error.kind, "message": str(error)}})
+            return
+        status, payload = dispatcher.dispatch(method, self.path, body)
+        self._requests_on_connection += 1
+        self.server.counters.request_served(
+            reused=self._requests_on_connection > 1)
+        self._send(status, payload)
+
+    def _read_body(self) -> bytes:
+        # Shared validation with the selector backend's parser, so the
+        # 400/413 semantics (and error bodies) cannot drift apart.
+        length = validate_content_length(self.headers.get("Content-Length"),
+                                         self.server.max_body_bytes)
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _send(self, status: int, payload: dict) -> None:
+        try:
+            body = encode_json(payload)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass                            # client went away mid-response
+
+
+class ThreadedTransport:
+    """Thread-per-connection front-end on stdlib ``ThreadingHTTPServer``.
+
+    The PR 4 gateway, now driving the shared
+    :class:`~repro.serving.handlers.GatewayDispatcher` — kept as the
+    behavioral-parity baseline for the selector backend and selectable
+    with ``--backend threaded``.
+    """
+
+    def __init__(self, host: str, port: int, dispatcher: GatewayDispatcher,
+                 counters: GatewayCounters | None = None,
+                 idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 dispatch_workers: int = 8):
+        del max_header_bytes, dispatch_workers  # stdlib server manages both
+        self.dispatcher = dispatcher
+        self.counters = counters if counters is not None else GatewayCounters()
+        self.idle_timeout_s = idle_timeout_s
+        self._httpd = _GatewayHTTPServer((host, port), _Handler)
+        self._httpd.dispatcher = dispatcher
+        self._httpd.counters = self.counters
+        self._httpd.max_body_bytes = max_body_bytes
+        self._httpd.idle_timeout_s = idle_timeout_s
+
+    @property
+    def server_address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    def serve_forever(self, poll_interval: float = 0.05) -> None:
+        self._httpd.serve_forever(poll_interval=poll_interval)
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+
+    def server_close(self) -> None:
+        self._httpd.server_close()
+
+
+BACKENDS = {"selector": SelectorTransport, "threaded": ThreadedTransport}
+
+
+def create_transport(backend: str, host: str, port: int,
+                     dispatcher: GatewayDispatcher, **kwargs):
+    """Build the requested transport; ``backend`` is ``selector`` or
+    ``threaded``."""
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"choose from {sorted(BACKENDS)}") from None
+    return factory(host, port, dispatcher, **kwargs)

@@ -128,6 +128,108 @@ class TestScorerPool:
             ScorerPool(model.make_scorer, num_workers=0)
 
 
+class TestAdaptiveCap:
+    """The adaptive micro-batch policy: cap = clamp(ceil(backlog /
+    workers), min_batch_rows, max_batch_rows), recomputed at collect
+    time (every worker rejoins within one batch, so the fair share is
+    over the whole pool).  ScorerPool defaults to adaptive; BatchScorer
+    pins the PR 3 static contract."""
+
+    def test_defaults(self, model):
+        with ScorerPool(model.make_scorer, num_workers=2) as pool:
+            assert pool.adaptive_batch
+        with BatchScorer(model.score) as scorer:
+            assert not scorer.adaptive_batch    # PR 3 contract unchanged
+
+    def test_static_override_pins_max_batch_rows(self, model):
+        with ScorerPool(model.make_scorer, num_workers=2,
+                        max_batch_rows=64, adaptive_batch=False) as pool:
+            assert not pool.adaptive_batch
+            assert pool.current_batch_cap() == 64
+            assert pool._collect_cap(1000) == 64
+
+    def test_cap_formula(self, model):
+        """White-box: the clamp arithmetic over the live backlog."""
+        with ScorerPool(model.make_scorer, num_workers=4, max_batch_rows=64,
+                        min_batch_rows=4) as pool:
+            def cap_at(backlog, held=0):
+                with pool._state_lock:
+                    pool._backlog_rows = backlog
+                try:
+                    return pool._collect_cap(held)
+                finally:
+                    with pool._state_lock:
+                        pool._backlog_rows = 0
+
+            assert cap_at(0) == 4               # idle pool: min clamp
+            assert cap_at(64) == 16             # 64 rows over 4 workers
+            assert cap_at(100) == 25            # per-pool share, ceil'd up
+            assert cap_at(101) == 26
+            assert cap_at(10_000) == 64         # max clamp holds
+            assert cap_at(18, held=6) == 6      # held rows count as backlog
+            assert cap_at(0, held=40) == 10     # share of what's in hand
+
+    def test_min_cap_clamped_to_max(self, model):
+        with ScorerPool(model.make_scorer, num_workers=2, max_batch_rows=2,
+                        min_batch_rows=8) as pool:
+            assert pool.current_batch_cap() == 2
+
+    def test_invalid_min_batch_rows_rejected(self, model):
+        with pytest.raises(ValueError):
+            ScorerPool(model.make_scorer, min_batch_rows=0)
+
+    def test_idle_pool_scores_without_straggler_wait(self, model, dataset):
+        """The latency half of the policy: with no backlog the cap
+        collapses to min_batch_rows, so a request that already meets it
+        is scored immediately instead of sitting out max_wait_ms."""
+        batch = dataset.batch(np.arange(8))     # 8 rows ≥ min_batch_rows
+        wait_ms = 400.0
+        with ScorerPool(model.make_scorer, num_workers=2,
+                        max_batch_rows=256, max_wait_ms=wait_ms,
+                        min_batch_rows=8) as pool:
+            started = time.monotonic()
+            pool.score(batch)
+            adaptive_elapsed = time.monotonic() - started
+        with ScorerPool(model.make_scorer, num_workers=2,
+                        max_batch_rows=256, max_wait_ms=wait_ms,
+                        adaptive_batch=False) as pool:
+            started = time.monotonic()
+            pool.score(batch)
+            static_elapsed = time.monotonic() - started
+        # The static pool must wait out the full coalescing window; the
+        # adaptive pool answers as soon as the request meets its cap.
+        assert adaptive_elapsed < wait_ms / 1000.0 / 2
+        assert static_elapsed >= wait_ms / 1000.0 * 0.9
+
+    def test_backlog_splits_across_workers(self, model, dataset):
+        """The throughput half: a queued burst is coalesced into
+        multi-request micro-batches bounded by the adaptive cap."""
+        requests = [dataset.batch(np.arange(i % 8, i % 8 + 4))
+                    for i in range(48)]
+        expected = [model.score(b) for b in requests]
+        release = threading.Event()
+
+        def factory():
+            plan = model.make_scorer()      # per-worker: plans aren't shared
+
+            def gated(batch):
+                release.wait(10)
+                return plan(batch)
+            return gated
+
+        with ScorerPool(factory, num_workers=2, max_batch_rows=64,
+                        max_wait_ms=1.0, min_batch_rows=4) as pool:
+            futures = [pool.submit(b) for b in requests]
+            release.set()
+            results = [f.result(timeout=30) for f in futures]
+            stats = pool.stats()
+        for got, want in zip(results, expected):
+            np.testing.assert_allclose(got, want, atol=1e-12)
+        assert stats.rows == 48 * 4
+        assert stats.mean_batch_rows > 4.0      # the backlog coalesced
+        assert stats.batches < len(requests)
+
+
 class TestScorerStatsWindow:
     """Empty/low-sample latency semantics are pinned, not numpy accidents."""
 
@@ -257,16 +359,17 @@ class TestMicroBatchAssemblyProperties:
            num_workers=st.integers(min_value=1, max_value=4),
            max_batch_rows=st.integers(min_value=1, max_value=48),
            max_wait_ms=st.sampled_from([0.0, 0.5, 2.0]),
-           submitters=st.integers(min_value=1, max_value=4))
+           submitters=st.integers(min_value=1, max_value=4),
+           adaptive=st.booleans())
     def test_assembly_exact_and_conserved(self, model, dataset, sizes,
                                           num_workers, max_batch_rows,
-                                          max_wait_ms, submitters):
+                                          max_wait_ms, submitters, adaptive):
         requests = [dataset.batch(np.arange(i % 8, i % 8 + size))
                     for i, size in enumerate(sizes)]
         expected = [model.score(b) for b in requests]
         with ScorerPool(model.make_scorer, num_workers=num_workers,
                         max_batch_rows=max_batch_rows,
-                        max_wait_ms=max_wait_ms) as pool:
+                        max_wait_ms=max_wait_ms, adaptive_batch=adaptive) as pool:
             # Random-ish arrival: requests fan out over several submitter
             # threads, so enqueue order interleaves with worker collection.
             with ThreadPoolExecutor(max_workers=submitters) as executor:

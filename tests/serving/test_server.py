@@ -5,6 +5,11 @@ checkpoint directory, and every request goes over the wire through
 :class:`ServingClient` (or raw urllib for malformed-payload cases).  The
 /healthz and /stats response schemas are pinned: they are the monitoring
 contract.
+
+The whole module is parametrized over **both connection backends** —
+the selector event loop and the threaded fallback serve the same
+protocol and dispatch layers, and this suite (including the hot-reload
+path) is what pins their behavioral parity.
 """
 
 import json
@@ -20,6 +25,11 @@ from repro.querycat import QueryCategoryClassifier, QueryClassifierConfig
 from repro.serving import ServingClient, ServingError
 
 
+@pytest.fixture(scope="module", params=["selector", "threaded"])
+def backend(request):
+    return request.param
+
+
 @pytest.fixture(scope="module")
 def model(dataset, taxonomy, tiny_model_config):
     return build_model("adv-hsc-moe", dataset.spec, taxonomy,
@@ -27,8 +37,9 @@ def model(dataset, taxonomy, tiny_model_config):
 
 
 @pytest.fixture(scope="module")
-def checkpoint_dir(model, dataset, taxonomy, log, tmp_path_factory):
-    directory = tmp_path_factory.mktemp("gateway-ckpts")
+def checkpoint_dir(model, dataset, taxonomy, log, tmp_path_factory, backend):
+    # Fresh directory per backend: the hot-reload test mutates it.
+    directory = tmp_path_factory.mktemp(f"gateway-ckpts-{backend}")
     serving.save_environment(directory, dataset.spec, taxonomy)
     serving.save_checkpoint(model, directory / "ranker", "adv-hsc-moe")
     classifier = QueryCategoryClassifier(
@@ -39,9 +50,10 @@ def checkpoint_dir(model, dataset, taxonomy, log, tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
-def server(checkpoint_dir):
+def server(checkpoint_dir, backend):
     server = serving.serve_from_directory(checkpoint_dir, port=0,
-                                          num_workers=2, max_wait_ms=0.5)
+                                          num_workers=2, max_wait_ms=0.5,
+                                          backend=backend)
     server.start()
     yield server
     server.close()
@@ -177,7 +189,8 @@ class TestOperationalEndpoints:
         client.rank(batch.numeric, batch.sparse)
         payload = client.stats()
         assert set(payload) == {"server", "scorers"}
-        assert set(payload["server"]) == {"requests", "errors", "uptime_s"}
+        assert set(payload["server"]) == {"requests", "errors", "uptime_s",
+                                          "connections"}
         assert payload["server"]["requests"] > 0
         scorer_keys = {"requests", "rows", "batches", "busy_seconds",
                        "latency_samples", "mean_latency_ms", "p95_latency_ms",
@@ -187,6 +200,22 @@ class TestOperationalEndpoints:
         for stats in payload["scorers"].values():
             assert set(stats) == scorer_keys
             assert stats["workers"] == 2
+
+    def test_stats_connection_counters_pinned(self, client, batch):
+        """Gateway-level connection counters: schema and keep-alive
+        accounting are part of the monitoring contract on both backends."""
+        before = client.stats()["server"]["connections"]
+        assert set(before) == {"open", "accepted", "requests",
+                               "keepalive_reuses"}
+        client.rank(batch.numeric, batch.sparse)
+        after = client.stats()["server"]["connections"]
+        # This client holds one persistent connection: both requests rode
+        # it, so served count advances and so does keep-alive reuse.
+        assert after["open"] >= 1
+        assert after["accepted"] >= 1
+        assert after["requests"] >= before["requests"] + 2
+        assert after["keepalive_reuses"] >= before["keepalive_reuses"] + 2
+        assert after["accepted"] >= after["open"]
 
     def test_models_lists_registry_and_spec(self, client, dataset):
         payload = client.models()
@@ -235,19 +264,20 @@ class TestHotReload:
         # Idempotent: a second reload with unchanged files registers nothing.
         assert client.reload()["registered"] == []
 
-    def test_close_without_start_does_not_hang(self, model):
+    def test_close_without_start_does_not_hang(self, model, backend):
         registry = serving.ModelRegistry()
         registry.register("ranker", model)
         service = serving.RankingService(registry, default_model="ranker")
-        server = serving.ServingServer(service, port=0)
+        server = serving.ServingServer(service, port=0, backend=backend)
         server.close()                  # bound but never served: must return
 
-    def test_reload_without_checkpoint_dir_is_400(self, model, dataset):
+    def test_reload_without_checkpoint_dir_is_400(self, model, dataset, backend):
         registry = serving.ModelRegistry()
         registry.register("ranker", model)
         service = serving.RankingService(registry, default_model="ranker",
                                          max_wait_ms=0.0)
-        with serving.ServingServer(service, port=0).start() as bare:
+        with serving.ServingServer(service, port=0,
+                                   backend=backend).start() as bare:
             bare_client = ServingClient(bare.url)
             bare_client.wait_ready(timeout_s=30)
             with pytest.raises(ServingError) as excinfo:
