@@ -25,10 +25,11 @@ from .checkpoint import (ENVIRONMENT_FILENAME, find_classifier_checkpoint,
 from .client import ServingClient, ServingError
 from .handlers import GatewayDispatcher
 from .loadgen import LoadSummary, run_load, run_sweep
+from .metrics import LatencyHistogram, log_spaced_buckets
 from .protocol import ProtocolError, RequestParser
 from .registry import ModelRegistry, RegisteredModel
-from .scorer import (BatchScorer, ScorerPool, ScorerStats, concat_batches,
-                     latency_percentile)
+from .scorer import (BatchScorer, PoolOverloaded, ScorerPool, ScorerStats,
+                     concat_batches, latency_percentile)
 from .server import ApiError, ServingServer, serve_from_directory
 from .service import RankingResponse, RankingService, candidate_batch
 from .transport import GatewayCounters, SelectorTransport, ThreadedTransport
@@ -48,8 +49,11 @@ __all__ = [
     "BatchScorer",
     "ScorerPool",
     "ScorerStats",
+    "PoolOverloaded",
     "concat_batches",
     "latency_percentile",
+    "LatencyHistogram",
+    "log_spaced_buckets",
     "RankingService",
     "RankingResponse",
     "candidate_batch",

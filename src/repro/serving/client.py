@@ -35,13 +35,18 @@ class ServingError(RuntimeError):
 
     ``status`` is the HTTP status, ``kind`` the machine-readable error
     type from the body (``bad_json``, ``unknown_model``, ...).
+    ``retry_after_s`` carries the gateway's ``Retry-After`` header when
+    the response had one — a 429 shed under overload tells the caller
+    how long the scoring backlog needs to drain.
     """
 
-    def __init__(self, status: int, kind: str, message: str):
+    def __init__(self, status: int, kind: str, message: str,
+                 retry_after_s: float | None = None):
         super().__init__(f"[{status} {kind}] {message}")
         self.status = status
         self.kind = kind
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 def _listify(value):
@@ -168,10 +173,18 @@ class ServingClient:
                     detail = json.loads(body).get("error", {})
                 except ValueError:
                     detail = {}
+                retry_after = None
+                raw_retry = response.getheader("Retry-After")
+                if raw_retry is not None:
+                    try:
+                        retry_after = float(raw_retry)
+                    except ValueError:
+                        pass            # HTTP-date form: not worth parsing
                 raise ServingError(status,
                                    detail.get("type", "http_error"),
                                    detail.get("message",
-                                              body.decode("utf-8", "replace")))
+                                              body.decode("utf-8", "replace")),
+                                   retry_after_s=retry_after)
             return json.loads(body)
 
     # ------------------------------------------------------------------

@@ -2,20 +2,29 @@
 
 The dispatch layer of the three-layer gateway split: given a method, a
 path, and a raw body, :class:`GatewayDispatcher` routes to an endpoint
-handler and returns ``(status, payload dict)``.  It never touches a
-socket or an HTTP byte — both the selector transport and the threaded
-fallback feed it the same way, which is what pins behavioral parity
-between the two front-ends.
+handler and returns ``(status, payload, extra headers)``.  It never
+touches a socket or an HTTP byte — both the selector transport and the
+threaded fallback feed it the same way, which is what pins behavioral
+parity between the two front-ends.
 
 Every endpoint handler returns a JSON-safe dict or raises
 :class:`ApiError` (4xx for client mistakes); anything else escaping a
 handler becomes a structured 500 — a bad request must never take down a
 scorer worker or the gateway, exactly as the PR 4 gateway pinned.
+
+The dispatcher is also the gateway's **self-protection gate**: scoring
+endpoints are checked against the scorer pools' admission bounds before
+a byte of JSON is parsed, and over-budget requests are shed with a
+structured 429 carrying ``Retry-After`` derived from the pools' live
+drain rate.  Shedding at the door keeps the refusal cost to one int
+read — an overloaded gateway must get *cheaper* per excess request, not
+more expensive, or shedding itself becomes the overload.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from dataclasses import asdict
@@ -25,6 +34,9 @@ import numpy as np
 
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
+from .metrics import (PROMETHEUS_CONTENT_TYPE, LatencyHistogram,
+                      render_histogram, render_metric)
+from .scorer import PoolOverloaded
 from .service import RankingService, candidate_batch
 
 __all__ = ["ApiError", "GatewayDispatcher"]
@@ -83,9 +95,16 @@ class GatewayDispatcher:
         ("POST", "/classify"): "handle_classify",
         ("GET", "/healthz"): "handle_healthz",
         ("GET", "/stats"): "handle_stats",
+        ("GET", "/metrics"): "handle_metrics",
         ("GET", "/models"): "handle_models",
         ("POST", "/reload"): "handle_reload",
     }
+
+    # Scoring endpoints subject to admission control.  Operational
+    # endpoints (/healthz, /stats, /metrics, ...) are never shed: an
+    # overloaded gateway that also goes dark to its monitoring is
+    # indistinguishable from a dead one.
+    SHEDDABLE = {("POST", "/rank"), ("POST", "/classify")}
 
     def __init__(self, service: RankingService,
                  spec: FeatureSpec | None = None,
@@ -101,17 +120,37 @@ class GatewayDispatcher:
         self._counter_lock = threading.Lock()
         self._requests = 0
         self._errors = 0
+        self._shed_requests = 0
+        # Per-endpoint latency histograms, known routes only — recording
+        # arbitrary 404 paths would hand any client an unbounded-label
+        # cardinality attack on the metrics endpoint.
+        self._histograms = {path: LatencyHistogram()
+                            for _, path in self.ROUTES}
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
-        """Route one request; always returns ``(status, JSON-safe dict)``.
+    def dispatch(self, method: str, path: str,
+                 body: bytes) -> tuple[int, object, dict]:
+        """Route one request: ``(status, payload, extra headers)``.
 
-        Transport layers call this with the body already drained from
-        the stream, so a 4xx can never desync keep-alive framing.
+        ``payload`` is a JSON-safe dict for every endpoint except
+        ``/metrics`` (a text body); the extra headers carry per-response
+        additions like ``Retry-After`` on a shed request.  Transport
+        layers call this with the body already drained from the stream,
+        so a 4xx can never desync keep-alive framing.
         """
         path = path.split("?", 1)[0].rstrip("/") or "/"
+        started = time.monotonic()
+        try:
+            return self._route(method, path, body)
+        finally:
+            histogram = self._histograms.get(path)
+            if histogram is not None and (method, path) in self.ROUTES:
+                histogram.observe(time.monotonic() - started)
+
+    def _route(self, method: str, path: str,
+               body: bytes) -> tuple[int, object, dict]:
         try:
             handler_name = self.ROUTES.get((method, path))
             if handler_name is None:
@@ -119,18 +158,46 @@ class GatewayDispatcher:
                     raise ApiError(405, "method_not_allowed",
                                    f"{method} not allowed on {path}")
                 raise ApiError(404, "not_found", f"unknown endpoint {path}")
+            if (method, path) in self.SHEDDABLE:
+                retry_after = self.service.overload_status()
+                if retry_after is not None:
+                    # Shed before parsing: the whole point of the gate is
+                    # that a refused request costs an int read, not a
+                    # JSON parse of a payload nobody will score.
+                    return self._shed(retry_after)
             payload = self._parse_json(body) if method == "POST" else {}
             result = getattr(self, handler_name)(payload)
+            headers = {}
+            if isinstance(result, tuple):
+                result, headers = result
             self._count(error=False)
-            return 200, result
+            return 200, result, headers
+        except PoolOverloaded as error:
+            # Admitted at the gate but lost the race to a concurrent
+            # burst: the pool's own bound refused the submit.
+            return self._shed(error.retry_after_s)
         except ApiError as error:
             self._count(error=True)
             return error.status, {"error": {"type": error.kind,
-                                            "message": str(error)}}
+                                            "message": str(error)}}, {}
         except Exception as error:      # never kill the serving thread
             self._count(error=True)
-            return 500, {"error": {"type": "internal",
-                                   "message": f"{type(error).__name__}: {error}"}}
+            return 500, {"error": {
+                "type": "internal",
+                "message": f"{type(error).__name__}: {error}"}}, {}
+
+    def _shed(self, retry_after_s: float) -> tuple[int, dict, dict]:
+        """Structured 429: the scoring backlog is at its admission bound."""
+        with self._counter_lock:
+            self._requests += 1
+            self._errors += 1
+            self._shed_requests += 1
+        retry_after = max(1, math.ceil(retry_after_s))
+        return 429, {"error": {
+            "type": "overloaded",
+            "message": f"scoring backlog is at its admission bound; "
+                       f"retry in ~{retry_after}s",
+        }}, {"Retry-After": str(retry_after)}
 
     @staticmethod
     def _parse_json(body: bytes) -> dict:
@@ -283,16 +350,113 @@ class GatewayDispatcher:
             scorers[key] = entry
         connections = (self._connection_stats() if self._connection_stats
                        else {"open": 0, "accepted": 0, "requests": 0,
-                             "keepalive_reuses": 0})
+                             "keepalive_reuses": 0, "in_flight": 0})
+        endpoints = {}
+        for path, histogram in sorted(self._histograms.items()):
+            cumulative, total_sum, total = histogram.snapshot()
+            endpoints[path] = {
+                "count": total,
+                "sum_ms": total_sum * 1000.0,
+                "p50_ms": histogram.quantile(0.50) * 1000.0,
+                "p95_ms": histogram.quantile(0.95) * 1000.0,
+                "p99_ms": histogram.quantile(0.99) * 1000.0,
+                # Cumulative counts per log-spaced bucket bound (ms), the
+                # same series /metrics exposes in Prometheus text.
+                "buckets": [[bound * 1000.0, count] for bound, count
+                            in zip(histogram.bounds, cumulative)],
+            }
         return {
             "server": {
                 "requests": self._requests,
                 "errors": self._errors,
+                "shed_requests": self._shed_requests,
                 "uptime_s": time.monotonic() - self._started_at,
                 "connections": connections,
             },
             "scorers": scorers,
+            "endpoints": endpoints,
         }
+
+    def handle_metrics(self, payload: dict) -> tuple[str, dict]:
+        """Prometheus text exposition: the same counters ``/stats`` serves.
+
+        Returns ``(text body, headers)`` — the one endpoint whose body is
+        not JSON; the transports pass raw ``str`` payloads through.
+        """
+        lines: list[str] = []
+
+        def family(name: str, mtype: str, help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {mtype}")
+
+        family("gateway_uptime_seconds", "gauge",
+               "Seconds since the dispatcher started.")
+        lines.append(render_metric("gateway_uptime_seconds",
+                                   time.monotonic() - self._started_at))
+        family("gateway_requests_total", "counter",
+               "Requests dispatched (including error responses).")
+        lines.append(render_metric("gateway_requests_total", self._requests))
+        family("gateway_errors_total", "counter",
+               "Error responses served (4xx/5xx, protocol errors included).")
+        lines.append(render_metric("gateway_errors_total", self._errors))
+        family("gateway_shed_requests_total", "counter",
+               "Requests refused with 429 at the admission gate.")
+        lines.append(render_metric("gateway_shed_requests_total",
+                                   self._shed_requests))
+        if self._connection_stats is not None:
+            connections = self._connection_stats()
+            family("gateway_connections_open", "gauge",
+                   "Currently connected sockets.")
+            lines.append(render_metric("gateway_connections_open",
+                                       connections.get("open", 0)))
+            family("gateway_connections_accepted_total", "counter",
+                   "Connections accepted since start.")
+            lines.append(render_metric("gateway_connections_accepted_total",
+                                       connections.get("accepted", 0)))
+            family("gateway_keepalive_reuses_total", "counter",
+                   "Requests that arrived on an already-used connection.")
+            lines.append(render_metric("gateway_keepalive_reuses_total",
+                                       connections.get("keepalive_reuses", 0)))
+            family("gateway_dispatch_in_flight", "gauge",
+                   "Requests currently inside a handler.")
+            lines.append(render_metric("gateway_dispatch_in_flight",
+                                       connections.get("in_flight", 0)))
+        family("gateway_request_duration_seconds", "histogram",
+               "Request latency by endpoint (dispatch-observed).")
+        for path, histogram in sorted(self._histograms.items()):
+            lines.extend(render_histogram("gateway_request_duration_seconds",
+                                          histogram, {"endpoint": path}))
+        scorer_gauges = [
+            ("scorer_backlog_rows", "gauge",
+             "Rows enqueued but not yet collected into a micro-batch.",
+             lambda s: s.backlog_rows),
+            ("scorer_max_backlog_rows", "gauge",
+             "Admission bound in rows (absent when unbounded).",
+             lambda s: s.max_backlog_rows),
+            ("scorer_shed_requests_total", "counter",
+             "Submissions refused at the pool's admission bound.",
+             lambda s: s.shed_requests),
+            ("scorer_shed_rows_total", "counter",
+             "Rows carried by refused submissions.",
+             lambda s: s.shed_rows),
+            ("scorer_drain_rate_rows_per_second", "gauge",
+             "Recent wall-clock drain rate of the pool.",
+             lambda s: s.drain_rate_rows_per_s),
+            ("scorer_requests_total", "counter",
+             "Score requests completed.", lambda s: s.requests),
+            ("scorer_rows_total", "counter",
+             "Candidate rows scored.", lambda s: s.rows),
+        ]
+        scorer_stats = self.service.stats()
+        for name, mtype, help_text, getter in scorer_gauges:
+            family(name, mtype, help_text)
+            for pool, stats in sorted(scorer_stats.items()):
+                value = getter(stats)
+                if value is None:       # unbounded pool: omit the sample
+                    continue
+                lines.append(render_metric(name, value, {"pool": pool}))
+        return ("\n".join(lines) + "\n",
+                {"Content-Type": PROMETHEUS_CONTENT_TYPE})
 
     def handle_models(self, payload: dict) -> dict:
         result = {

@@ -12,6 +12,18 @@ errored::
     python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
         --duration 5 --clients 4 --rows 8 --out latency_summary.json
 
+Errors are split by cause: ``transport_errors`` (socket-level failures —
+the gateway broke its contract or vanished) versus ``error_statuses``
+(structured HTTP error responses, keyed by status).  A 429 is the gateway
+*working as designed* under overload, not a failure, which is what the
+``--overload`` mode asserts: drive the gateway past its admission bound
+and verify every request was either served or cleanly shed (client-side
+429 count matches the gateway's own shed counter exactly, no transport
+errors, no other statuses)::
+
+    python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
+        --overload --clients 32 --duration 5 --out overload_summary.json
+
 ``--sweep`` replaces the single run with a connection-count sweep — one
 closed-loop run per count, all summaries in one JSON artifact — which is
 how the selector backend's connection scaling is measured and CI-gated::
@@ -26,7 +38,7 @@ import argparse
 import json
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -38,7 +50,16 @@ __all__ = ["LoadSummary", "run_load", "run_sweep", "main"]
 
 @dataclass
 class LoadSummary:
-    """One load run's aggregate results (latencies are client-observed)."""
+    """One load run's aggregate results (latencies are client-observed).
+
+    ``errors`` is the total of ``transport_errors`` and every count in
+    ``error_statuses`` — kept as a field (not a property) so the JSON
+    artifact stays a flat dict and older tooling reading ``errors`` keeps
+    working.  ``shed_requests`` is the 429 slice of ``error_statuses``
+    (the gateway's overload self-protection answering instead of
+    queueing), and ``retry_after_hint_s`` the largest ``Retry-After`` the
+    gateway attached to those sheds.
+    """
 
     duration_s: float
     clients: int
@@ -46,28 +67,41 @@ class LoadSummary:
     requests: int
     rows: int
     errors: int
-    rps: float                          # successful requests per second
-    rows_per_s: float
-    mean_ms: float
-    p50_ms: float
-    p95_ms: float
-    p99_ms: float
-    max_ms: float
+    transport_errors: int
+    error_statuses: dict = field(default_factory=dict)  # status -> count
+    shed_requests: int = 0
+    retry_after_hint_s: float = 0.0
+    rps: float = 0.0                    # successful requests per second
+    rows_per_s: float = 0.0
+    mean_ms: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        payload = asdict(self)
+        # JSON object keys are strings; make that explicit rather than
+        # relying on json.dump's silent int-key coercion.
+        payload["error_statuses"] = {str(status): count for status, count
+                                     in self.error_statuses.items()}
+        return payload
 
     def format(self) -> str:
+        shed = f", {self.shed_requests} shed (429)" if self.shed_requests \
+            else ""
         return (f"{self.requests} requests ({self.rows} rows) in "
                 f"{self.duration_s:.2f}s from {self.clients} clients — "
                 f"{self.rps:,.0f} req/s, {self.rows_per_s:,.0f} rows/s, "
-                f"{self.errors} errors; latency mean {self.mean_ms:.2f}ms "
+                f"{self.errors} errors ({self.transport_errors} transport)"
+                f"{shed}; latency mean {self.mean_ms:.2f}ms "
                 f"p50 {self.p50_ms:.2f}ms p95 {self.p95_ms:.2f}ms "
                 f"p99 {self.p99_ms:.2f}ms max {self.max_ms:.2f}ms")
 
 
 def _summarize(duration_s: float, clients: int, rows_per_request: int,
-               latencies: list[float], errors: int) -> LoadSummary:
+               latencies: list[float], transport_errors: int,
+               error_statuses: dict, retry_after_hint_s: float) -> LoadSummary:
     samples = np.asarray(latencies, dtype=np.float64)
     requests = int(samples.size)
     return LoadSummary(
@@ -76,7 +110,11 @@ def _summarize(duration_s: float, clients: int, rows_per_request: int,
         rows_per_request=rows_per_request,
         requests=requests,
         rows=requests * rows_per_request,
-        errors=errors,
+        errors=transport_errors + sum(error_statuses.values()),
+        transport_errors=transport_errors,
+        error_statuses=dict(sorted(error_statuses.items())),
+        shed_requests=error_statuses.get(429, 0),
+        retry_after_hint_s=retry_after_hint_s,
         rps=requests / duration_s if duration_s > 0 else 0.0,
         rows_per_s=requests * rows_per_request / duration_s
         if duration_s > 0 else 0.0,
@@ -108,9 +146,12 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     """Drive ``clients`` closed-loop rank threads against ``url``.
 
     Each thread waits for its previous response before sending the next
-    request (closed loop), so concurrency equals ``clients``.  Connection
-    failures and error responses both count as errors; latencies are
-    recorded for successful requests only.
+    request (closed loop), so concurrency equals ``clients``.  Socket
+    failures count as ``transport_errors``; structured HTTP errors are
+    tallied per status in ``error_statuses`` (a shed 429's ``Retry-After``
+    is recorded, not slept on — a closed-loop generator that backed off
+    would stop measuring the overload it is there to produce).  Latencies
+    are recorded for successful requests only.
     """
     probe = ServingClient(url)
     probe.wait_ready(timeout_s=ready_timeout_s)
@@ -120,7 +161,9 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
                            "start it with spec= (or from a checkpoint dir)")
 
     latencies: list[list[float]] = [[] for _ in range(clients)]
-    errors = [0] * clients
+    transport_errors = [0] * clients
+    status_counts: list[dict] = [{} for _ in range(clients)]
+    retry_hints = [0.0] * clients
     started = threading.Event()
     deadline_holder = [0.0]
 
@@ -134,8 +177,15 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
             t0 = time.monotonic()
             try:
                 client.rank(numeric, sparse, top_k=top_k)
-            except (ServingError, OSError):
-                errors[index] += 1
+            except ServingError as error:
+                counts = status_counts[index]
+                counts[error.status] = counts.get(error.status, 0) + 1
+                if error.retry_after_s is not None:
+                    retry_hints[index] = max(retry_hints[index],
+                                             error.retry_after_s)
+                continue
+            except OSError:
+                transport_errors[index] += 1
                 continue
             latencies[index].append(time.monotonic() - t0)
 
@@ -150,7 +200,13 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
         thread.join()
     elapsed = time.monotonic() - run_started
     merged = [sample for bucket in latencies for sample in bucket]
-    return _summarize(elapsed, clients, rows_per_request, merged, sum(errors))
+    merged_statuses: dict = {}
+    for counts in status_counts:
+        for status, count in counts.items():
+            merged_statuses[status] = merged_statuses.get(status, 0) + count
+    return _summarize(elapsed, clients, rows_per_request, merged,
+                      sum(transport_errors), merged_statuses,
+                      max(retry_hints))
 
 
 def run_sweep(url: str, client_counts: list[int], duration_s: float = 3.0,
@@ -170,6 +226,51 @@ def run_sweep(url: str, client_counts: list[int], duration_s: float = 3.0,
             for clients in client_counts]
 
 
+def _gateway_shed_count(url: str, ready_timeout_s: float = 30.0) -> int:
+    """The gateway's own shed counter from ``GET /stats``.
+
+    Waits for readiness first: the before-run probe may race a gateway
+    that is still booting (run_load does its own wait, but this read
+    happens ahead of it).
+    """
+    probe = ServingClient(url)
+    probe.wait_ready(timeout_s=ready_timeout_s)
+    return int(probe.stats()["server"].get("shed_requests", 0))
+
+
+def _check_overload(summary: LoadSummary, shed_before: int,
+                    shed_after: int) -> list[str]:
+    """The ``--overload`` acceptance conditions; returns failure reasons.
+
+    Under deliberate overload the gateway must degrade *cleanly*: every
+    request is either served or answered with a structured 429 — never a
+    dropped connection, never a different error — and the gateway's own
+    shed counter agrees exactly with what clients observed (this loadgen
+    being the sole traffic source), so no shed goes unaccounted.
+    """
+    failures = []
+    if summary.requests == 0:
+        failures.append("no successful requests")
+    if summary.transport_errors:
+        failures.append(f"{summary.transport_errors} transport errors "
+                        "(overload must shed, not drop connections)")
+    unexpected = {status: count for status, count
+                  in summary.error_statuses.items() if status != 429}
+    if unexpected:
+        failures.append(f"non-429 error responses: {unexpected}")
+    if summary.shed_requests == 0:
+        failures.append("no requests were shed — the run did not reach "
+                        "the admission bound (raise --clients or lower "
+                        "the gateway's --max-backlog-rows)")
+    gateway_sheds = shed_after - shed_before
+    if gateway_sheds != summary.shed_requests:
+        failures.append(f"gateway shed counter moved by {gateway_sheds} "
+                        f"but clients saw {summary.shed_requests} 429s")
+    if summary.shed_requests and summary.retry_after_hint_s <= 0:
+        failures.append("429 responses carried no Retry-After hint")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving.loadgen",
@@ -181,6 +282,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated client counts; runs one "
                              "closed-loop load per count (--duration each) "
                              "instead of a single --clients run")
+    parser.add_argument("--overload", action="store_true",
+                        help="overload-acceptance mode: expect 429 sheds, "
+                             "fail on transport errors, non-429 statuses, "
+                             "or a shed count the gateway's own /stats "
+                             "counter does not confirm")
     parser.add_argument("--rows", type=int, default=8,
                         help="candidate rows per rank request")
     parser.add_argument("--top-k", type=int, default=5)
@@ -190,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--allow-errors", action="store_true",
                         help="exit 0 even when some requests errored")
     args = parser.parse_args(argv)
+    if args.overload and args.sweep:
+        parser.error("--overload and --sweep are mutually exclusive")
 
     if args.sweep:
         try:
@@ -204,6 +312,7 @@ def main(argv: list[str] | None = None) -> int:
             print(summary.format())
         payload = {"sweep": [summary.to_dict() for summary in summaries]}
     else:
+        shed_before = _gateway_shed_count(args.url) if args.overload else 0
         summaries = [run_load(args.url, duration_s=args.duration,
                               clients=args.clients,
                               rows_per_request=args.rows,
@@ -211,10 +320,25 @@ def main(argv: list[str] | None = None) -> int:
         print(summaries[0].format())
         payload = summaries[0].to_dict()
 
+    if args.overload:
+        shed_after = _gateway_shed_count(args.url)
+        payload["gateway_sheds"] = shed_after - shed_before
+
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"summary written to {args.out}")
+
+    if args.overload:
+        failures = _check_overload(summaries[0], shed_before, shed_after)
+        for reason in failures:
+            print(f"FAIL: {reason}")
+        if not failures:
+            print(f"overload OK: {summaries[0].shed_requests} sheds "
+                  f"confirmed by the gateway, retry-after hint "
+                  f"{summaries[0].retry_after_hint_s:g}s")
+        return 1 if failures else 0
+
     if any(summary.requests == 0 for summary in summaries):
         print("FAIL: no successful requests")
         return 1

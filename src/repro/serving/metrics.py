@@ -1,0 +1,155 @@
+"""Latency histograms and Prometheus text exposition for the gateway.
+
+The observability primitives behind ``GET /stats`` and ``GET /metrics``:
+:class:`LatencyHistogram` is a fixed log-spaced-bucket histogram (the
+Prometheus cumulative-bucket model, so one snapshot serves both the JSON
+stats block and the text exposition), and the ``render_*`` helpers emit
+the `text exposition format`_ a Prometheus scraper ingests.
+
+Buckets are **fixed at construction** rather than adaptive: histogram
+merging across scrapes (and across gateway restarts behind one scrape
+target) only works when every sample lands in the same bucket grid.  The
+default grid is log-spaced — serving latency is multiplicative (queueing
+multiplies service time), so constant *relative* resolution is the right
+shape: 0.5 ms doubling 16 times covers 0.5 ms .. 16 s, which brackets
+everything from a cache-warm /healthz to a drain-deadline timeout.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+__all__ = ["LatencyHistogram", "PROMETHEUS_CONTENT_TYPE",
+           "log_spaced_buckets", "render_metric", "render_histogram"]
+
+# The 0.0.4 text format; version pinned so scrapers negotiate correctly.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def log_spaced_buckets(start_s: float = 0.0005, factor: float = 2.0,
+                       count: int = 16) -> list[float]:
+    """Geometric bucket upper bounds: ``start_s * factor**i``, seconds."""
+    if start_s <= 0 or factor <= 1.0 or count <= 0:
+        raise ValueError("buckets need start_s > 0, factor > 1, count > 0")
+    return [start_s * factor ** i for i in range(count)]
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram (seconds).
+
+    Observations are assigned to the first bucket whose upper bound is
+    ``>= value`` (Prometheus ``le`` semantics); values beyond the last
+    bound land in the implicit ``+Inf`` overflow bucket.  ``snapshot``
+    returns *cumulative* counts — each bucket includes everything below
+    it — which is the shape both the Prometheus ``_bucket`` series and
+    the quantile estimator want.
+    """
+
+    def __init__(self, buckets: list[float] | None = None):
+        bounds = list(buckets) if buckets is not None else log_spaced_buckets()
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._bounds: tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)      # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """Finite bucket upper bounds, seconds (``+Inf`` is implicit)."""
+        return self._bounds
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """``(cumulative counts incl. +Inf, sum of seconds, total count)``."""
+        with self._lock:
+            raw = list(self._counts)
+            total_sum, total = self._sum, self._count
+        cumulative = []
+        running = 0
+        for count in raw:
+            running += count
+            cumulative.append(running)
+        return cumulative, total_sum, total
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` (0..1) quantile from the buckets, seconds.
+
+        Linear interpolation inside the containing bucket — the same
+        estimate ``histogram_quantile`` makes server-side.  Samples in
+        the overflow bucket report the last finite bound (a conservative
+        floor: the true value is at least that).  0.0 when empty.
+        """
+        cumulative, _, total = self.snapshot()
+        if total == 0:
+            return 0.0
+        rank = q * total
+        for index, running in enumerate(cumulative):
+            if running >= rank:
+                if index >= len(self._bounds):
+                    return self._bounds[-1]
+                lower = self._bounds[index - 1] if index else 0.0
+                upper = self._bounds[index]
+                below = cumulative[index - 1] if index else 0
+                in_bucket = running - below
+                fraction = (rank - below) / in_bucket if in_bucket else 1.0
+                return lower + (upper - lower) * fraction
+        return self._bounds[-1]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text rendering
+# ----------------------------------------------------------------------
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"') \
+                     .replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(value, ".10g")
+
+
+def render_metric(name: str, value, labels: dict | None = None) -> str:
+    """One sample line: ``name{label="v",...} value``."""
+    label_str = ""
+    if labels:
+        pairs = ",".join(f'{key}="{_escape(val)}"'
+                         for key, val in sorted(labels.items()))
+        label_str = "{" + pairs + "}"
+    return f"{name}{label_str} {_format_value(value)}"
+
+
+def render_histogram(name: str, histogram: LatencyHistogram,
+                     labels: dict | None = None) -> list[str]:
+    """The ``_bucket``/``_sum``/``_count`` series for one histogram."""
+    cumulative, total_sum, total = histogram.snapshot()
+    lines = []
+    for bound, running in zip(histogram.bounds, cumulative):
+        bucket_labels = dict(labels or {})
+        bucket_labels["le"] = _format_value(float(bound))
+        lines.append(render_metric(f"{name}_bucket", running, bucket_labels))
+    inf_labels = dict(labels or {})
+    inf_labels["le"] = "+Inf"
+    lines.append(render_metric(f"{name}_bucket", total, inf_labels))
+    lines.append(render_metric(f"{name}_sum", total_sum, labels))
+    lines.append(render_metric(f"{name}_count", total, labels))
+    return lines

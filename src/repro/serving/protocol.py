@@ -36,8 +36,8 @@ from http.client import responses as _REASONS
 from ..utils.serialization import _json_default
 
 __all__ = ["ProtocolError", "Request", "RequestParser", "encode_json",
-           "encode_response", "encode_error", "validate_content_length",
-           "MAX_HEADER_BYTES", "MAX_BODY_BYTES"]
+           "encode_body", "encode_head", "encode_response", "encode_error",
+           "validate_content_length", "MAX_HEADER_BYTES", "MAX_BODY_BYTES"]
 
 MAX_HEADER_BYTES = 16 * 1024            # request line + all headers
 MAX_BODY_BYTES = 8 * 1024 * 1024        # JSON candidate payloads are small
@@ -249,17 +249,51 @@ def encode_json(payload: dict) -> bytes:
     return json.dumps(payload, default=_json_default).encode("utf-8")
 
 
-def encode_response(status: int, payload: dict, keep_alive: bool = True) -> bytes:
-    """Render a JSON response as one contiguous segment."""
-    body = encode_json(payload)
+def encode_body(payload) -> tuple[bytes, str]:
+    """Render a response payload: ``(body bytes, content type)``.
+
+    Dict payloads encode as JSON; ``str``/``bytes`` pass through as
+    ``text/plain`` (the ``/metrics`` exposition is text, not JSON — its
+    handler overrides the content type via its extra headers).
+    """
+    if isinstance(payload, bytes):
+        return payload, "text/plain; charset=utf-8"
+    if isinstance(payload, str):
+        return payload.encode("utf-8"), "text/plain; charset=utf-8"
+    return encode_json(payload), "application/json"
+
+
+def encode_head(status: int, content_length: int, keep_alive: bool = True,
+                content_type: str = "application/json",
+                extra_headers: dict | None = None) -> bytes:
+    """Status line + headers (through the blank line), one ``bytes``.
+
+    Split from :func:`encode_body` so the selector transport can render
+    the (possibly expensive) body on a dispatch thread while the event
+    loop decides keep-alive — the loop is the only place that knows
+    whether a response is the connection's last (drain mode forces
+    ``Connection: close`` on final responses only).  ``extra_headers``
+    may override ``Content-Type``.
+    """
+    extra = dict(extra_headers or {})
+    content_type = extra.pop("Content-Type", content_type)
     reason = _REASONS.get(status, "Unknown")
-    head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Server: {_SERVER_NAME}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n")
-    return head.encode("iso-8859-1") + body
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Server: {_SERVER_NAME}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {content_length}"]
+    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("iso-8859-1")
+
+
+def encode_response(status: int, payload, keep_alive: bool = True,
+                    extra_headers: dict | None = None) -> bytes:
+    """Render a response as one contiguous segment."""
+    body, content_type = encode_body(payload)
+    return encode_head(status, len(body), keep_alive=keep_alive,
+                       content_type=content_type,
+                       extra_headers=extra_headers) + body
 
 
 def encode_error(status: int, kind: str, message: str,

@@ -36,6 +36,7 @@ Pass ``adaptive_batch=False`` to pin the static cap (what
 
 from __future__ import annotations
 
+import collections
 import queue
 import threading
 import time
@@ -46,8 +47,28 @@ import numpy as np
 
 from ..data.dataset import Batch
 
-__all__ = ["BatchScorer", "ScorerPool", "ScorerStats", "concat_batches",
-           "latency_percentile"]
+__all__ = ["BatchScorer", "PoolOverloaded", "ScorerPool", "ScorerStats",
+           "concat_batches", "latency_percentile"]
+
+
+class PoolOverloaded(RuntimeError):
+    """Submission refused: the pool's row backlog is at its admission bound.
+
+    Backpressure, not failure — the caller should shed the request (the
+    gateway answers a structured 429) and retry after ``retry_after_s``,
+    which estimates how long the pool needs to drain its current backlog
+    at its recently observed drain rate.
+    """
+
+    def __init__(self, name: str, backlog_rows: int, max_backlog_rows: int,
+                 retry_after_s: float):
+        super().__init__(
+            f"scorer pool {name!r} backlog of {backlog_rows} rows is at its "
+            f"{max_backlog_rows}-row admission bound")
+        self.name = name
+        self.backlog_rows = backlog_rows
+        self.max_backlog_rows = max_backlog_rows
+        self.retry_after_s = retry_after_s
 
 
 def concat_batches(batches: list[Batch]) -> Batch:
@@ -98,6 +119,13 @@ class ScorerStats:
     p95_latency_ms: float = 0.0
     max_latency_ms: float = 0.0
     workers: int = 1                    # workers aggregated into this view
+    # Admission-control view (pool-level; per-worker snapshots leave the
+    # defaults): the live queue state behind the overload gauges.
+    backlog_rows: int = 0               # rows enqueued but not yet collected
+    max_backlog_rows: int | None = None  # admission bound (None = unbounded)
+    shed_requests: int = 0              # submissions refused at the bound
+    shed_rows: int = 0                  # rows those submissions carried
+    drain_rate_rows_per_s: float = 0.0  # recent wall-clock drain rate
 
     @property
     def mean_batch_rows(self) -> float:
@@ -137,6 +165,7 @@ class _Request:
 
 _SHUTDOWN = object()
 _LATENCY_WINDOW = 4096                  # latency samples kept per worker
+_DRAIN_WINDOW_S = 5.0                   # window behind drain_rate_rows_per_s
 
 
 def _resolve(future: Future, result=None, error=None) -> None:
@@ -240,6 +269,7 @@ class _Worker:
                 _resolve(request.future, error=error)
             return
         finished = time.monotonic()
+        self._pool._note_drained(len(merged), finished)
         offset = 0
         for request in pending:
             count = len(request.batch)
@@ -294,6 +324,13 @@ class ScorerPool:
         Adaptive lower clamp: with backlog below this, a worker still
         waits out ``max_wait_ms`` for stragglers to coalesce, preserving
         the micro-batching win at light load.
+    max_backlog_rows:
+        Admission bound: with this many rows already enqueued, further
+        submissions raise :class:`PoolOverloaded` instead of queueing —
+        an unbounded backlog is how a traffic burst turns into an
+        unbounded p99.  ``None`` (the default) keeps the pre-admission
+        unbounded behavior for library callers; the gateway always
+        serves with a bound.
 
     ``submit`` returns a :class:`~concurrent.futures.Future`; ``score`` is
     the blocking convenience wrapper.  Use as a context manager (or call
@@ -303,7 +340,8 @@ class ScorerPool:
     def __init__(self, scorer_factory, num_workers: int = 4,
                  max_batch_rows: int = 256, max_wait_ms: float = 2.0,
                  name: str = "pool", adaptive_batch: bool = True,
-                 min_batch_rows: int = 8):
+                 min_batch_rows: int = 8,
+                 max_backlog_rows: int | None = None):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if max_batch_rows <= 0:
@@ -312,14 +350,23 @@ class ScorerPool:
             raise ValueError("max_wait_ms must be >= 0")
         if min_batch_rows <= 0:
             raise ValueError("min_batch_rows must be positive")
+        if max_backlog_rows is not None and max_backlog_rows <= 0:
+            raise ValueError("max_backlog_rows must be positive (or None)")
         self.name = name
         self._max_batch_rows = int(max_batch_rows)
         self._max_wait = max_wait_ms / 1000.0
         self._adaptive = bool(adaptive_batch)
         self._min_batch_rows = min(int(min_batch_rows), self._max_batch_rows)
-        # Live backlog (rows sitting in the queue) behind the adaptive cap.
+        self._max_backlog_rows = (int(max_backlog_rows)
+                                  if max_backlog_rows is not None else None)
+        # Live backlog (rows sitting in the queue) behind the adaptive cap
+        # and the admission bound; shed counters and the drain-rate window
+        # share the same lock.
         self._state_lock = threading.Lock()
         self._backlog_rows = 0
+        self._shed_requests = 0
+        self._shed_rows = 0
+        self._drained: collections.deque[tuple[float, int]] = collections.deque()
         self._queue: queue.Queue = queue.Queue()
         # Collector token: at most one worker assembles a micro-batch at
         # a time (see the worker loop).
@@ -348,6 +395,73 @@ class ScorerPool:
         """True when the collect cap follows the backlog instead of the
         static ``max_batch_rows``."""
         return self._adaptive
+
+    @property
+    def max_backlog_rows(self) -> int | None:
+        """Admission bound in rows (``None`` = unbounded)."""
+        return self._max_backlog_rows
+
+    @property
+    def backlog_rows(self) -> int:
+        """Rows enqueued but not yet collected into a micro-batch.
+
+        Lock-free read of one int: this is the admission gate's hot path,
+        read by the gateway *before* any JSON parsing cost is spent."""
+        return self._backlog_rows
+
+    @property
+    def shed_requests(self) -> int:
+        """Submissions refused at the admission bound since start."""
+        return self._shed_requests
+
+    @property
+    def shed_rows(self) -> int:
+        """Rows carried by refused submissions since start."""
+        return self._shed_rows
+
+    # ------------------------------------------------------------------
+    # Drain rate (behind Retry-After)
+    # ------------------------------------------------------------------
+    def _note_drained(self, rows: int, finished: float) -> None:
+        with self._state_lock:
+            self._drained.append((finished, rows))
+            cutoff = finished - _DRAIN_WINDOW_S
+            while self._drained and self._drained[0][0] < cutoff:
+                self._drained.popleft()
+
+    def drain_rate_rows_per_s(self) -> float:
+        """Rows scored per wall-clock second over the recent window.
+
+        Unlike :attr:`ScorerStats.throughput_rows_per_s` (rows per second
+        of *model* time since start), this is the pool's current
+        end-to-end drain speed — the number a shed client's ``Retry-After``
+        must be derived from.  0.0 when nothing drained recently.
+        """
+        now = time.monotonic()
+        with self._state_lock:
+            cutoff = now - _DRAIN_WINDOW_S
+            while self._drained and self._drained[0][0] < cutoff:
+                self._drained.popleft()
+            if not self._drained:
+                return 0.0
+            rows = sum(drained for _, drained in self._drained)
+            span = now - self._drained[0][0]
+        return rows / max(span, 1e-3)
+
+    def retry_after_s(self) -> float:
+        """Seconds a shed caller should wait before retrying.
+
+        Time to drain the current backlog at the recent drain rate,
+        clamped to [0.5, 30]: never tell a client "now" while the queue
+        is full, never push it out further than a load balancer's
+        health-check horizon.  With no recent drains (a pool that just
+        seized up) the floor applies.
+        """
+        rate = self.drain_rate_rows_per_s()
+        backlog = self._backlog_rows
+        if rate <= 0.0:
+            return 1.0
+        return min(max(backlog / rate, 0.5), 30.0)
 
     # ------------------------------------------------------------------
     # Adaptive collect cap
@@ -396,15 +510,37 @@ class ScorerPool:
     # Public API
     # ------------------------------------------------------------------
     def submit(self, batch: Batch) -> Future:
-        """Enqueue a batch for scoring; resolves to its (n,) score array."""
+        """Enqueue a batch for scoring; resolves to its (n,) score array.
+
+        With ``max_backlog_rows`` set, a submission that would push the
+        backlog past the bound raises :class:`PoolOverloaded` instead of
+        queueing (and is counted in :attr:`shed_requests`) — the queue
+        stays bounded, so queueing delay does too.
+        """
+        rows = len(batch)
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError(f"{type(self).__name__} is closed")
-            request = _Request(batch)
             # Count the rows before they become visible to a collector,
             # so the backlog counter can never go negative.
             with self._state_lock:
-                self._backlog_rows += len(batch)
+                # An empty backlog always admits (even one request larger
+                # than the bound — refusing it forever would deadlock the
+                # caller, and an idle pool can absorb it immediately).
+                if self._max_backlog_rows is not None and self._backlog_rows \
+                        and self._backlog_rows + rows > self._max_backlog_rows:
+                    self._shed_requests += 1
+                    self._shed_rows += rows
+                    backlog = self._backlog_rows
+                    overloaded = True
+                else:
+                    self._backlog_rows += rows
+                    overloaded = False
+            if overloaded:
+                raise PoolOverloaded(self.name, backlog,
+                                     self._max_backlog_rows,
+                                     self.retry_after_s())
+            request = _Request(batch)
             self._queue.put(request)
         return request.future
 
@@ -424,12 +560,19 @@ class ScorerPool:
         # averaging per-worker percentiles (which would be meaningless).
         windows = [w.latency_window() for w in self._workers]
         merged = np.concatenate(windows) if windows else np.asarray([])
-        return ScorerStats.from_window(
+        stats = ScorerStats.from_window(
             requests=sum(s.requests for s in per_worker),
             rows=sum(s.rows for s in per_worker),
             batches=sum(s.batches for s in per_worker),
             busy_seconds=sum(s.busy_seconds for s in per_worker),
             latencies=merged, workers=len(self._workers))
+        with self._state_lock:
+            stats.backlog_rows = self._backlog_rows
+            stats.shed_requests = self._shed_requests
+            stats.shed_rows = self._shed_rows
+        stats.max_backlog_rows = self._max_backlog_rows
+        stats.drain_rate_rows_per_s = self.drain_rate_rows_per_s()
+        return stats
 
     def worker_stats(self) -> list[ScorerStats]:
         """Per-worker statistics snapshots (index-aligned with workers)."""

@@ -22,8 +22,10 @@ method    path           purpose
 POST      ``/rank``      rank candidates (optionally with query intent)
 POST      ``/classify``  query → (sub category, top category)
 GET       ``/healthz``   liveness + model inventory
-GET       ``/stats``     gateway + connection counters, per-model scorers
+GET       ``/stats``     gateway + connection counters, latency histograms,
+                         per-model scorers
 GET       ``/models``    registry listing + the feature schema clients need
+GET       ``/metrics``   Prometheus text exposition of the same counters
 POST      ``/reload``    hot checkpoint reload from the watched directory
 ========  =============  ====================================================
 
@@ -31,6 +33,13 @@ Every error is a structured JSON body ``{"error": {"type", "message"}}``
 with a 4xx status for client mistakes (malformed JSON, unknown model,
 bad feature shapes) and 500 for anything unexpected — a bad request must
 never take down a scorer worker or the gateway.
+
+The gateway protects itself under overload: each model pool carries an
+admission bound in queued scoring rows, and requests past it are shed
+with ``429`` + a ``Retry-After`` derived from the pool's measured drain
+rate (see ``--max-backlog-rows``).  On SIGTERM/SIGINT it drains
+gracefully — stops accepting, answers every accepted request (bounded by
+``--drain-deadline``), and marks final responses ``Connection: close``.
 
 Run it from a checkpoint directory (see :mod:`repro.serving.checkpoint`
 for the layout)::
@@ -46,6 +55,7 @@ as traffic moves over, so reloads need no downtime.
 from __future__ import annotations
 
 import argparse
+import signal
 import threading
 import time
 from pathlib import Path
@@ -90,6 +100,11 @@ class ServingServer:
     dispatch_workers:
         Selector backend only: threads running endpoint handlers (they
         block on scorer futures; connection count is not bounded by this).
+    drain_deadline_s:
+        Bound on the graceful drain: on :meth:`close` (and on SIGTERM via
+        :meth:`install_signal_handlers`) the gateway stops accepting and
+        answers every in-flight request, but cuts whatever cannot finish
+        within this many seconds.
 
     The constructor binds the socket but does not serve: call
     :meth:`start` (background thread) or :meth:`serve_forever`.
@@ -103,7 +118,8 @@ class ServingServer:
                  idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
-                 dispatch_workers: int = 8):
+                 dispatch_workers: int = 8,
+                 drain_deadline_s: float = 10.0):
         self.service = service
         self.backend = backend
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
@@ -119,6 +135,7 @@ class ServingServer:
             idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
             max_header_bytes=max_header_bytes,
             dispatch_workers=dispatch_workers)
+        self.drain_deadline_s = drain_deadline_s
         self._thread: threading.Thread | None = None
         self._serving = False
         self._started_at = time.monotonic()
@@ -154,12 +171,49 @@ class ServingServer:
         self._serving = True
         self._transport.serve_forever(poll_interval=0.5)
 
+    def request_drain(self) -> None:
+        """Start a graceful stop without blocking (signal-handler safe).
+
+        Stops accepting immediately; a helper thread rides out the
+        drain deadline and then forces the loop down, so
+        :meth:`serve_forever` (and :meth:`close` after it) return on
+        their own.  Idempotent — repeated signals don't stack threads
+        that matter (drain/shutdown are both idempotent).
+        """
+        threading.Thread(target=self._transport.drain,
+                         args=(self.drain_deadline_s,),
+                         name="gateway-drain-deadline", daemon=True).start()
+
+    def install_signal_handlers(self) -> dict:
+        """Route SIGTERM/SIGINT to :meth:`request_drain`.
+
+        Must run on the main thread (CPython restriction).  Returns the
+        previous handlers keyed by signal number so tests (and embedders)
+        can restore them.
+        """
+        previous = {}
+
+        def _handle(signum, frame):
+            del frame
+            self.request_drain()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handle)
+        return previous
+
     def close(self) -> None:
-        """Stop the listener, then the service's scorer pools."""
+        """Drain in-flight requests, stop the listener, then the pools.
+
+        Previously this called ``shutdown()`` directly, which tore the
+        loop down with accepted requests still being scored — their
+        connections were closed with no response.  Now every accepted
+        request is answered first, bounded by ``drain_deadline_s``.
+        """
         if self._serving:
-            # shutdown() waits for the serve loop to exit; calling it on
-            # a bound-but-never-served transport would deadlock.
-            self._transport.shutdown()
+            # drain() ends with shutdown(), which waits for the serve
+            # loop to exit; calling either on a bound-but-never-served
+            # transport would deadlock.
+            self._transport.drain(self.drain_deadline_s)
             self._serving = False
         self._transport.server_close()
         if self._thread is not None:
@@ -185,12 +239,21 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          adaptive_batch: bool = True,
                          min_batch_rows: int = 8,
                          idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
-                         dispatch_workers: int = 8) -> ServingServer:
+                         dispatch_workers: int = 8,
+                         max_backlog_rows: int | None = 4096,
+                         drain_deadline_s: float = 10.0) -> ServingServer:
     """Build a ready-to-start gateway from a checkpoint directory.
 
     Reads the ``environment.json`` bundle, registers every ranking
     checkpoint, and loads the classifier checkpoint when one is present
     (see :mod:`repro.serving.checkpoint` for the layout).
+
+    Unlike the bare library classes (which default to unbounded for
+    back-compat), a gateway booted this way always serves with an
+    admission bound: ``max_backlog_rows`` rows of queued scoring work per
+    model pool, beyond which requests are shed with a 429 and a
+    ``Retry-After`` derived from the pool's drain rate.  Pass ``None`` to
+    opt out.
     """
     checkpoint_dir = Path(checkpoint_dir)
     spec, taxonomy = load_environment(checkpoint_dir)
@@ -210,12 +273,14 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                              max_batch_rows=max_batch_rows,
                              max_wait_ms=max_wait_ms, num_workers=num_workers,
                              adaptive_batch=adaptive_batch,
-                             min_batch_rows=min_batch_rows)
+                             min_batch_rows=min_batch_rows,
+                             max_backlog_rows=max_backlog_rows)
     return ServingServer(service, host=host, port=port,
                          checkpoint_dir=checkpoint_dir, spec=spec,
                          taxonomy=taxonomy, backend=backend,
                          idle_timeout_s=idle_timeout_s,
-                         dispatch_workers=dispatch_workers)
+                         dispatch_workers=dispatch_workers,
+                         drain_deadline_s=drain_deadline_s)
 
 
 def _bootstrap_demo(checkpoint_dir: Path) -> None:
@@ -276,6 +341,14 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_IDLE_TIMEOUT_S,
                         help="close keep-alive connections idle this many "
                              "seconds")
+    parser.add_argument("--max-backlog-rows", type=int, default=4096,
+                        help="per-model admission bound in queued scoring "
+                             "rows; past it requests are shed with 429 + "
+                             "Retry-After (0 disables shedding)")
+    parser.add_argument("--drain-deadline", type=float, default=10.0,
+                        help="seconds a SIGTERM/SIGINT graceful drain may "
+                             "spend answering in-flight requests before the "
+                             "loop is forced down")
     parser.add_argument("--default-model", default=None,
                         help="model name for unrouted traffic "
                              "(default: the sole registered name)")
@@ -296,18 +369,27 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend, adaptive_batch=not args.static_batch,
         min_batch_rows=args.min_batch_rows,
         idle_timeout_s=args.idle_timeout,
-        dispatch_workers=args.dispatch_workers)
+        dispatch_workers=args.dispatch_workers,
+        max_backlog_rows=args.max_backlog_rows or None,
+        drain_deadline_s=args.drain_deadline)
+    server.install_signal_handlers()
     names = ", ".join(server.service.registry.names())
     cap = ("static" if args.static_batch
            else f"adaptive ≤{args.max_batch_rows}")
+    backlog = (f"shed past {args.max_backlog_rows} backlog rows"
+               if args.max_backlog_rows else "no admission bound")
     print(f"serving {names} on {server.url} "
           f"({args.backend} backend, {args.workers} scoring workers, "
-          f"{cap} batch cap; POST /reload to hot-reload)")
+          f"{cap} batch cap, {backlog}; GET /metrics for Prometheus, "
+          f"POST /reload to hot-reload)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        # SIGTERM lands here too: the handler drains the transport, the
+        # serve loop returns, and close() answers nothing is left before
+        # shutting the scorer pools.
         server.close()
     return 0
 

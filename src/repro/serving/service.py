@@ -83,6 +83,13 @@ class RankingService:
         time, with ``max_batch_rows`` as the upper and ``min_batch_rows``
         the lower clamp; ``adaptive_batch=False`` pins the static
         per-worker cap.
+    max_backlog_rows:
+        Per-pool admission bound, in rows.  A submission that would push
+        a pool's backlog past this raises
+        :class:`~repro.serving.scorer.PoolOverloaded` (the gateway turns
+        it into a 429); ``None`` (the default) keeps the unbounded
+        library behavior.  The gateway always serves with a bound — see
+        :func:`~repro.serving.server.serve_from_directory`.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -92,7 +99,8 @@ class RankingService:
                  routing: dict[int, str] | None = None,
                  max_batch_rows: int = 256, max_wait_ms: float = 2.0,
                  num_workers: int = 1, adaptive_batch: bool = True,
-                 min_batch_rows: int = 8):
+                 min_batch_rows: int = 8,
+                 max_backlog_rows: int | None = None):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.registry = registry
@@ -105,6 +113,7 @@ class RankingService:
         self._num_workers = num_workers
         self._adaptive_batch = adaptive_batch
         self._min_batch_rows = min_batch_rows
+        self._max_backlog_rows = max_backlog_rows
         self._scorers: dict[tuple[str, int], ScorerPool] = {}
         self._closed = False
         # Guards pool creation: two concurrent rank() calls for the same
@@ -189,7 +198,8 @@ class RankingService:
                                     max_wait_ms=self._max_wait_ms,
                                     name=f"{entry.name}-v{entry.version}",
                                     adaptive_batch=self._adaptive_batch,
-                                    min_batch_rows=self._min_batch_rows)
+                                    min_batch_rows=self._min_batch_rows,
+                                    max_backlog_rows=self._max_backlog_rows)
                 self._scorers[entry.key] = scorer
                 # Hot swap: a newer version's scorer retires older ones for
                 # the same name, else every swap leaks a worker thread and
@@ -259,6 +269,28 @@ class RankingService:
             scorers = dict(self._scorers)
         return {f"{name}:v{version}": scorer.stats()
                 for (name, version), scorer in scorers.items()}
+
+    def overload_status(self) -> float | None:
+        """Pre-parse admission check: retry-after seconds, or ``None``.
+
+        Returns the worst live pool's ``retry_after_s`` when any pool's
+        backlog has reached its admission bound, else ``None`` (admit).
+        This is the gateway's cheap gate — one lock-free int read per
+        pool — run *before* any JSON parsing cost is spent on a request
+        that would only be refused at submit time anyway.  A request the
+        check admits can still lose the race to a concurrent burst; the
+        pool's own bound in :meth:`ScorerPool.submit` is the backstop.
+        """
+        with self._scorers_lock:
+            scorers = list(self._scorers.values())
+        worst = None
+        for scorer in scorers:
+            bound = scorer.max_backlog_rows
+            if bound is not None and scorer.backlog_rows >= bound:
+                retry_after = scorer.retry_after_s()
+                if worst is None or retry_after > worst:
+                    worst = retry_after
+        return worst
 
     def close(self) -> None:
         """Stop every scorer worker (pending requests complete first).

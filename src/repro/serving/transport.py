@@ -40,8 +40,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .handlers import GatewayDispatcher
 from .protocol import (MAX_BODY_BYTES, MAX_HEADER_BYTES, ProtocolError,
-                       Request, RequestParser, encode_error, encode_json,
-                       encode_response, validate_content_length)
+                       Request, RequestParser, encode_body, encode_error,
+                       encode_head, validate_content_length)
 
 __all__ = ["GatewayCounters", "SelectorTransport", "ThreadedTransport",
            "BACKENDS", "create_transport"]
@@ -59,9 +59,11 @@ class GatewayCounters:
     """Connection-level counters shared by the transport and ``/stats``.
 
     ``open`` is the number of currently connected sockets, ``accepted``
-    the total ever accepted, ``requests`` the responses served, and
-    ``keepalive_reuses`` how many requests arrived on an
-    already-used connection (i.e. how much work keep-alive saved).
+    the total ever accepted, ``requests`` the responses served,
+    ``keepalive_reuses`` how many requests arrived on an already-used
+    connection (i.e. how much work keep-alive saved), and ``in_flight``
+    how many requests are inside a handler right now — the gauge a
+    graceful drain waits on.
     """
 
     def __init__(self):
@@ -70,6 +72,7 @@ class GatewayCounters:
         self.accepted = 0
         self.requests = 0
         self.keepalive_reuses = 0
+        self.in_flight = 0
 
     def connection_opened(self) -> None:
         with self._lock:
@@ -79,6 +82,14 @@ class GatewayCounters:
     def connection_closed(self) -> None:
         with self._lock:
             self.open -= 1
+
+    def dispatch_started(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
+    def dispatch_finished(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
 
     def request_served(self, reused: bool) -> None:
         with self._lock:
@@ -90,7 +101,8 @@ class GatewayCounters:
         with self._lock:
             return {"open": self.open, "accepted": self.accepted,
                     "requests": self.requests,
-                    "keepalive_reuses": self.keepalive_reuses}
+                    "keepalive_reuses": self.keepalive_reuses,
+                    "in_flight": self.in_flight}
 
 
 # ----------------------------------------------------------------------
@@ -178,8 +190,15 @@ class SelectorTransport:
             max_workers=dispatch_workers, thread_name_prefix="gateway-dispatch")
         self._connections: set[_Connection] = set()
         self._shutdown_requested = threading.Event()
+        self._drain_requested = threading.Event()
+        self._draining = False              # loop-thread view of the above
         self._loop_done = threading.Event()
         self._loop_done.set()               # not serving yet
+        # select() returns since serve_forever began — the regression
+        # gauge for the event-driven loop: with every connection's
+        # handler in flight there is nothing to poll for, so the count
+        # must stay near zero instead of ticking at a poll interval.
+        self.loop_wakeups = 0
 
     @property
     def server_address(self) -> tuple[str, int]:
@@ -203,7 +222,11 @@ class SelectorTransport:
             except (OSError, ValueError, KeyError):
                 return                  # closed before serving began
             while not self._shutdown_requested.is_set():
-                for key, mask in sel.select(self._select_timeout(poll_interval)):
+                events = sel.select(self._select_timeout(poll_interval))
+                self.loop_wakeups += 1
+                if self._drain_requested.is_set() and not self._draining:
+                    self._start_drain()
+                for key, mask in events:
                     if key.data == "accept":
                         self._accept()
                     elif key.data == "wake":
@@ -216,6 +239,8 @@ class SelectorTransport:
                             self._on_writable(connection)
                 self._apply_completions()
                 self._reap_idle()
+                if self._draining:
+                    self._sweep_drained()
         finally:
             for connection in list(self._connections):
                 self._close_connection(connection)
@@ -227,37 +252,114 @@ class SelectorTransport:
             self._loop_done.set()
 
     def shutdown(self) -> None:
-        """Ask the loop to exit and wait until it has."""
+        """Ask the loop to exit and wait until it has.
+
+        Immediate stop: in-flight responses are abandoned (their
+        connections are closed in the loop's cleanup).  Restart paths
+        want :meth:`drain` instead — this is the escape hatch behind its
+        deadline.
+        """
         self._shutdown_requested.set()
         self._wake()
         self._loop_done.wait()
 
+    def begin_drain(self) -> None:
+        """Non-blocking graceful stop: quit accepting, answer everything
+        accepted (in flight *and* pipelined), force ``Connection: close``
+        on each connection's final response, then let ``serve_forever``
+        return on its own.
+
+        Callable from any thread — in particular from a signal handler's
+        helper while the serving thread is inside ``select()``; the loop
+        applies the transition on its next wakeup.
+        """
+        self._drain_requested.set()
+        self._wake()
+
+    def drain(self, deadline_s: float) -> None:
+        """Blocking drain with a bounded deadline.
+
+        Waits for the loop to answer every accepted request; whatever
+        cannot finish by ``deadline_s`` is cut off by a forced
+        :meth:`shutdown` (which is a no-op when the drain completed in
+        time).
+        """
+        self.begin_drain()
+        self._loop_done.wait(timeout=max(deadline_s, 0.0))
+        self.shutdown()
+
     def server_close(self) -> None:
         self._listener.close()
+        # Let in-flight dispatch finish instead of cancelling it: the
+        # previous wait=False/cancel_futures=True here reset accepted
+        # requests on every restart.  Waiting is bounded — the scorer
+        # pools are still alive at this point (ServingServer.close shuts
+        # the service down *after* the transport) and pool workers always
+        # resolve their futures, so no handler can block forever.
+        self._executor.shutdown(wait=True)
         self._selector.close()
         self._wake_r.close()
         self._wake_w.close()
-        # Don't wait: a dispatch thread may still be blocked on a scorer
-        # future that only resolves once the service shuts its pools
-        # (ServingServer.close does that right after this call).
-        self._executor.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # Event handling
     # ------------------------------------------------------------------
-    def _select_timeout(self, poll_interval: float) -> float:
-        """Sleep until the next idle deadline could fire (bounded).
+    def _select_timeout(self, poll_interval: float) -> float | None:
+        """Sleep until the next idle deadline could fire — or block.
 
         Only reapable connections (no handler in flight) bound the sleep
         — a long-scoring request must not spin the loop at its past-due
-        deadline.
+        deadline.  With nothing reapable the loop blocks in ``select()``
+        indefinitely: every state change it must act on arrives as a
+        selector event (readable/writable sockets, a fresh accept) or a
+        self-pipe wake (completions, shutdown, drain), so a timed poll
+        only burns wakeups — the old ``max(poll_interval, 0.05)`` floor
+        woke a fully-loaded loop 20x/s for nothing.
         """
+        del poll_interval               # event-driven: nothing to poll for
         reapable = [c.last_activity for c in self._connections
                     if not c.in_flight]
         if not reapable:
-            return max(poll_interval, 0.05)
+            return None
         next_deadline = min(reapable) + self.idle_timeout_s
         return min(max(next_deadline - time.monotonic(), 0.01), 0.5)
+
+    def _start_drain(self) -> None:
+        """Loop-thread drain transition: stop accepting, keep answering.
+
+        The listener closes immediately so the OS refuses new connections
+        (a load balancer sees connection-refused and routes elsewhere)
+        while every accepted connection keeps being served.
+        ``_sweep_drained`` then retires connections as they go quiet and
+        ends the loop once none remain.
+        """
+        self._draining = True
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def _sweep_drained(self) -> None:
+        """Close connections with nothing left to answer; exit when done.
+
+        A connection survives the sweep while it has a handler in flight,
+        queued pipelined requests, unflushed response bytes, or a request
+        mid-arrival — everything the drain promised to answer.  Idle
+        keep-alive connections (the common case: clients waiting to send
+        their *next* request) are closed immediately rather than waiting
+        out the idle timeout.
+        """
+        for connection in list(self._connections):
+            if not connection.in_flight and not connection.pending \
+                    and not connection.out \
+                    and not connection.parser.mid_request:
+                self._close_connection(connection)
+        if not self._connections:
+            self._shutdown_requested.set()
 
     def _wake(self) -> None:
         try:
@@ -345,37 +447,59 @@ class SelectorTransport:
         connection.in_flight = True
         reused = connection.requests_dispatched > 0
         connection.requests_dispatched += 1
+        self.counters.dispatch_started()
         self._executor.submit(self._run_handler, connection, item, reused)
 
     def _run_handler(self, connection: _Connection, request: Request,
                      reused: bool) -> None:
-        """Dispatch-pool job: compute the response, enqueue, wake the loop."""
-        close = not request.keep_alive
+        """Dispatch-pool job: compute the response body, enqueue, wake.
+
+        Only the *body* is rendered here — the head waits for the loop
+        thread (:meth:`_apply_completions`), which alone knows whether
+        this response must carry ``Connection: close`` (drain mode closes
+        each connection on its final response, but a pipelined request
+        already queued behind this one must still be answered first).
+        """
+        force_close = not request.keep_alive
         try:
             # Raw target: the dispatcher owns path normalization (the
             # threaded backend hands it raw paths too).
-            status, payload = self.dispatcher.dispatch(
+            status, payload, headers = self.dispatcher.dispatch(
                 request.method, request.target, request.body)
-            data = encode_response(status, payload,
-                                   keep_alive=request.keep_alive)
+            body, content_type = encode_body(payload)
         except BaseException as error:  # encoding failed: still must answer
-            data = encode_error(500, "internal",
-                                f"{type(error).__name__}: {error}")
-            close = True
-        self._completions.put((connection, data, close, reused))
+            status, headers = 500, {}
+            body, content_type = encode_body(
+                {"error": {"type": "internal",
+                           "message": f"{type(error).__name__}: {error}"}})
+            force_close = True
+        finally:
+            self.counters.dispatch_finished()
+        self._completions.put((connection, status, body, content_type,
+                               headers, force_close, reused))
         self._wake()
 
     def _apply_completions(self) -> None:
         while True:
             try:
-                connection, data, close, reused = self._completions.get_nowait()
+                (connection, status, body, content_type, headers,
+                 force_close, reused) = self._completions.get_nowait()
             except queue.Empty:
                 return
             if not connection.alive:
                 continue                # client vanished while we scored
             connection.in_flight = False
-            connection.out += data
-            connection.close_after_write |= close
+            keep_alive = not force_close
+            if self._draining and not connection.pending \
+                    and not connection.parser.mid_request:
+                # The connection's last promised response: tell the
+                # client not to reuse the socket, so the drain converges
+                # instead of racing the client's next request forever.
+                keep_alive = False
+            connection.out += encode_head(
+                status, len(body), keep_alive=keep_alive,
+                content_type=content_type, extra_headers=headers) + body
+            connection.close_after_write |= not keep_alive
             connection.last_activity = time.monotonic()
             self.counters.request_served(reused=reused)
             self._update_interest(connection)
@@ -489,6 +613,10 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
     # The gateway holds real state (scorer pools); don't let a lingering
     # client connection on a reused address confuse a fresh server.
     allow_reuse_address = True
+    # Flipped by ThreadedTransport.begin_drain/drain: handler threads add
+    # ``Connection: close`` to every response so keep-alive clients let
+    # go of their sockets and the drain converges.
+    draining = False
     dispatcher: GatewayDispatcher
     counters: GatewayCounters
     max_body_bytes: int
@@ -544,11 +672,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(error.status,
                        {"error": {"type": error.kind, "message": str(error)}})
             return
-        status, payload = dispatcher.dispatch(method, self.path, body)
+        self.server.counters.dispatch_started()
+        try:
+            status, payload, headers = dispatcher.dispatch(
+                method, self.path, body)
+        finally:
+            self.server.counters.dispatch_finished()
         self._requests_on_connection += 1
         self.server.counters.request_served(
             reused=self._requests_on_connection > 1)
-        self._send(status, payload)
+        self._send(status, payload, headers)
 
     def _read_body(self) -> bytes:
         # Shared validation with the selector backend's parser, so the
@@ -557,12 +690,24 @@ class _Handler(BaseHTTPRequestHandler):
                                          self.server.max_body_bytes)
         return self.rfile.read(length) if length > 0 else b""
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload,
+              extra_headers: dict | None = None) -> None:
         try:
-            body = encode_json(payload)
+            body, content_type = encode_body(payload)
+            extra = dict(extra_headers or {})
+            content_type = extra.pop("Content-Type", content_type)
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in extra.items():
+                self.send_header(name, value)
+            if getattr(self.server, "draining", False):
+                # Coarser than the selector drain (every response while
+                # draining closes, not just each connection's last) but
+                # the contract holds: accepted requests are answered and
+                # clients are told to reconnect elsewhere.  send_header
+                # also flips close_connection for us.
+                self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
             self.wfile.flush()
@@ -604,6 +749,34 @@ class ThreadedTransport:
 
     def shutdown(self) -> None:
         self._httpd.shutdown()
+
+    def begin_drain(self) -> None:
+        """Non-blocking graceful stop: stop accepting, mark every further
+        response ``Connection: close``.  In-flight handler threads keep
+        running; :meth:`drain` (or ``shutdown``) waits them out.
+        """
+        self._httpd.draining = True
+        # shutdown() blocks until serve_forever returns, which can take
+        # up to one poll interval — too long for a signal path, so hand
+        # it to a helper thread.
+        threading.Thread(target=self._httpd.shutdown,
+                         name="gateway-drain", daemon=True).start()
+
+    def drain(self, deadline_s: float) -> None:
+        """Blocking drain: stop accepting, wait for in-flight handlers.
+
+        Waits on the ``in_flight`` gauge rather than ``open`` — idle
+        keep-alive clients may hold sockets for seconds after their last
+        response, and the drain's promise is about accepted *requests*,
+        not lingering idle connections (their handler threads are daemons
+        and the forced close in ``server_close`` cuts them off).
+        """
+        self._httpd.draining = True
+        self._httpd.shutdown()          # no new connections accepted
+        deadline = time.monotonic() + max(deadline_s, 0.0)
+        while self.counters.snapshot()["in_flight"] > 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.02)
 
     def server_close(self) -> None:
         self._httpd.server_close()

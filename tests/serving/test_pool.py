@@ -25,8 +25,9 @@ from hypothesis import strategies as st
 
 from repro import nn, serving
 from repro.models import build_model
-from repro.serving import (BatchScorer, ModelRegistry, RankingService,
-                           ScorerPool, ScorerStats, latency_percentile)
+from repro.serving import (BatchScorer, ModelRegistry, PoolOverloaded,
+                           RankingService, ScorerPool, ScorerStats,
+                           latency_percentile)
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +127,95 @@ class TestScorerPool:
     def test_invalid_num_workers_rejected(self, model):
         with pytest.raises(ValueError):
             ScorerPool(model.make_scorer, num_workers=0)
+
+
+class TestAdmissionBound:
+    """The pool's overload self-protection: a bounded backlog that sheds
+    over-budget submissions with :class:`PoolOverloaded` instead of
+    queueing without limit."""
+
+    @staticmethod
+    def _gated_factory(release):
+        """Score closures that block until ``release`` is set — lets a
+        test pin the backlog at a known size."""
+        def factory():
+            def gated_score(batch):
+                release.wait(10)
+                return np.zeros(len(batch))
+            return gated_score
+        return factory
+
+    def test_over_bound_submit_sheds(self, dataset):
+        release = threading.Event()
+        with ScorerPool(self._gated_factory(release), num_workers=1,
+                        max_batch_rows=4, max_wait_ms=0.0,
+                        max_backlog_rows=8, name="bounded") as pool:
+            # First submit is collected by the worker (blocks in score);
+            # the next fills the backlog to the bound.
+            first = pool.submit(dataset.batch(np.arange(4)))
+            time.sleep(0.05)            # let the worker collect it
+            second = pool.submit(dataset.batch(np.arange(8)))
+            with pytest.raises(PoolOverloaded) as excinfo:
+                pool.submit(dataset.batch(np.arange(4)))
+            error = excinfo.value
+            assert error.name == "bounded"
+            assert error.backlog_rows == 8
+            assert error.max_backlog_rows == 8
+            assert error.retry_after_s > 0
+            stats = pool.stats()
+            assert stats.backlog_rows == 8
+            assert stats.max_backlog_rows == 8
+            assert stats.shed_requests == 1
+            assert stats.shed_rows == 4
+            release.set()
+            # Shedding must not disturb admitted work.
+            assert first.result(timeout=10).shape == (4,)
+            assert second.result(timeout=10).shape == (8,)
+        final = pool.stats()
+        assert final.requests == 2 and final.rows == 12
+
+    def test_idle_pool_admits_oversized_request(self, dataset):
+        """An empty pool accepts a request larger than the whole bound:
+        refusing it would make the request unservable forever, and an
+        idle pool is by definition not overloaded."""
+        def factory():
+            return lambda batch: np.zeros(len(batch))
+
+        with ScorerPool(factory, num_workers=1, max_batch_rows=64,
+                        max_wait_ms=0.0, max_backlog_rows=8) as pool:
+            future = pool.submit(dataset.batch(np.arange(32)))
+            assert future.result(timeout=10).shape == (32,)
+            assert pool.stats().shed_requests == 0
+
+    def test_drain_rate_and_retry_after(self, dataset):
+        def factory():
+            return lambda batch: np.zeros(len(batch))
+
+        with ScorerPool(factory, num_workers=1, max_batch_rows=64,
+                        max_wait_ms=0.0, max_backlog_rows=100) as pool:
+            for _ in range(5):
+                pool.submit(dataset.batch(np.arange(10))).result(timeout=10)
+            rate = pool.drain_rate_rows_per_s()
+            assert rate > 0
+            retry = pool.retry_after_s()
+            assert 0.5 <= retry <= 30.0
+        # A pool that never drained anything still gives a usable hint.
+        fresh = ScorerPool(factory, num_workers=1, max_backlog_rows=10)
+        try:
+            assert fresh.retry_after_s() == pytest.approx(1.0)
+        finally:
+            fresh.close()
+
+    def test_invalid_bound_rejected(self, model):
+        with pytest.raises(ValueError):
+            ScorerPool(model.make_scorer, num_workers=1, max_backlog_rows=0)
+
+    def test_unbounded_pool_reports_none(self, model, dataset):
+        with ScorerPool(model.make_scorer, num_workers=1) as pool:
+            pool.submit(dataset.batch(np.arange(3))).result(timeout=10)
+            stats = pool.stats()
+        assert stats.max_backlog_rows is None
+        assert stats.shed_requests == 0
 
 
 class TestAdaptiveCap:

@@ -188,25 +188,76 @@ class TestOperationalEndpoints:
     def test_stats_schema_pinned(self, client, batch):
         client.rank(batch.numeric, batch.sparse)
         payload = client.stats()
-        assert set(payload) == {"server", "scorers"}
-        assert set(payload["server"]) == {"requests", "errors", "uptime_s",
+        assert set(payload) == {"server", "scorers", "endpoints"}
+        assert set(payload["server"]) == {"requests", "errors",
+                                          "shed_requests", "uptime_s",
                                           "connections"}
         assert payload["server"]["requests"] > 0
+        assert payload["server"]["shed_requests"] == 0
         scorer_keys = {"requests", "rows", "batches", "busy_seconds",
                        "latency_samples", "mean_latency_ms", "p95_latency_ms",
                        "max_latency_ms", "workers", "mean_batch_rows",
-                       "throughput_rows_per_s"}
+                       "throughput_rows_per_s", "backlog_rows",
+                       "max_backlog_rows", "shed_requests", "shed_rows",
+                       "drain_rate_rows_per_s"}
         assert payload["scorers"], "at least one scorer pool must report"
         for stats in payload["scorers"].values():
             assert set(stats) == scorer_keys
             assert stats["workers"] == 2
+
+    def test_stats_endpoint_histograms(self, client, batch):
+        """Per-endpoint latency histograms ride /stats: every known route
+        reports, observed routes accumulate, quantiles are ordered."""
+        client.rank(batch.numeric, batch.sparse)
+        endpoints = client.stats()["endpoints"]
+        assert "/rank" in endpoints and "/healthz" in endpoints
+        rank = endpoints["/rank"]
+        assert set(rank) == {"count", "sum_ms", "p50_ms", "p95_ms",
+                             "p99_ms", "buckets"}
+        assert rank["count"] >= 1
+        assert rank["sum_ms"] > 0
+        assert rank["p50_ms"] <= rank["p95_ms"] <= rank["p99_ms"]
+        # Buckets are (bound_ms, cumulative count) with increasing bounds.
+        bounds = [bound for bound, _ in rank["buckets"]]
+        counts = [count for _, count in rank["buckets"]]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+
+    def test_metrics_prometheus_exposition(self, server, client, batch):
+        """GET /metrics serves the Prometheus text format: versioned
+        content type, HELP/TYPE framing, and counters that agree with
+        /stats."""
+        client.rank(batch.numeric, batch.sparse)
+        stats = client.stats()
+        response = urllib.request.urlopen(server.url + "/metrics", timeout=5)
+        assert response.headers["Content-Type"] \
+            == "text/plain; version=0.0.4; charset=utf-8"
+        text = response.read().decode("utf-8")
+        assert "# HELP gateway_requests_total" in text
+        assert "# TYPE gateway_request_duration_seconds histogram" in text
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, _, value = line.rpartition(" ")
+            samples[name] = float(value)
+        # /metrics itself dispatched after the /stats read, so >=.
+        assert samples["gateway_requests_total"] \
+            >= stats["server"]["requests"]
+        assert samples["gateway_shed_requests_total"] == 0
+        rank_count = samples[
+            'gateway_request_duration_seconds_count{endpoint="/rank"}']
+        assert rank_count >= 1
+        # Scorer gauges are labeled per pool.
+        assert any(name.startswith('scorer_requests_total{pool="')
+                   for name in samples)
 
     def test_stats_connection_counters_pinned(self, client, batch):
         """Gateway-level connection counters: schema and keep-alive
         accounting are part of the monitoring contract on both backends."""
         before = client.stats()["server"]["connections"]
         assert set(before) == {"open", "accepted", "requests",
-                               "keepalive_reuses"}
+                               "keepalive_reuses", "in_flight"}
         client.rank(batch.numeric, batch.sparse)
         after = client.stats()["server"]["connections"]
         # This client holds one persistent connection: both requests rode
