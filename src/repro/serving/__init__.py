@@ -16,20 +16,33 @@ gateway (``python -m repro.serving.server``) with the
 :class:`ServingClient` and a closed-loop load generator
 (``python -m repro.serving.loadgen``) on the caller side.  All scoring
 rides the compiled graph-free fast lane (:mod:`repro.nn.infer`).
+
+The serving stack is fault-tolerant end to end: request deadlines
+(``X-Deadline-Ms`` → structured 504s, expired work dropped from the
+scoring queue), worker supervision (dead scoring workers respawn with
+fresh compiled plans), a per-model :class:`CircuitBreaker` that degrades
+to a model-free fallback instead of erroring, corruption-safe checkpoint
+writes (atomic rename + checksum manifest) with quarantine on reload —
+all proven by the :class:`FaultInjector` chaos harness
+(``python -m repro.serving.loadgen --chaos``).
 """
 
-from .checkpoint import (ENVIRONMENT_FILENAME, find_classifier_checkpoint,
+from .breaker import BreakerConfig, CircuitBreaker
+from .checkpoint import (ENVIRONMENT_FILENAME, CheckpointCorrupted,
+                         checksum_file, find_classifier_checkpoint,
                          load_checkpoint, load_classifier_checkpoint,
                          load_environment, load_model, save_checkpoint,
                          save_classifier_checkpoint, save_environment)
 from .client import ServingClient, ServingError
+from .faults import FaultInjector, InjectedFault, WorkerKilled
 from .handlers import GatewayDispatcher
-from .loadgen import LoadSummary, run_load, run_sweep
+from .loadgen import LoadSummary, run_chaos, run_load, run_sweep
 from .metrics import LatencyHistogram, log_spaced_buckets
 from .protocol import ProtocolError, RequestParser
 from .registry import ModelRegistry, RegisteredModel
-from .scorer import (BatchScorer, PoolOverloaded, ScorerPool, ScorerStats,
-                     concat_batches, latency_percentile)
+from .scorer import (BatchScorer, DeadlineExceeded, PoolOverloaded,
+                     ScorerPool, ScorerStats, concat_batches,
+                     latency_percentile)
 from .server import ApiError, ServingServer, serve_from_directory
 from .service import RankingResponse, RankingService, candidate_batch
 from .transport import GatewayCounters, SelectorTransport, ThreadedTransport
@@ -50,6 +63,14 @@ __all__ = [
     "ScorerPool",
     "ScorerStats",
     "PoolOverloaded",
+    "DeadlineExceeded",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerKilled",
+    "CheckpointCorrupted",
+    "checksum_file",
     "concat_batches",
     "latency_percentile",
     "LatencyHistogram",
@@ -71,4 +92,5 @@ __all__ = [
     "LoadSummary",
     "run_load",
     "run_sweep",
+    "run_chaos",
 ]

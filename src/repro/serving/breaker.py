@@ -1,0 +1,240 @@
+"""Rolling-window circuit breaker for the serving layer.
+
+A scorer pool whose model keeps throwing is worse than a missing one: every
+request still pays queueing and merge cost before failing, co-batched
+innocents fail with it, and the client sees a storm of 500s instead of a
+degraded-but-usable answer.  The breaker watches recent scoring outcomes
+per model pool and, once the failure ratio over a rolling window crosses a
+threshold, **opens**: callers stop submitting to the pool and serve a
+model-free degraded fallback instead (see
+:meth:`repro.serving.RankingService.rank`).  After a cooldown the breaker
+goes **half-open** and lets a bounded number of probe requests through;
+enough successes re-close it, any probe failure re-opens it.
+
+State machine (the classic three states):
+
+``closed`` ──(failure ratio ≥ threshold over ≥ min_requests)──▶ ``open``
+``open``   ──(cooldown elapsed, next allow())──▶ ``half_open``
+``half_open`` ──(probe_successes probes all succeed)──▶ ``closed``
+``half_open`` ──(any probe fails)──▶ ``open``
+
+Only *model* failures should be recorded: backpressure
+(:class:`~repro.serving.scorer.PoolOverloaded`), expired deadlines
+(:class:`~repro.serving.scorer.DeadlineExceeded`) and client-data errors
+are not evidence that the model is broken — the service layer filters
+them out before calling :meth:`CircuitBreaker.record_failure`.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker`.
+
+    Parameters
+    ----------
+    window_s:
+        Rolling window the failure ratio is computed over.  Outcomes
+        older than this no longer count — a model that failed an hour ago
+        and has been fine since must not stay open.
+    failure_threshold:
+        Failure ratio in ``(0, 1]`` that opens the breaker.
+    min_requests:
+        Minimum outcomes in the window before the ratio is evaluated; a
+        single failure on an idle pool must not open the breaker.
+    cooldown_s:
+        How long an open breaker refuses traffic before letting probes
+        through (open → half-open).
+    probe_successes:
+        Consecutive successful probes required to re-close from
+        half-open.  The same number bounds how many probes may be in
+        flight at once, so a half-open breaker cannot flood a still-sick
+        model.
+    """
+
+    window_s: float = 30.0
+    failure_threshold: float = 0.5
+    min_requests: int = 10
+    cooldown_s: float = 5.0
+    probe_successes: int = 2
+
+    def __post_init__(self):
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.min_requests <= 0:
+            raise ValueError("min_requests must be positive")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.probe_successes <= 0:
+            raise ValueError("probe_successes must be positive")
+
+
+class CircuitBreaker:
+    """Thread-safe rolling-window breaker (see the module docstring).
+
+    Usage pattern (what :class:`~repro.serving.RankingService` does)::
+
+        if breaker.allow():
+            try:
+                result = score(...)
+            except ModelError:
+                breaker.record_failure()
+                raise
+            except BackpressureError:
+                breaker.abandon()       # not evidence either way
+                raise
+            else:
+                breaker.record_success()
+        else:
+            result = degraded_fallback(...)
+    """
+
+    def __init__(self, config: BreakerConfig | None = None,
+                 clock=time.monotonic):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._events: collections.deque[tuple[float, bool]] = collections.deque()
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._opens = 0                 # transitions into OPEN since start
+        self._rejected = 0              # allow() == False answers
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (cooldown-aware).
+
+        An open breaker whose cooldown has elapsed reports (and becomes)
+        ``half_open`` — the transition is lazy, applied on observation,
+        so no timer thread is needed.
+        """
+        with self._lock:
+            self._maybe_half_open(self._clock())
+            return self._state
+
+    @property
+    def opens(self) -> int:
+        """Transitions into the open state since construction."""
+        with self._lock:
+            return self._opens
+
+    def _maybe_half_open(self, now: float) -> None:
+        if self._state == OPEN \
+                and now - self._opened_at >= self.config.cooldown_s:
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.config.window_s
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()
+
+    def _open(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._opens += 1
+        self._events.clear()            # stale outcomes must not re-trip
+
+    # ------------------------------------------------------------------
+    # Decisions and outcomes
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May this request hit the real model pool?
+
+        ``closed``: always.  ``open``: no (the caller serves degraded).
+        ``half_open``: yes for up to ``probe_successes`` concurrent
+        probes, no beyond that — a recovering model gets a trickle, not
+        the full backlog.
+        """
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN \
+                    and self._probes_in_flight < self.config.probe_successes:
+                self._probes_in_flight += 1
+                return True
+            self._rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.probe_successes:
+                    self._state = CLOSED
+                    self._events.clear()
+                return
+            if self._state == CLOSED:
+                self._events.append((now, True))
+                self._trim(now)
+
+    def record_failure(self) -> None:
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == HALF_OPEN:
+                # The model is still sick: back to open, cooldown restarts.
+                self._open(now)
+                return
+            if self._state == CLOSED:
+                self._events.append((now, False))
+                self._trim(now)
+                total = len(self._events)
+                failures = sum(1 for _, ok in self._events if not ok)
+                if total >= self.config.min_requests \
+                        and failures / total >= self.config.failure_threshold:
+                    self._open(now)
+
+    def abandon(self) -> None:
+        """The allowed request resolved with no verdict on the model
+        (shed, expired deadline, client-data error).  Releases a
+        half-open probe slot so exempt outcomes cannot wedge the breaker
+        in half-open with every probe slot consumed forever."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe view for ``/stats`` and the Prometheus exposition."""
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            self._trim(now)
+            total = len(self._events)
+            failures = sum(1 for _, ok in self._events if not ok)
+            return {
+                "state": self._state,
+                "opens": self._opens,
+                "rejected": self._rejected,
+                "window_requests": total,
+                "window_failures": failures,
+                "failure_ratio": failures / total if total else 0.0,
+            }

@@ -19,6 +19,8 @@ and :class:`~repro.hierarchy.Taxonomy` the models were trained against — so
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import io
 import json
 from pathlib import Path
 
@@ -27,13 +29,16 @@ import numpy as np
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from ..querycat import QueryCategoryClassifier, QueryClassifierConfig
-from ..utils.serialization import (load_checkpoint, load_model,
+from ..utils.serialization import (CheckpointCorrupted, atomic_write_bytes,
+                                   atomic_write_text, checksum_file,
+                                   load_checkpoint, load_model,
                                    save_checkpoint)
 
 __all__ = ["save_checkpoint", "load_checkpoint", "load_model",
            "save_classifier_checkpoint", "load_classifier_checkpoint",
            "save_environment", "load_environment",
-           "find_classifier_checkpoint", "ENVIRONMENT_FILENAME"]
+           "find_classifier_checkpoint", "ENVIRONMENT_FILENAME",
+           "CheckpointCorrupted", "checksum_file"]
 
 _CLASSIFIER_FORMAT_VERSION = 1
 _ENVIRONMENT_FORMAT_VERSION = 1
@@ -54,7 +59,13 @@ def save_classifier_checkpoint(model: QueryCategoryClassifier,
     path.parent.mkdir(parents=True, exist_ok=True)
     weights_path = path.with_suffix(".npz")
     meta_path = path.with_suffix(".json")
-    np.savez(weights_path, **model.state_dict())
+    # Atomic write + checksum manifest, same contract as the ranking-model
+    # format (see repro.utils.serialization): the weights land first, the
+    # sidecar referencing their checksum second.
+    buffer = io.BytesIO()
+    np.savez(buffer, **model.state_dict())
+    weights_bytes = buffer.getvalue()
+    atomic_write_bytes(weights_path, weights_bytes)
     meta = {
         "format_version": _CLASSIFIER_FORMAT_VERSION,
         "kind": "querycat_classifier",
@@ -63,8 +74,10 @@ def save_classifier_checkpoint(model: QueryCategoryClassifier,
         "config": dataclasses.asdict(model.config),
         "dtype": str(model.embedding.weight.dtype),
         "extra": extra or {},
+        "checksum": {
+            "weights": f"sha256:{hashlib.sha256(weights_bytes).hexdigest()}"},
     }
-    meta_path.write_text(json.dumps(meta, indent=2))
+    atomic_write_text(meta_path, json.dumps(meta, indent=2))
     return weights_path
 
 
@@ -81,6 +94,10 @@ def load_classifier_checkpoint(path: str | Path) -> QueryCategoryClassifier:
     if meta.get("format_version") != _CLASSIFIER_FORMAT_VERSION:
         raise ValueError(
             f"unsupported classifier checkpoint version {meta.get('format_version')}")
+    declared = (meta.get("checksum") or {}).get("weights")
+    if declared is not None and checksum_file(weights_path) != declared:
+        raise CheckpointCorrupted(weights_path,
+                                  "weights checksum mismatch")
     config = QueryClassifierConfig(**meta["config"])
     model = QueryCategoryClassifier(meta["vocab_size"],
                                     meta["num_sub_categories"], config)
@@ -115,7 +132,7 @@ def save_environment(directory: str | Path, spec: FeatureSpec,
         "spec": spec.to_dict(),
         "taxonomy": taxonomy.to_dict(),
     }
-    path.write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
     return path
 
 

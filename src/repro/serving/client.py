@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
 import urllib.parse
 
 import numpy as np
+
+from .protocol import DEADLINE_HEADER
 
 __all__ = ["ServingClient", "ServingError"]
 
@@ -69,6 +72,17 @@ class ServingClient:
     ----------
     base_url / timeout:
         Gateway address and per-request socket timeout.
+    max_retries / backoff_base_s / backoff_cap_s:
+        Opt-in retry budget for **429 shed responses only** (the one
+        status the gateway guarantees was rejected before any work
+        happened, so a retry can never double-execute).  Disabled by
+        default (``max_retries=0``).  Each retry sleeps the gateway's
+        ``Retry-After`` hint plus up to 25% jitter when the response
+        carried one, else full-jitter exponential backoff
+        (``uniform(0, base * 2**attempt)`` capped at ``backoff_cap_s``)
+        — the jitter keeps a fleet of shed clients from re-converging
+        on the same retry instant.  ``backoff_retries`` counts sleeps
+        taken (test/loadgen hook).
     idle_reconnect_s:
         The gateway closes keep-alive connections idle beyond its
         ``--idle-timeout``.  When this is set and a cached connection
@@ -94,11 +108,21 @@ class ServingClient:
     _STALE_SOCKET_ERRORS = (ConnectionError, http.client.BadStatusLine)
 
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 idle_reconnect_s: float | None = None):
+                 idle_reconnect_s: float | None = None,
+                 max_retries: int = 0, backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base_s <= 0 or backoff_cap_s <= 0:
+            raise ValueError("backoff_base_s and backoff_cap_s must be positive")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.idle_reconnect_s = idle_reconnect_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
         self.stale_retries = 0              # transparent retry count
+        self.backoff_retries = 0            # 429 backoff sleeps taken
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme != "http" or parsed.hostname is None:
             raise ValueError(f"base_url must be http://host[:port], "
@@ -138,12 +162,34 @@ class ServingClient:
             connection.close()
             self._local.connection = None
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 deadline_ms: float | None = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = format(float(deadline_ms), "g")
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._request_once(method, path, data, headers)
+            except ServingError as error:
+                # Only 429 is retry-safe: the gateway sheds *before* any
+                # scoring work, so the request provably did not execute.
+                if error.status != 429 or attempt >= self.max_retries:
+                    raise
+                if error.retry_after_s is not None:
+                    delay = error.retry_after_s * (1 + 0.25 * random.random())
+                else:
+                    delay = random.uniform(
+                        0, self.backoff_base_s * 2 ** attempt)
+                self.backoff_retries += 1
+                time.sleep(min(delay, self.backoff_cap_s))
+        raise AssertionError("unreachable: retry loop always returns/raises")
+
+    def _request_once(self, method: str, path: str, data: bytes | None,
+                      headers: dict) -> dict:
         retried = False
         while True:
             connection, fresh = self._connection()
@@ -192,9 +238,15 @@ class ServingClient:
     # ------------------------------------------------------------------
     def rank(self, numeric, sparse, query_tokens=None, query_lengths=None,
              top_k: int = 10, model: str | None = None,
-             version: int | None = None) -> dict:
+             version: int | None = None,
+             deadline_ms: float | None = None) -> dict:
         """POST /rank; returns the response dict with ``indices``/``scores``
-        converted back to numpy arrays."""
+        converted back to numpy arrays.
+
+        ``deadline_ms`` sends ``X-Deadline-Ms``: the gateway answers a
+        structured 504 ``deadline_exceeded`` instead of scoring once the
+        budget (counted from the request's arrival) has already passed.
+        """
         payload = {
             "candidates": {
                 "numeric": np.asarray(numeric).tolist(),
@@ -211,19 +263,22 @@ class ServingClient:
             payload["model"] = model
         if version is not None:
             payload["version"] = int(version)
-        result = self._request("POST", "/rank", payload)
+        result = self._request("POST", "/rank", payload,
+                               deadline_ms=deadline_ms)
         result["indices"] = np.asarray(result["indices"], dtype=np.int64)
         result["scores"] = np.asarray(result["scores"], dtype=np.float64)
         return result
 
-    def classify(self, tokens, lengths=None, probs: bool = False) -> dict:
+    def classify(self, tokens, lengths=None, probs: bool = False,
+                 deadline_ms: float | None = None) -> dict:
         """POST /classify for one query; returns ``{"sc", "tc"[, "probs"]}``."""
         payload = {"tokens": np.asarray(tokens).tolist()}
         if lengths is not None:
             payload["lengths"] = _listify(lengths)
         if probs:
             payload["probs"] = True
-        result = self._request("POST", "/classify", payload)
+        result = self._request("POST", "/classify", payload,
+                               deadline_ms=deadline_ms)
         if "probs" in result:
             result["probs"] = np.asarray(result["probs"], dtype=np.float64)
         return result
@@ -240,6 +295,17 @@ class ServingClient:
     def reload(self) -> dict:
         """POST /reload: hot-reload changed checkpoints on the gateway."""
         return self._request("POST", "/reload", {})
+
+    def faults(self, **actions) -> dict:
+        """POST /faults: drive the gateway's fault injector (chaos tests).
+
+        Only answered when the gateway was started with
+        ``--enable-fault-injection``; otherwise a 403 ``ServingError``.
+        Keyword actions pass through verbatim — e.g.
+        ``faults(score_error_rate=0.1)``, ``faults(kill_workers=1)``,
+        ``faults(tear_checkpoint="ranker")``, ``faults(reset=True)``.
+        """
+        return self._request("POST", "/faults", dict(actions))
 
     # ------------------------------------------------------------------
     # Convenience

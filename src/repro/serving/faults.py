@@ -1,0 +1,182 @@
+"""Process-level fault injection for the serving stack.
+
+The fault-tolerance machinery (deadlines, worker supervision, the circuit
+breaker, corruption-safe reload) is only trustworthy if it is exercised —
+a supervisor that has never seen a dead worker is a hope, not a feature.
+This module is the injection seam: one :class:`FaultInjector` instance is
+threaded into the scorer workers (via :class:`~repro.serving.RankingService`)
+and, when the gateway is started with ``--enable-fault-injection``, exposed
+over the wire as ``POST /faults`` so the load generator's ``--chaos`` mode
+can orchestrate failures against a live server from another process.
+
+Injectable faults:
+
+* **Scoring exceptions** — ``score_error_rate`` makes a fraction of model
+  invocations raise :class:`InjectedFault` before touching the model.
+  Exercises the breaker and the structured-error path.
+* **Latency spikes** — ``latency_rate`` / ``latency_ms`` sleeps inside the
+  score path.  Exercises deadlines and the adaptive batcher under slow
+  models.
+* **Worker kills** — ``arm_worker_kills(n)`` arms *n* one-shot
+  :class:`WorkerKilled` raises; the worker loop deliberately lets this one
+  escape, killing the thread.  Exercises the supervisor (respawn, token
+  release, future resolution).
+* **Torn checkpoint writes** — :meth:`tear_file` truncates a weights file
+  in place, simulating a crash mid-write.  Exercises checksum quarantine
+  in ``reload_from_directory``.
+
+Determinism: the injector draws from its own seeded RNG, so a fixed seed
+plus a fixed call sequence reproduces the same fault schedule in tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+__all__ = ["FaultInjector", "InjectedFault", "WorkerKilled"]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberate scoring failure raised by the fault injector.
+
+    Subclasses ``RuntimeError`` so the existing worker error routing
+    (resolve every co-batched future with the error) applies unchanged —
+    to the caller it is indistinguishable from a real model failure,
+    which is the point.
+    """
+
+
+class WorkerKilled(InjectedFault):
+    """A fault the worker loop deliberately does NOT contain.
+
+    Everything else raised during scoring is routed to the waiting
+    futures and the worker survives; ``WorkerKilled`` is re-raised after
+    that routing, so the worker thread actually dies — the only way to
+    prove the supervisor respawns workers and the collector token cannot
+    be leaked by a dying collector.
+    """
+
+
+class FaultInjector:
+    """Thread-safe fault switchboard (see the module docstring).
+
+    All rates are probabilities in ``[0, 1]`` applied per model
+    invocation (micro-batch), not per row.  Worker kills are armed as a
+    one-shot count so a single ``kill_workers: 1`` request kills exactly
+    one worker no matter how many batches race past the check.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._score_error_rate = 0.0
+        self._latency_rate = 0.0
+        self._latency_ms = 0.0
+        self._armed_kills = 0
+        # Counters: what was actually delivered, for /stats and tests.
+        self._injected_errors = 0
+        self._injected_delays = 0
+        self._kills_delivered = 0
+        self._torn_writes = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, *, score_error_rate: float | None = None,
+                  latency_rate: float | None = None,
+                  latency_ms: float | None = None) -> None:
+        """Set steady-state fault rates; ``None`` leaves a knob unchanged."""
+        with self._lock:
+            if score_error_rate is not None:
+                if not 0.0 <= score_error_rate <= 1.0:
+                    raise ValueError("score_error_rate must be in [0, 1]")
+                self._score_error_rate = float(score_error_rate)
+            if latency_rate is not None:
+                if not 0.0 <= latency_rate <= 1.0:
+                    raise ValueError("latency_rate must be in [0, 1]")
+                self._latency_rate = float(latency_rate)
+            if latency_ms is not None:
+                if latency_ms < 0:
+                    raise ValueError("latency_ms must be >= 0")
+                self._latency_ms = float(latency_ms)
+
+    def arm_worker_kills(self, count: int = 1) -> None:
+        """Arm ``count`` one-shot worker kills (delivered on the next
+        ``count`` model invocations, whichever workers get there first)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        with self._lock:
+            self._armed_kills += int(count)
+
+    def reset(self) -> None:
+        """Zero every rate and disarm pending kills (counters are kept —
+        they record what was delivered, not what is configured)."""
+        with self._lock:
+            self._score_error_rate = 0.0
+            self._latency_rate = 0.0
+            self._latency_ms = 0.0
+            self._armed_kills = 0
+
+    # ------------------------------------------------------------------
+    # Injection points
+    # ------------------------------------------------------------------
+    def before_score(self) -> None:
+        """Called by a scorer worker immediately before the model runs.
+
+        May sleep (latency spike), raise :class:`InjectedFault` (scoring
+        failure) or raise :class:`WorkerKilled` (worker death).  Kills
+        take priority over error/latency draws so an armed kill is never
+        starved by a high error rate.
+        """
+        with self._lock:
+            if self._armed_kills > 0:
+                self._armed_kills -= 1
+                self._kills_delivered += 1
+                raise WorkerKilled("fault injection: worker kill")
+            delay_s = 0.0
+            if self._latency_rate > 0.0 and self._latency_ms > 0.0 \
+                    and self._rng.random() < self._latency_rate:
+                delay_s = self._latency_ms / 1000.0
+                self._injected_delays += 1
+            fail = self._score_error_rate > 0.0 \
+                and self._rng.random() < self._score_error_rate
+            if fail:
+                self._injected_errors += 1
+        if delay_s > 0.0:
+            time.sleep(delay_s)         # sleep outside the lock
+        if fail:
+            raise InjectedFault("fault injection: scoring failure")
+
+    def tear_file(self, path) -> int:
+        """Truncate ``path`` in place to half its size (minimum 1 byte),
+        simulating a torn write from a crash mid-checkpoint.  Returns the
+        new size.  The mangled file keeps its name, so only checksum
+        verification — not existence checks — can catch it.
+        """
+        size = os.path.getsize(path)
+        new_size = max(1, size // 2)
+        with open(path, "r+b") as handle:
+            handle.truncate(new_size)
+        with self._lock:
+            self._torn_writes += 1
+        return new_size
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe view of configuration and delivery counters."""
+        with self._lock:
+            return {
+                "score_error_rate": self._score_error_rate,
+                "latency_rate": self._latency_rate,
+                "latency_ms": self._latency_ms,
+                "armed_kills": self._armed_kills,
+                "injected_errors": self._injected_errors,
+                "injected_delays": self._injected_delays,
+                "kills_delivered": self._kills_delivered,
+                "torn_writes": self._torn_writes,
+            }

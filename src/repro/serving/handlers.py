@@ -34,9 +34,11 @@ import numpy as np
 
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
+from .breaker import CLOSED, HALF_OPEN, OPEN
 from .metrics import (PROMETHEUS_CONTENT_TYPE, LatencyHistogram,
-                      render_histogram, render_metric)
-from .scorer import PoolOverloaded
+                      render_enum_metric, render_histogram, render_metric)
+from .protocol import parse_deadline_ms
+from .scorer import DeadlineExceeded, PoolOverloaded
 from .service import RankingService, candidate_batch
 
 __all__ = ["ApiError", "GatewayDispatcher"]
@@ -98,6 +100,7 @@ class GatewayDispatcher:
         ("GET", "/metrics"): "handle_metrics",
         ("GET", "/models"): "handle_models",
         ("POST", "/reload"): "handle_reload",
+        ("POST", "/faults"): "handle_faults",
     }
 
     # Scoring endpoints subject to admission control.  Operational
@@ -121,6 +124,7 @@ class GatewayDispatcher:
         self._requests = 0
         self._errors = 0
         self._shed_requests = 0
+        self._deadline_exceeded = 0
         # Per-endpoint latency histograms, known routes only — recording
         # arbitrary 404 paths would hand any client an unbounded-label
         # cardinality attack on the metrics endpoint.
@@ -130,8 +134,9 @@ class GatewayDispatcher:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, method: str, path: str,
-                 body: bytes) -> tuple[int, object, dict]:
+    def dispatch(self, method: str, path: str, body: bytes,
+                 headers: dict | None = None,
+                 received_at: float | None = None) -> tuple[int, object, dict]:
         """Route one request: ``(status, payload, extra headers)``.
 
         ``payload`` is a JSON-safe dict for every endpoint except
@@ -139,18 +144,30 @@ class GatewayDispatcher:
         additions like ``Retry-After`` on a shed request.  Transport
         layers call this with the body already drained from the stream,
         so a 4xx can never desync keep-alive framing.
+
+        ``headers`` (lowercased names) and ``received_at`` (the
+        transport's :func:`time.monotonic` arrival stamp) are optional
+        for back-compat with direct callers; together they carry the
+        request's ``X-Deadline-Ms`` budget into dispatch, anchored at
+        arrival so gateway queueing counts against it.
         """
         path = path.split("?", 1)[0].rstrip("/") or "/"
         started = time.monotonic()
+        deadline = None
+        if headers:
+            budget_ms = parse_deadline_ms(headers)
+            if budget_ms is not None:
+                anchor = received_at if received_at is not None else started
+                deadline = anchor + budget_ms / 1000.0
         try:
-            return self._route(method, path, body)
+            return self._route(method, path, body, deadline)
         finally:
             histogram = self._histograms.get(path)
             if histogram is not None and (method, path) in self.ROUTES:
                 histogram.observe(time.monotonic() - started)
 
-    def _route(self, method: str, path: str,
-               body: bytes) -> tuple[int, object, dict]:
+    def _route(self, method: str, path: str, body: bytes,
+               deadline: float | None = None) -> tuple[int, object, dict]:
         try:
             handler_name = self.ROUTES.get((method, path))
             if handler_name is None:
@@ -159,6 +176,12 @@ class GatewayDispatcher:
                                    f"{method} not allowed on {path}")
                 raise ApiError(404, "not_found", f"unknown endpoint {path}")
             if (method, path) in self.SHEDDABLE:
+                if deadline is not None and time.monotonic() >= deadline:
+                    # Already expired on arrival (or while queued in the
+                    # transport): refuse pre-parse, same cheapness
+                    # argument as the overload gate — the client has
+                    # given up, so every further cycle is pure waste.
+                    return self._deadline_expired()
                 retry_after = self.service.overload_status()
                 if retry_after is not None:
                     # Shed before parsing: the whole point of the gate is
@@ -166,7 +189,12 @@ class GatewayDispatcher:
                     # JSON parse of a payload nobody will score.
                     return self._shed(retry_after)
             payload = self._parse_json(body) if method == "POST" else {}
-            result = getattr(self, handler_name)(payload)
+            if handler_name == "handle_rank":
+                # The one handler deadlines propagate *into*: its scoring
+                # queue is where a request can expire post-admission.
+                result = self.handle_rank(payload, deadline=deadline)
+            else:
+                result = getattr(self, handler_name)(payload)
             headers = {}
             if isinstance(result, tuple):
                 result, headers = result
@@ -176,6 +204,9 @@ class GatewayDispatcher:
             # Admitted at the gate but lost the race to a concurrent
             # burst: the pool's own bound refused the submit.
             return self._shed(error.retry_after_s)
+        except DeadlineExceeded:
+            # Expired inside the scoring queue: a collector dropped it.
+            return self._deadline_expired()
         except ApiError as error:
             self._count(error=True)
             return error.status, {"error": {"type": error.kind,
@@ -185,6 +216,17 @@ class GatewayDispatcher:
             return 500, {"error": {
                 "type": "internal",
                 "message": f"{type(error).__name__}: {error}"}}, {}
+
+    def _deadline_expired(self) -> tuple[int, dict, dict]:
+        """Structured 504: the request's deadline passed before scoring."""
+        with self._counter_lock:
+            self._requests += 1
+            self._errors += 1
+            self._deadline_exceeded += 1
+        return 504, {"error": {
+            "type": "deadline_exceeded",
+            "message": "request deadline passed before it could be scored",
+        }}, {}
 
     def _shed(self, retry_after_s: float) -> tuple[int, dict, dict]:
         """Structured 429: the scoring backlog is at its admission bound."""
@@ -255,7 +297,8 @@ class GatewayDispatcher:
     # ------------------------------------------------------------------
     # Endpoint handlers (return JSON-safe dicts; raise ApiError for 4xx)
     # ------------------------------------------------------------------
-    def handle_rank(self, payload: dict) -> dict:
+    def handle_rank(self, payload: dict,
+                    deadline: float | None = None) -> dict:
         candidates = _require(payload, "candidates")
         if not isinstance(candidates, dict):
             raise ApiError(400, "bad_request",
@@ -296,7 +339,7 @@ class GatewayDispatcher:
         try:
             response = self.service.rank(
                 batch, query_tokens=query_tokens, query_lengths=query_lengths,
-                top_k=top_k, model=model, version=version)
+                top_k=top_k, model=model, version=version, deadline=deadline)
         except (KeyError, ValueError, IndexError) as error:
             raise ApiError(400, "bad_request", str(error)) from None
         return {
@@ -307,6 +350,7 @@ class GatewayDispatcher:
             "predicted_sc": response.predicted_sc,
             "predicted_tc": response.predicted_tc,
             "latency_ms": response.latency_ms,
+            "degraded": response.degraded,
         }
 
     def handle_classify(self, payload: dict) -> dict:
@@ -365,17 +409,24 @@ class GatewayDispatcher:
                 "buckets": [[bound * 1000.0, count] for bound, count
                             in zip(histogram.bounds, cumulative)],
             }
-        return {
+        result = {
             "server": {
                 "requests": self._requests,
                 "errors": self._errors,
                 "shed_requests": self._shed_requests,
+                "deadline_exceeded": self._deadline_exceeded,
+                "degraded_responses": self.service.degraded_responses,
                 "uptime_s": time.monotonic() - self._started_at,
                 "connections": connections,
             },
             "scorers": scorers,
             "endpoints": endpoints,
+            "breakers": self.service.breaker_stats(),
+            "quarantined": self.service.registry.quarantined(),
         }
+        if self.service.fault_injector is not None:
+            result["faults"] = self.service.fault_injector.snapshot()
+        return result
 
     def handle_metrics(self, payload: dict) -> tuple[str, dict]:
         """Prometheus text exposition: the same counters ``/stats`` serves.
@@ -403,6 +454,14 @@ class GatewayDispatcher:
                "Requests refused with 429 at the admission gate.")
         lines.append(render_metric("gateway_shed_requests_total",
                                    self._shed_requests))
+        family("gateway_deadline_exceeded_total", "counter",
+               "Requests answered 504 because their deadline passed.")
+        lines.append(render_metric("gateway_deadline_exceeded_total",
+                                   self._deadline_exceeded))
+        family("gateway_degraded_responses_total", "counter",
+               "Rank responses served by the model-free degraded fallback.")
+        lines.append(render_metric("gateway_degraded_responses_total",
+                                   self.service.degraded_responses))
         if self._connection_stats is not None:
             connections = self._connection_stats()
             family("gateway_connections_open", "gauge",
@@ -446,6 +505,18 @@ class GatewayDispatcher:
              "Score requests completed.", lambda s: s.requests),
             ("scorer_rows_total", "counter",
              "Candidate rows scored.", lambda s: s.rows),
+            ("scorer_worker_restarts_total", "counter",
+             "Dead scoring workers respawned by the pool supervisor.",
+             lambda s: s.worker_restarts),
+            ("scorer_expired_requests_total", "counter",
+             "Queued requests dropped because their deadline passed.",
+             lambda s: s.expired_requests),
+            ("scorer_expired_rows_total", "counter",
+             "Rows carried by deadline-dropped requests.",
+             lambda s: s.expired_rows),
+            ("scorer_lost_resolutions_total", "counter",
+             "Future resolutions lost to a cancel/race (lost responses).",
+             lambda s: s.lost_resolutions),
         ]
         scorer_stats = self.service.stats()
         for name, mtype, help_text, getter in scorer_gauges:
@@ -455,6 +526,26 @@ class GatewayDispatcher:
                 if value is None:       # unbounded pool: omit the sample
                     continue
                 lines.append(render_metric(name, value, {"pool": pool}))
+        breakers = self.service.breaker_stats()
+        if breakers:
+            family("breaker_state", "gauge",
+                   "Circuit breaker state (1 on the active state's sample).")
+            for model_name, snapshot in breakers.items():
+                lines.extend(render_enum_metric(
+                    "breaker_state", snapshot["state"],
+                    (CLOSED, OPEN, HALF_OPEN), {"model": model_name}))
+            family("breaker_opens_total", "counter",
+                   "Transitions into the open state.")
+            for model_name, snapshot in breakers.items():
+                lines.append(render_metric("breaker_opens_total",
+                                           snapshot["opens"],
+                                           {"model": model_name}))
+            family("breaker_rejected_total", "counter",
+                   "Requests the breaker diverted to the degraded fallback.")
+            for model_name, snapshot in breakers.items():
+                lines.append(render_metric("breaker_rejected_total",
+                                           snapshot["rejected"],
+                                           {"model": model_name}))
         return ("\n".join(lines) + "\n",
                 {"Content-Type": PROMETHEUS_CONTENT_TYPE})
 
@@ -485,4 +576,76 @@ class GatewayDispatcher:
             "registered": [{"name": entry.name, "version": entry.version}
                            for entry in registered],
             "models": self.service.registry.names(),
+            # Checkpoints refused this (or an earlier) sweep: corrupt
+            # bytes were quarantined and the last good version of each
+            # name keeps serving.
+            "quarantined": self.service.registry.quarantined(),
         }
+
+    def handle_faults(self, payload: dict) -> dict:
+        """Configure fault injection on a live gateway (chaos testing).
+
+        Only routable when the server was started with
+        ``--enable-fault-injection`` (which is what constructs the
+        service's injector); otherwise a structured 403.  Payload keys:
+        ``score_error_rate``, ``latency_rate``, ``latency_ms``,
+        ``kill_workers`` (one-shot count), ``tear_checkpoint`` (a model
+        name, or ``true`` for the first ranking checkpoint — truncates
+        its weights file in place), and ``reset`` (zero all rates first).
+        """
+        injector = self.service.fault_injector
+        if injector is None:
+            raise ApiError(403, "fault_injection_disabled",
+                           "fault injection is not enabled on this gateway; "
+                           "start it with --enable-fault-injection")
+        try:
+            if payload.get("reset"):
+                injector.reset()
+            injector.configure(
+                score_error_rate=payload.get("score_error_rate"),
+                latency_rate=payload.get("latency_rate"),
+                latency_ms=payload.get("latency_ms"))
+            kills = payload.get("kill_workers", 0)
+            if not isinstance(kills, int) or kills < 0:
+                raise ValueError("kill_workers must be a non-negative integer")
+            if kills:
+                injector.arm_worker_kills(kills)
+        except (TypeError, ValueError) as error:
+            raise ApiError(400, "bad_request", str(error)) from None
+        result = {"faults": injector.snapshot()}
+        tear = payload.get("tear_checkpoint")
+        if tear:
+            result["torn"] = self._tear_checkpoint(injector, tear)
+            result["faults"] = injector.snapshot()
+        return result
+
+    def _tear_checkpoint(self, injector, target) -> dict:
+        """Truncate a checkpoint's weights file in place (torn write)."""
+        if self.checkpoint_dir is None:
+            raise ApiError(400, "no_checkpoint_dir",
+                           "this gateway serves no checkpoint directory; "
+                           "nothing to tear")
+        weights_path = None
+        if isinstance(target, str):
+            candidate = self.checkpoint_dir / f"{target}.npz"
+            if not candidate.exists():
+                raise ApiError(404, "not_found",
+                               f"no checkpoint weights for {target!r}")
+            weights_path = candidate
+        else:
+            # tear_checkpoint: true — first ranking-model weights file
+            # (sidecar carries model_name), mirroring the reload scan.
+            for meta_path in sorted(self.checkpoint_dir.glob("*.json")):
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except ValueError:
+                    continue
+                if isinstance(meta, dict) and "model_name" in meta \
+                        and meta_path.with_suffix(".npz").exists():
+                    weights_path = meta_path.with_suffix(".npz")
+                    break
+            if weights_path is None:
+                raise ApiError(404, "not_found",
+                               "no ranking-model checkpoint to tear")
+        new_size = injector.tear_file(weights_path)
+        return {"path": str(weights_path), "new_size_bytes": new_size}

@@ -30,6 +30,25 @@ how the selector backend's connection scaling is measured and CI-gated::
 
     python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
         --sweep 1,8,64,256 --duration 3 --out connection_sweep.json
+
+``--chaos`` is the fault-tolerance acceptance mode: while the closed
+loop runs, an orchestrator thread drives the gateway's ``POST /faults``
+endpoint through a scripted failure sequence (injected scoring errors
+and latency, a worker kill, a torn checkpoint write + reload, then
+heal) and a fraction of requests carry tight ``X-Deadline-Ms`` budgets.
+The gateway must degrade *structurally*: zero transport errors, every
+failure a structured status or a ``"degraded": true`` fallback
+response, the dead worker respawned (``worker_restarts`` moves), the
+torn checkpoint quarantined with the last good version still serving,
+and every breaker back to ``closed`` once the faults stop::
+
+    python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
+        --chaos --clients 32 --duration 10 --out chaos_summary.json
+
+(The gateway must be started with ``--enable-fault-injection``, and with
+a breaker threshold below the injected error rate — e.g.
+``--breaker-threshold 0.05`` against the default 10% injection — or the
+breaker never opens and the run fails its recovery check.)
 """
 
 from __future__ import annotations
@@ -45,7 +64,7 @@ import numpy as np
 from .client import ServingClient, ServingError
 from .scorer import latency_percentile
 
-__all__ = ["LoadSummary", "run_load", "run_sweep", "main"]
+__all__ = ["LoadSummary", "run_load", "run_sweep", "run_chaos", "main"]
 
 
 @dataclass
@@ -59,6 +78,14 @@ class LoadSummary:
     (the gateway's overload self-protection answering instead of
     queueing), and ``retry_after_hint_s`` the largest ``Retry-After`` the
     gateway attached to those sheds.
+
+    ``deadline_exceeded`` (structured 504s for requests whose
+    ``X-Deadline-Ms`` budget passed) and ``degraded`` (successful
+    responses served by the circuit breaker's model-free fallback) are
+    **distinct counters, not errors**: both are the gateway honoring its
+    fault-tolerance contract — a deadline miss is the client's budget
+    expiring, a degraded response is still an answer — so neither feeds
+    ``errors`` or ``error_statuses``.
     """
 
     duration_s: float
@@ -71,6 +98,8 @@ class LoadSummary:
     error_statuses: dict = field(default_factory=dict)  # status -> count
     shed_requests: int = 0
     retry_after_hint_s: float = 0.0
+    deadline_exceeded: int = 0          # structured 504s (not errors)
+    degraded: int = 0                   # breaker-fallback 200s (not errors)
     rps: float = 0.0                    # successful requests per second
     rows_per_s: float = 0.0
     mean_ms: float = 0.0
@@ -90,18 +119,24 @@ class LoadSummary:
     def format(self) -> str:
         shed = f", {self.shed_requests} shed (429)" if self.shed_requests \
             else ""
+        extra = ""
+        if self.deadline_exceeded:
+            extra += f", {self.deadline_exceeded} deadline-exceeded (504)"
+        if self.degraded:
+            extra += f", {self.degraded} degraded"
         return (f"{self.requests} requests ({self.rows} rows) in "
                 f"{self.duration_s:.2f}s from {self.clients} clients — "
                 f"{self.rps:,.0f} req/s, {self.rows_per_s:,.0f} rows/s, "
                 f"{self.errors} errors ({self.transport_errors} transport)"
-                f"{shed}; latency mean {self.mean_ms:.2f}ms "
+                f"{shed}{extra}; latency mean {self.mean_ms:.2f}ms "
                 f"p50 {self.p50_ms:.2f}ms p95 {self.p95_ms:.2f}ms "
                 f"p99 {self.p99_ms:.2f}ms max {self.max_ms:.2f}ms")
 
 
 def _summarize(duration_s: float, clients: int, rows_per_request: int,
                latencies: list[float], transport_errors: int,
-               error_statuses: dict, retry_after_hint_s: float) -> LoadSummary:
+               error_statuses: dict, retry_after_hint_s: float,
+               deadline_exceeded: int = 0, degraded: int = 0) -> LoadSummary:
     samples = np.asarray(latencies, dtype=np.float64)
     requests = int(samples.size)
     return LoadSummary(
@@ -115,6 +150,8 @@ def _summarize(duration_s: float, clients: int, rows_per_request: int,
         error_statuses=dict(sorted(error_statuses.items())),
         shed_requests=error_statuses.get(429, 0),
         retry_after_hint_s=retry_after_hint_s,
+        deadline_exceeded=deadline_exceeded,
+        degraded=degraded,
         rps=requests / duration_s if duration_s > 0 else 0.0,
         rows_per_s=requests * rows_per_request / duration_s
         if duration_s > 0 else 0.0,
@@ -142,7 +179,9 @@ def _candidate_generator(spec: dict, rows: int, rng: np.random.Generator):
 
 def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
              rows_per_request: int = 8, top_k: int = 5, seed: int = 0,
-             ready_timeout_s: float = 30.0) -> LoadSummary:
+             ready_timeout_s: float = 30.0,
+             deadline_ms: float | None = None,
+             deadline_fraction: float = 0.0) -> LoadSummary:
     """Drive ``clients`` closed-loop rank threads against ``url``.
 
     Each thread waits for its previous response before sending the next
@@ -152,6 +191,12 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     is recorded, not slept on — a closed-loop generator that backed off
     would stop measuring the overload it is there to produce).  Latencies
     are recorded for successful requests only.
+
+    When ``deadline_ms`` is set, each request independently carries that
+    ``X-Deadline-Ms`` budget with probability ``deadline_fraction``;
+    structured 504 ``deadline_exceeded`` answers and ``"degraded": true``
+    fallback responses are counted separately from errors (see
+    :class:`LoadSummary`).
     """
     probe = ServingClient(url)
     probe.wait_ready(timeout_s=ready_timeout_s)
@@ -164,20 +209,30 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     transport_errors = [0] * clients
     status_counts: list[dict] = [{} for _ in range(clients)]
     retry_hints = [0.0] * clients
+    deadline_misses = [0] * clients
+    degraded_counts = [0] * clients
     started = threading.Event()
     deadline_holder = [0.0]
 
     def worker(index: int) -> None:
         client = ServingClient(url)
-        generate = _candidate_generator(spec, rows_per_request,
-                                        np.random.default_rng(seed + index))
+        rng = np.random.default_rng(seed + index)
+        generate = _candidate_generator(spec, rows_per_request, rng)
         started.wait()
         while time.monotonic() < deadline_holder[0]:
             numeric, sparse = generate()
+            budget = deadline_ms if deadline_ms is not None \
+                and rng.random() < deadline_fraction else None
             t0 = time.monotonic()
             try:
-                client.rank(numeric, sparse, top_k=top_k)
+                result = client.rank(numeric, sparse, top_k=top_k,
+                                     deadline_ms=budget)
             except ServingError as error:
+                if error.kind == "deadline_exceeded":
+                    # The gateway honoring the budget we sent — a
+                    # distinct outcome, not an error.
+                    deadline_misses[index] += 1
+                    continue
                 counts = status_counts[index]
                 counts[error.status] = counts.get(error.status, 0) + 1
                 if error.retry_after_s is not None:
@@ -187,6 +242,8 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
             except OSError:
                 transport_errors[index] += 1
                 continue
+            if result.get("degraded"):
+                degraded_counts[index] += 1
             latencies[index].append(time.monotonic() - t0)
 
     threads = [threading.Thread(target=worker, args=(i,), daemon=True)
@@ -206,7 +263,9 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
             merged_statuses[status] = merged_statuses.get(status, 0) + count
     return _summarize(elapsed, clients, rows_per_request, merged,
                       sum(transport_errors), merged_statuses,
-                      max(retry_hints))
+                      max(retry_hints),
+                      deadline_exceeded=sum(deadline_misses),
+                      degraded=sum(degraded_counts))
 
 
 def run_sweep(url: str, client_counts: list[int], duration_s: float = 3.0,
@@ -271,6 +330,201 @@ def _check_overload(summary: LoadSummary, shed_before: int,
     return failures
 
 
+# ----------------------------------------------------------------------
+# Chaos mode
+# ----------------------------------------------------------------------
+def _chaos_schedule(control: ServingClient, error_rate: float):
+    """The scripted failure sequence, as ``(run fraction, name, action)``.
+
+    Latency injection rides along with the error injection so tight
+    deadline budgets reliably expire in the scoring queue (without it, a
+    lightly loaded gateway can answer inside even a ~10ms budget).
+    """
+
+    def tear_and_reload():
+        control.faults(tear_checkpoint=True)
+        # The reload must *survive* the torn bytes: quarantine the
+        # checkpoint, keep the last good version serving.
+        control.reload()
+
+    return [
+        (0.10, "inject_errors",
+         lambda: control.faults(score_error_rate=error_rate,
+                                latency_rate=0.2, latency_ms=40.0)),
+        (0.35, "kill_worker", lambda: control.faults(kill_workers=1)),
+        (0.55, "tear_checkpoint", tear_and_reload),
+        (0.70, "heal", lambda: control.faults(reset=True)),
+    ]
+
+
+def _await_recovery(control: ServingClient, probe=None,
+                    timeout_s: float = 10.0) -> tuple[bool, dict]:
+    """Poll ``/stats`` until every breaker is closed and every scoring
+    backlog has drained; returns ``(recovered, final stats)``.
+
+    This is the "self-healing" half of the chaos contract: once the
+    faults stop, the gateway must converge back to a clean steady state
+    — no restart, no operator action.  ``probe`` (a zero-argument rank
+    call, failures ignored) keeps light traffic flowing while we wait:
+    a breaker leaves half-open only through scored probe requests, so a
+    silent poll loop would watch an idle gateway sit in half-open
+    forever and call it stuck.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if probe is not None:
+            try:
+                probe()
+            except (ServingError, OSError):
+                pass                    # recovery is judged from /stats
+        stats = control.stats()
+        breakers_closed = all(snapshot.get("state") == "closed"
+                              for snapshot in stats["breakers"].values())
+        backlog_drained = all(entry.get("backlog_rows", 0) == 0
+                              for entry in stats["scorers"].values())
+        if breakers_closed and backlog_drained:
+            return True, stats
+        if time.monotonic() >= deadline:
+            return False, stats
+        time.sleep(0.2)
+
+
+def _check_chaos(summary: LoadSummary, before: dict, after: dict,
+                 recovered: bool) -> list[str]:
+    """The ``--chaos`` acceptance conditions; returns failure reasons.
+
+    Under injected faults the gateway must fail *structurally*: no
+    dropped connections, every failure a structured status (500 for an
+    injected scoring error, 429 for a shed, 504 for a deadline — the
+    latter a distinct counter) or a degraded fallback response; the dead
+    worker respawned; the torn checkpoint quarantined; every breaker
+    back to closed once the faults stop.
+    """
+    failures = []
+    if summary.requests == 0:
+        failures.append("no successful requests")
+    if summary.transport_errors:
+        failures.append(f"{summary.transport_errors} transport errors "
+                        "(faults must surface structurally, not as "
+                        "dropped connections)")
+    unexpected = {status: count for status, count
+                  in summary.error_statuses.items()
+                  if status not in (429, 500)}
+    if unexpected:
+        failures.append(f"unexpected error statuses: {unexpected} "
+                        "(only 429 sheds and structured 500s are "
+                        "legitimate under injected faults)")
+    restarts_before = sum(entry.get("worker_restarts", 0)
+                          for entry in before["scorers"].values())
+    restarts_after = sum(entry.get("worker_restarts", 0)
+                         for entry in after["scorers"].values())
+    if restarts_after - restarts_before < 1:
+        failures.append("worker kill did not move worker_restarts — the "
+                        "supervisor never respawned the dead worker")
+    opens_before = sum(snapshot.get("opens", 0)
+                       for snapshot in before.get("breakers", {}).values())
+    opens_after = sum(snapshot.get("opens", 0)
+                      for snapshot in after.get("breakers", {}).values())
+    if opens_after - opens_before < 1:
+        failures.append("no breaker opened — start the gateway with a "
+                        "breaker threshold below the injected error rate "
+                        "(e.g. --breaker-threshold 0.05)")
+    if summary.degraded < 1:
+        failures.append("no degraded fallback responses were served "
+                        "while the breaker was open")
+    if not after.get("quarantined"):
+        failures.append("torn checkpoint was not quarantined")
+    if not recovered:
+        open_breakers = {name: snapshot.get("state")
+                         for name, snapshot in after["breakers"].items()
+                         if snapshot.get("state") != "closed"}
+        failures.append(f"gateway did not recover after the faults "
+                        f"stopped (breakers: {open_breakers or 'closed'}, "
+                        f"backlogs: "
+                        f"{ {k: v.get('backlog_rows') for k, v in after['scorers'].items()} })")
+    return failures
+
+
+def run_chaos(url: str, duration_s: float = 10.0, clients: int = 32,
+              rows_per_request: int = 8, top_k: int = 5, seed: int = 0,
+              ready_timeout_s: float = 30.0, error_rate: float = 0.1,
+              deadline_ms: float = 25.0, deadline_fraction: float = 0.25,
+              recovery_timeout_s: float = 10.0) \
+        -> tuple[LoadSummary, dict, list[str]]:
+    """Closed-loop load under a scripted failure sequence.
+
+    Returns ``(summary, detail payload, failure reasons)`` — an empty
+    failure list means the gateway honored the fault-tolerance contract
+    end to end.  Requires a gateway started with
+    ``--enable-fault-injection`` (the orchestrator drives ``/faults``).
+    """
+    control = ServingClient(url)
+    control.wait_ready(timeout_s=ready_timeout_s)
+    stats_before = control.stats()
+    if "faults" not in stats_before:
+        raise RuntimeError(f"gateway at {url} has fault injection disabled; "
+                           "start it with --enable-fault-injection")
+
+    events: list[dict] = []
+    stop = threading.Event()
+
+    def orchestrate() -> None:
+        run_started = time.monotonic()
+        for fraction, name, action in _chaos_schedule(control, error_rate):
+            delay = run_started + fraction * duration_s - time.monotonic()
+            if stop.wait(max(delay, 0.0)):
+                return
+            event = {"at_s": round(time.monotonic() - run_started, 3),
+                     "event": name}
+            try:
+                action()
+            except (ServingError, OSError) as error:
+                event["error"] = str(error)
+            events.append(event)
+
+    orchestrator = threading.Thread(target=orchestrate, daemon=True,
+                                    name="chaos-orchestrator")
+    orchestrator.start()
+    try:
+        summary = run_load(url, duration_s=duration_s, clients=clients,
+                           rows_per_request=rows_per_request, top_k=top_k,
+                           seed=seed, ready_timeout_s=ready_timeout_s,
+                           deadline_ms=deadline_ms,
+                           deadline_fraction=deadline_fraction)
+    finally:
+        stop.set()
+        orchestrator.join()
+    # Belt and braces: whatever the schedule reached, leave the gateway
+    # fault-free before judging recovery.
+    try:
+        control.faults(reset=True)
+    except (ServingError, OSError):
+        pass
+    spec = control.models().get("spec")
+    generate = _candidate_generator(spec, rows_per_request,
+                                    np.random.default_rng(seed + clients))
+
+    def probe():
+        numeric, sparse = generate()
+        control.rank(numeric, sparse, top_k=top_k)
+
+    recovered, stats_after = _await_recovery(
+        control, probe=probe, timeout_s=recovery_timeout_s)
+    detail = {
+        "events": events,
+        "recovered": recovered,
+        "stats_before": {"scorers": stats_before["scorers"],
+                         "breakers": stats_before["breakers"]},
+        "stats_after": {"scorers": stats_after["scorers"],
+                        "breakers": stats_after["breakers"],
+                        "quarantined": stats_after.get("quarantined", {}),
+                        "server": stats_after.get("server", {}),
+                        "faults": stats_after.get("faults", {})},
+    }
+    failures = _check_chaos(summary, stats_before, stats_after, recovered)
+    return summary, detail, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving.loadgen",
@@ -287,6 +541,27 @@ def main(argv: list[str] | None = None) -> int:
                              "fail on transport errors, non-429 statuses, "
                              "or a shed count the gateway's own /stats "
                              "counter does not confirm")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fault-tolerance acceptance mode: drive the "
+                             "gateway's /faults endpoint through injected "
+                             "errors, a worker kill, and a torn checkpoint "
+                             "while loading it; fail unless every failure "
+                             "is structured, the worker respawns, the "
+                             "checkpoint is quarantined, and the breaker "
+                             "re-closes (requires a gateway started with "
+                             "--enable-fault-injection)")
+    parser.add_argument("--error-rate", type=float, default=0.1,
+                        help="chaos mode: injected scoring error rate")
+    parser.add_argument("--deadline-ms", type=float, default=25.0,
+                        help="chaos mode: X-Deadline-Ms budget carried by "
+                             "a fraction of requests")
+    parser.add_argument("--deadline-fraction", type=float, default=0.25,
+                        help="chaos mode: fraction of requests carrying "
+                             "the deadline budget")
+    parser.add_argument("--recovery-timeout", type=float, default=10.0,
+                        help="chaos mode: seconds to wait for breakers to "
+                             "re-close and backlogs to drain after faults "
+                             "stop")
     parser.add_argument("--rows", type=int, default=8,
                         help="candidate rows per rank request")
     parser.add_argument("--top-k", type=int, default=5)
@@ -296,8 +571,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--allow-errors", action="store_true",
                         help="exit 0 even when some requests errored")
     args = parser.parse_args(argv)
-    if args.overload and args.sweep:
-        parser.error("--overload and --sweep are mutually exclusive")
+    if sum(bool(flag) for flag in
+           (args.overload, args.sweep, args.chaos)) > 1:
+        parser.error("--overload, --sweep, and --chaos are mutually "
+                     "exclusive")
+
+    if args.chaos:
+        summary, detail, failures = run_chaos(
+            args.url, duration_s=args.duration, clients=args.clients,
+            rows_per_request=args.rows, top_k=args.top_k, seed=args.seed,
+            error_rate=args.error_rate, deadline_ms=args.deadline_ms,
+            deadline_fraction=args.deadline_fraction,
+            recovery_timeout_s=args.recovery_timeout)
+        print(summary.format())
+        for event in detail["events"]:
+            note = f" ({event['error']})" if "error" in event else ""
+            print(f"  chaos t+{event['at_s']:.1f}s: {event['event']}{note}")
+        payload = {**summary.to_dict(), "chaos": detail}
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"summary written to {args.out}")
+        for reason in failures:
+            print(f"FAIL: {reason}")
+        if not failures:
+            print(f"chaos OK: {summary.requests} served "
+                  f"({summary.degraded} degraded, "
+                  f"{summary.deadline_exceeded} deadline-exceeded, "
+                  f"{sum(summary.error_statuses.values())} structured "
+                  f"errors), worker respawned, checkpoint quarantined, "
+                  f"breaker re-closed")
+        return 1 if failures else 0
 
     if args.sweep:
         try:

@@ -25,7 +25,8 @@ import math
 import threading
 
 __all__ = ["LatencyHistogram", "PROMETHEUS_CONTENT_TYPE",
-           "log_spaced_buckets", "render_metric", "render_histogram"]
+           "log_spaced_buckets", "render_metric", "render_histogram",
+           "render_enum_metric"]
 
 # The 0.0.4 text format; version pinned so scrapers negotiate correctly.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -136,6 +137,23 @@ def render_metric(name: str, value, labels: dict | None = None) -> str:
                          for key, val in sorted(labels.items()))
         label_str = "{" + pairs + "}"
     return f"{name}{label_str} {_format_value(value)}"
+
+
+def render_enum_metric(name: str, current: str, states: tuple | list,
+                       labels: dict | None = None) -> list[str]:
+    """A state machine as Prometheus samples: one line per possible state,
+    value 1 on the active state and 0 elsewhere (the `StateSet`_ pattern —
+    alerting rules can match on ``name{state="open"} == 1`` without
+    decoding magic numbers).
+
+    .. _StateSet: https://prometheus.io/docs/instrumenting/writing_exporters/
+    """
+    lines = []
+    for state in states:
+        state_labels = dict(labels or {})
+        state_labels["state"] = state
+        lines.append(render_metric(name, state == current, state_labels))
+    return lines
 
 
 def render_histogram(name: str, histogram: LatencyHistogram,

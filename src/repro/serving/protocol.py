@@ -30,6 +30,7 @@ connections.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from http.client import responses as _REASONS
 
@@ -37,7 +38,8 @@ from ..utils.serialization import _json_default
 
 __all__ = ["ProtocolError", "Request", "RequestParser", "encode_json",
            "encode_body", "encode_head", "encode_response", "encode_error",
-           "validate_content_length", "MAX_HEADER_BYTES", "MAX_BODY_BYTES"]
+           "validate_content_length", "MAX_HEADER_BYTES", "MAX_BODY_BYTES",
+           "DEADLINE_HEADER", "parse_deadline_ms"]
 
 MAX_HEADER_BYTES = 16 * 1024            # request line + all headers
 MAX_BODY_BYTES = 8 * 1024 * 1024        # JSON candidate payloads are small
@@ -84,15 +86,53 @@ def validate_content_length(raw: str | None,
     return length
 
 
+DEADLINE_HEADER = "x-deadline-ms"
+
+
+def parse_deadline_ms(headers: dict[str, str]) -> float | None:
+    """Deadline budget in ms from lowercased ``headers``, or None.
+
+    Lenient by design: a malformed or non-positive value reads as "no
+    deadline" rather than a 400 — a client bug in an optional
+    latency-hygiene header should degrade to the pre-deadline behavior,
+    not turn every request into an error.
+    """
+    raw = headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        return None
+    return value if value > 0 else None
+
+
 @dataclass
 class Request:
-    """One fully framed HTTP request (body already consumed)."""
+    """One fully framed HTTP request (body already consumed).
+
+    ``received_at`` is the :func:`time.monotonic` instant the request was
+    completed off the wire — the anchor the deadline budget
+    (``X-Deadline-Ms``) counts down from.  The parser stamps it when the
+    head finishes parsing, so queueing *inside* the gateway (dispatch
+    backlog, scorer queue) counts against the budget but client-side
+    send time does not.
+    """
 
     method: str
     target: str                         # raw request target (may carry ?query)
     version: str
     headers: dict[str, str]             # header names lowercased
     body: bytes = b""
+    received_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute monotonic deadline, or None without a (valid) budget."""
+        budget_ms = parse_deadline_ms(self.headers)
+        if budget_ms is None:
+            return None
+        return self.received_at + budget_ms / 1000.0
 
     @property
     def path(self) -> str:

@@ -15,7 +15,8 @@ from pathlib import Path
 
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
-from .checkpoint import ENVIRONMENT_FILENAME, load_model
+from .checkpoint import (ENVIRONMENT_FILENAME, CheckpointCorrupted,
+                         checksum_file, load_model)
 
 __all__ = ["ModelRegistry", "RegisteredModel"]
 
@@ -50,6 +51,12 @@ class ModelRegistry:
         # same changed checkpoint must not both register it (each would
         # get a fresh auto-incremented version for identical weights).
         self._reload_lock = threading.Lock()
+        # Quarantine: checkpoints whose bytes failed verification (or
+        # failed to load), keyed by name.  Each entry remembers the bad
+        # checksum so re-polling the directory skips the same corrupt
+        # bytes silently instead of re-reporting them every sweep; a
+        # repaired checkpoint (different checksum) clears the entry.
+        self._quarantined: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -94,10 +101,19 @@ class ModelRegistry:
         ranking-model checkpoint served under ``name`` (classifier
         checkpoints and the ``environment.json`` bundle are skipped — the
         gateway owns those).  A checkpoint is registered as a *new
-        version* of its name only when the weights file changed since the
-        last reload (mtime + size fingerprint), so polling the directory
-        is cheap and idempotent; overwriting a checkpoint in place is the
-        hot-reload path.  Returns the newly registered entries.
+        version* of its name only when the weights **bytes** changed since
+        the last reload: the fingerprint is the weights checksum, so an
+        in-place rewrite is detected even when it lands with the same size
+        inside the filesystem's mtime granularity (where an mtime+size
+        fingerprint would silently serve stale weights), and polling stays
+        idempotent — unchanged bytes hash to the same fingerprint.
+
+        Corruption-safe: a checkpoint whose bytes fail checksum
+        verification or fail to load is **quarantined** (recorded in
+        :meth:`quarantined`, skipped on re-polls while its bytes are
+        unchanged) and the registry keeps serving whatever version of
+        that name is already live — a torn write can never evict a good
+        model.  Returns the newly registered entries.
         """
         directory = Path(directory)
         if not directory.is_dir():
@@ -116,18 +132,51 @@ class ModelRegistry:
                 weights_path = meta_path.with_suffix(".npz")
                 if not weights_path.exists():
                     continue                  # half-written checkpoint
-                stat = weights_path.stat()
-                fingerprint = [int(stat.st_mtime_ns), int(stat.st_size)]
+                # Content fingerprint: the weights checksum.  Hashing on
+                # every poll costs one file read per checkpoint — cheap
+                # next to model rebuild, and the only fingerprint that
+                # cannot be fooled by a same-size in-place rewrite.
+                fingerprint = checksum_file(weights_path)
                 name = meta_path.stem
+                bad = self._quarantined.get(name)
+                if bad is not None and bad.get("fingerprint") == fingerprint:
+                    continue                  # known-corrupt bytes, unchanged
                 if name in self:
                     latest = self.entry(name)
                     if latest.metadata.get("fingerprint") == fingerprint:
-                        continue              # unchanged since last reload
-                entry = self.register_checkpoint(
-                    name, meta_path.with_suffix(""), spec, taxonomy,
-                    metadata={"fingerprint": fingerprint})
+                        # Unchanged since last reload.  Also the repair
+                        # path for a rollback: bytes restored to the
+                        # registered good version clear any quarantine.
+                        self._quarantined.pop(name, None)
+                        continue
+                try:
+                    entry = self.register_checkpoint(
+                        name, meta_path.with_suffix(""), spec, taxonomy,
+                        metadata={"fingerprint": fingerprint})
+                except Exception as error:
+                    # CheckpointCorrupted (checksum mismatch, torn
+                    # archive) and any other load failure (shape errors
+                    # from a mangled-but-parseable file, bad config):
+                    # quarantine rather than raise, so the last good
+                    # version (if any) keeps serving and the poll loop
+                    # survives.
+                    self._quarantined[name] = {
+                        "path": str(weights_path),
+                        "fingerprint": fingerprint,
+                        "reason": f"{type(error).__name__}: {error}",
+                    }
+                    continue
+                self._quarantined.pop(name, None)   # repaired checkpoint
                 registered.append(entry)
         return registered
+
+    def quarantined(self) -> dict[str, dict]:
+        """Checkpoints refused by the last reloads: ``name → {path,
+        fingerprint, reason}``.  An entry clears when the checkpoint's
+        bytes change and load cleanly (a repaired write)."""
+        with self._reload_lock:
+            return {name: dict(info)
+                    for name, info in self._quarantined.items()}
 
     # ------------------------------------------------------------------
     # Lookup

@@ -46,9 +46,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.dataset import Batch
+from .faults import WorkerKilled
 
-__all__ = ["BatchScorer", "PoolOverloaded", "ScorerPool", "ScorerStats",
-           "concat_batches", "latency_percentile"]
+__all__ = ["BatchScorer", "DeadlineExceeded", "PoolOverloaded", "ScorerPool",
+           "ScorerStats", "concat_batches", "latency_percentile"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before its rows reached a model.
+
+    Raised into the caller's future when a collector drops an expired
+    queue entry (or immediately by ``submit`` when the deadline is
+    already past) — scoring rows nobody is waiting for burns pool
+    capacity the live requests behind them need.  The gateway maps this
+    to a structured 504; like :class:`PoolOverloaded` it is not evidence
+    the model is unhealthy, so the circuit breaker ignores it.
+    """
+
+    def __init__(self, late_by_s: float = 0.0):
+        super().__init__(
+            f"request deadline exceeded ({late_by_s * 1000.0:.1f} ms late)")
+        self.late_by_s = late_by_s
 
 
 class PoolOverloaded(RuntimeError):
@@ -126,6 +144,11 @@ class ScorerStats:
     shed_requests: int = 0              # submissions refused at the bound
     shed_rows: int = 0                  # rows those submissions carried
     drain_rate_rows_per_s: float = 0.0  # recent wall-clock drain rate
+    # Fault-tolerance view (pool-level, like the admission counters).
+    worker_restarts: int = 0            # dead workers respawned by the supervisor
+    expired_requests: int = 0           # requests dropped at their deadline
+    expired_rows: int = 0               # rows those requests carried
+    lost_resolutions: int = 0           # futures already cancelled/raced at resolve
 
     @property
     def mean_batch_rows(self) -> float:
@@ -155,28 +178,38 @@ class ScorerStats:
 
 
 class _Request:
-    __slots__ = ("batch", "future", "enqueued_at")
+    __slots__ = ("batch", "future", "enqueued_at", "deadline")
 
-    def __init__(self, batch: Batch):
+    def __init__(self, batch: Batch, deadline: float | None = None):
         self.batch = batch
         self.future: Future = Future()
         self.enqueued_at = time.monotonic()
+        self.deadline = deadline        # absolute time.monotonic(), or None
 
 
 _SHUTDOWN = object()
 _LATENCY_WINDOW = 4096                  # latency samples kept per worker
 _DRAIN_WINDOW_S = 5.0                   # window behind drain_rate_rows_per_s
+_SUPERVISE_INTERVAL_S = 0.25            # dead-worker sweep cadence
 
 
-def _resolve(future: Future, result=None, error=None) -> None:
-    """Complete a future, tolerating callers that already cancelled it."""
+def _resolve(future: Future, result=None, error=None) -> bool:
+    """Complete a future; False when it was already cancelled or resolved.
+
+    The False case is a *lost response*: someone raced us (cancelled the
+    future, or a dying worker's cleanup already failed it).  Callers on
+    the normal resolution path count it via
+    :meth:`ScorerPool._note_lost_resolution` so the loss shows up on
+    ``/stats`` instead of vanishing into a bare ``pass``.
+    """
     try:
         if error is not None:
             future.set_exception(error)
         else:
             future.set_result(result)
     except Exception:
-        pass                            # cancelled/raced future: nothing to do
+        return False                    # cancelled/raced future
+    return True
 
 
 class _Worker:
@@ -217,25 +250,52 @@ class _Worker:
             # The collector token serializes batch assembly (preserving
             # the single-worker coalescing semantics); scoring below runs
             # token-free, so it pipelines with the next worker's collect.
-            with self._pool._collect_lock:
-                item = self._pool._queue.get()
-                if item is _SHUTDOWN:
-                    return
-                self._pool._note_dequeued(item)
-                pending, shutdown = self._collect(item)
-            self._run_batch(pending)
+            # ``pending`` is owned by this frame so that if the thread
+            # dies mid-iteration (a WorkerKilled injection, or a bug) the
+            # except block can still fail every future the worker holds —
+            # a dying worker must never take responses to the grave.  The
+            # ``with`` block guarantees the collector token itself is
+            # released on any exit path.
+            pending: list[_Request] = []
+            shutdown = False
+            try:
+                with self._pool._collect_lock:
+                    item = self._pool._queue.get()
+                    if item is _SHUTDOWN:
+                        return
+                    self._pool._note_dequeued(item)
+                    shutdown = self._collect(item, pending)
+                self._run_batch(pending)
+            except BaseException as error:
+                # Emergency cleanup for a dying worker.  _run_batch has
+                # already resolved (and cleared) anything it handled, so
+                # whatever is left here is genuinely unresolved; no
+                # lost-resolution counting — failing these futures is the
+                # *correct* outcome, not a race.
+                for request in pending:
+                    _resolve(request.future, error=error)
+                raise               # thread dies; the supervisor respawns it
             if shutdown:
                 return
 
-    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
-        """Gather requests up to the row/wait budget; True means shut down.
+    def _collect(self, first: _Request, pending: list[_Request]) -> bool:
+        """Gather requests up to the row/wait budget into ``pending``;
+        True means shut down.
 
         The row cap is re-read from the pool every iteration: under the
         adaptive policy it tracks the live backlog, so a queue that backs
         up mid-collect widens this very batch instead of the next one.
+
+        Deadline enforcement lives here: an entry whose deadline already
+        passed is dropped — its future fails with
+        :class:`DeadlineExceeded` and it never joins the micro-batch, so
+        no model time is spent on an answer nobody is waiting for.
+        ``pending`` is caller-owned (not returned) so the worker loop can
+        fail whatever was gathered if this thread dies mid-collect.
         """
-        pending = [first]
-        rows = len(first.batch)
+        rows = self._admit(first, pending)
+        if not pending and self._pool._queue.empty():
+            return False            # lone expired entry: nothing to wait for
         deadline = time.monotonic() + self._pool._max_wait
         while rows < self._pool._collect_cap(rows):
             remaining = deadline - time.monotonic()
@@ -245,20 +305,41 @@ class _Worker:
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                return pending, True
+                return True
             self._pool._note_dequeued(item)
-            pending.append(item)
-            rows += len(item.batch)
-        return pending, False
+            rows += self._admit(item, pending)
+        return False
+
+    def _admit(self, item: _Request, pending: list[_Request]) -> int:
+        """Append ``item`` to the micro-batch unless it already expired;
+        returns the rows it contributed (0 for a dropped entry)."""
+        if item.deadline is not None:
+            late_by = time.monotonic() - item.deadline
+            if late_by >= 0.0:
+                self._pool._note_expired(item)
+                if not _resolve(item.future, error=DeadlineExceeded(late_by)):
+                    self._pool._note_lost_resolution()
+                return 0
+        pending.append(item)
+        return len(item.batch)
 
     def _run_batch(self, pending: list[_Request]) -> None:
-        """Score one micro-batch.  Must never raise: an escaping exception
-        would kill the worker thread and hang every current and future
-        caller, so *any* failure — merging, scoring, bad score shape — is
-        routed to the waiting futures instead."""
+        """Score one micro-batch.  Must not raise — an escaping exception
+        kills the worker thread — so *any* failure (merging, scoring, bad
+        score shape, an injected fault) is routed to the waiting futures
+        instead.  The one deliberate exception: :class:`WorkerKilled` is
+        re-raised *after* every future is resolved, so fault injection
+        can prove the supervisor's respawn path without ever losing a
+        response.  Consumes ``pending`` (clears it) once every future is
+        resolved, so the loop's emergency cleanup never double-fails."""
+        if not pending:
+            return                  # every collected entry expired
         try:
             merged = concat_batches([request.batch for request in pending])
             started = time.monotonic()
+            injector = self._pool._fault_injector
+            if injector is not None:
+                injector.before_score()
             scores = np.asarray(self._score_fn(merged))
             busy = time.monotonic() - started
             if scores.ndim == 0 or scores.shape[0] != len(merged):
@@ -266,7 +347,11 @@ class _Worker:
                     f"score_fn returned shape {scores.shape} for {len(merged)} rows")
         except BaseException as error:  # propagate to every waiting caller
             for request in pending:
-                _resolve(request.future, error=error)
+                if not _resolve(request.future, error=error):
+                    self._pool._note_lost_resolution()
+            pending.clear()
+            if isinstance(error, WorkerKilled):
+                raise               # deliberate worker death (fault injection)
             return
         finished = time.monotonic()
         self._pool._note_drained(len(merged), finished)
@@ -275,7 +360,9 @@ class _Worker:
             count = len(request.batch)
             # Copy the slice: the compiled plan owns (and will overwrite)
             # the backing buffer on its next call.
-            _resolve(request.future, result=scores[offset:offset + count].copy())
+            if not _resolve(request.future,
+                            result=scores[offset:offset + count].copy()):
+                self._pool._note_lost_resolution()
             offset += count
         with self._lock:
             self._requests += len(pending)
@@ -285,6 +372,7 @@ class _Worker:
             self._latencies.extend(finished - r.enqueued_at for r in pending)
             if len(self._latencies) > _LATENCY_WINDOW:
                 del self._latencies[:-_LATENCY_WINDOW]
+        pending.clear()                 # fully handled: see the docstring
 
 
 class ScorerPool:
@@ -331,6 +419,19 @@ class ScorerPool:
         unbounded p99.  ``None`` (the default) keeps the pre-admission
         unbounded behavior for library callers; the gateway always
         serves with a bound.
+    fault_injector:
+        Optional :class:`~repro.serving.faults.FaultInjector` whose
+        ``before_score`` hook runs ahead of every model invocation —
+        the chaos-testing seam.  ``None`` (the default) costs one
+        attribute read per batch.
+
+    Every pool runs a **supervisor**: a daemon thread that sweeps for
+    dead worker threads every ~250 ms and respawns them with a *fresh*
+    closure from ``scorer_factory`` (a worker that died mid-score may
+    have left its compiled plan's scratch buffers in an undefined
+    state).  A respawn is counted in ``stats().worker_restarts``, and a
+    dead worker's lifetime counters are folded into the pool totals so
+    ``/stats`` counters stay monotonic across restarts.
 
     ``submit`` returns a :class:`~concurrent.futures.Future`; ``score`` is
     the blocking convenience wrapper.  Use as a context manager (or call
@@ -341,7 +442,8 @@ class ScorerPool:
                  max_batch_rows: int = 256, max_wait_ms: float = 2.0,
                  name: str = "pool", adaptive_batch: bool = True,
                  min_batch_rows: int = 8,
-                 max_backlog_rows: int | None = None):
+                 max_backlog_rows: int | None = None,
+                 fault_injector=None):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if max_batch_rows <= 0:
@@ -367,6 +469,14 @@ class ScorerPool:
         self._shed_requests = 0
         self._shed_rows = 0
         self._drained: collections.deque[tuple[float, int]] = collections.deque()
+        # Fault-tolerance counters (under _state_lock); the retired
+        # totals accumulate counters from workers the supervisor
+        # replaced, keeping /stats monotonic across restarts.
+        self._worker_restarts = 0
+        self._expired_requests = 0
+        self._expired_rows = 0
+        self._lost_resolutions = 0
+        self._retired = ScorerStats(workers=0)
         self._queue: queue.Queue = queue.Queue()
         # Collector token: at most one worker assembles a micro-batch at
         # a time (see the worker loop).
@@ -376,10 +486,18 @@ class ScorerPool:
         # exited — leaving its future forever unresolved.
         self._submit_lock = threading.Lock()
         self._closed = False
+        self._fault_injector = fault_injector
+        self._scorer_factory = scorer_factory
         self._workers = [_Worker(self, index, scorer_factory())
                          for index in range(num_workers)]
         for worker in self._workers:
             worker.thread.start()
+        # Supervisor: respawns dead workers (see the class docstring).
+        self._supervisor_stop = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise, daemon=True,
+            name=f"{type(self).__name__}-{name}-supervisor")
+        self._supervisor.start()
 
     @property
     def num_workers(self) -> int:
@@ -418,6 +536,60 @@ class ScorerPool:
     def shed_rows(self) -> int:
         """Rows carried by refused submissions since start."""
         return self._shed_rows
+
+    @property
+    def worker_restarts(self) -> int:
+        """Dead workers respawned by the supervisor since start."""
+        return self._worker_restarts
+
+    # ------------------------------------------------------------------
+    # Worker supervision
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        """Supervisor loop: sweep for dead workers until close()."""
+        while not self._supervisor_stop.wait(_SUPERVISE_INTERVAL_S):
+            self._respawn_dead_workers()
+
+    def _respawn_dead_workers(self) -> None:
+        """Replace every dead worker thread with a freshly built one.
+
+        The supervisor thread is the only mutator of ``_workers`` after
+        construction, so this needs no lock against itself; concurrent
+        ``stats()`` readers see either the dying worker or its
+        replacement, both of which snapshot safely.  A failing
+        ``scorer_factory`` (e.g. the model was hot-swapped away
+        mid-crash) leaves the slot dead and is retried on the next
+        sweep rather than killing the supervisor.
+        """
+        for index, worker in enumerate(self._workers):
+            if worker.thread.is_alive():
+                continue
+            if self._closed:
+                return              # close() owns worker lifetime now
+            try:
+                replacement = _Worker(self, index, self._scorer_factory())
+            except Exception:
+                continue            # factory failed; retry next sweep
+            # Fold the dead worker's lifetime counters into the retired
+            # totals before dropping our reference to it.
+            final = worker.snapshot()
+            with self._state_lock:
+                self._retired.requests += final.requests
+                self._retired.rows += final.rows
+                self._retired.batches += final.batches
+                self._retired.busy_seconds += final.busy_seconds
+                self._worker_restarts += 1
+            self._workers[index] = replacement
+            replacement.thread.start()
+
+    def _note_expired(self, request: _Request) -> None:
+        with self._state_lock:
+            self._expired_requests += 1
+            self._expired_rows += len(request.batch)
+
+    def _note_lost_resolution(self) -> None:
+        with self._state_lock:
+            self._lost_resolutions += 1
 
     # ------------------------------------------------------------------
     # Drain rate (behind Retry-After)
@@ -509,18 +681,31 @@ class ScorerPool:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def submit(self, batch: Batch) -> Future:
+    def submit(self, batch: Batch, deadline: float | None = None) -> Future:
         """Enqueue a batch for scoring; resolves to its (n,) score array.
 
         With ``max_backlog_rows`` set, a submission that would push the
         backlog past the bound raises :class:`PoolOverloaded` instead of
         queueing (and is counted in :attr:`shed_requests`) — the queue
         stays bounded, so queueing delay does too.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant: a
+        submission whose deadline already passed raises
+        :class:`DeadlineExceeded` immediately, and a queued request whose
+        deadline passes before a collector reaches it has its future
+        failed with :class:`DeadlineExceeded` instead of being scored.
         """
         rows = len(batch)
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError(f"{type(self).__name__} is closed")
+            if deadline is not None:
+                late_by = time.monotonic() - deadline
+                if late_by >= 0.0:
+                    with self._state_lock:
+                        self._expired_requests += 1
+                        self._expired_rows += rows
+                    raise DeadlineExceeded(late_by)
             # Count the rows before they become visible to a collector,
             # so the backlog counter can never go negative.
             with self._state_lock:
@@ -540,13 +725,13 @@ class ScorerPool:
                 raise PoolOverloaded(self.name, backlog,
                                      self._max_backlog_rows,
                                      self.retry_after_s())
-            request = _Request(batch)
+            request = _Request(batch, deadline=deadline)
             self._queue.put(request)
         return request.future
 
-    def score(self, batch: Batch) -> np.ndarray:
+    def score(self, batch: Batch, deadline: float | None = None) -> np.ndarray:
         """Blocking score: submit and wait for the result."""
-        return self.submit(batch).result()
+        return self.submit(batch, deadline=deadline).result()
 
     def stats(self) -> ScorerStats:
         """Aggregate statistics across all workers.
@@ -560,16 +745,25 @@ class ScorerPool:
         # averaging per-worker percentiles (which would be meaningless).
         windows = [w.latency_window() for w in self._workers]
         merged = np.concatenate(windows) if windows else np.asarray([])
+        with self._state_lock:
+            retired = ScorerStats(**{
+                field: getattr(self._retired, field)
+                for field in ("requests", "rows", "batches", "busy_seconds")})
         stats = ScorerStats.from_window(
-            requests=sum(s.requests for s in per_worker),
-            rows=sum(s.rows for s in per_worker),
-            batches=sum(s.batches for s in per_worker),
-            busy_seconds=sum(s.busy_seconds for s in per_worker),
+            requests=sum(s.requests for s in per_worker) + retired.requests,
+            rows=sum(s.rows for s in per_worker) + retired.rows,
+            batches=sum(s.batches for s in per_worker) + retired.batches,
+            busy_seconds=(sum(s.busy_seconds for s in per_worker)
+                          + retired.busy_seconds),
             latencies=merged, workers=len(self._workers))
         with self._state_lock:
             stats.backlog_rows = self._backlog_rows
             stats.shed_requests = self._shed_requests
             stats.shed_rows = self._shed_rows
+            stats.worker_restarts = self._worker_restarts
+            stats.expired_requests = self._expired_requests
+            stats.expired_rows = self._expired_rows
+            stats.lost_resolutions = self._lost_resolutions
         stats.max_backlog_rows = self._max_backlog_rows
         stats.drain_rate_rows_per_s = self.drain_rate_rows_per_s()
         return stats
@@ -585,18 +779,28 @@ class ScorerPool:
         (``submit`` and ``close`` share a lock), so every enqueued request
         is picked up — and therefore completed — by some worker before
         that worker can see a sentinel.
+
+        The supervisor is stopped and joined *before* the sentinels go
+        out, so the worker list is stable for the joins below and a
+        mid-close respawn can never resurrect a worker the sentinels
+        were not counted for.
         """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
+        self._supervisor_stop.set()
+        self._supervisor.join()
+        with self._submit_lock:
             for _ in self._workers:
                 self._queue.put(_SHUTDOWN)
         for worker in self._workers:
             worker.thread.join()
-        # Defensive: the FIFO argument above makes leftovers impossible,
-        # but an unresolved future would hang its caller forever, so fail
-        # loudly rather than silently if the invariant is ever broken.
+        # Defensive: the FIFO argument above makes leftovers impossible
+        # while every worker lives — but a worker that died *after* the
+        # supervisor stopped leaves its share of the queue unconsumed,
+        # and an unresolved future would hang its caller forever.  Fail
+        # whatever remains loudly rather than silently.
         while True:
             try:
                 item = self._queue.get_nowait()

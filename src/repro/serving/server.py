@@ -27,6 +27,7 @@ GET       ``/stats``     gateway + connection counters, latency histograms,
 GET       ``/models``    registry listing + the feature schema clients need
 GET       ``/metrics``   Prometheus text exposition of the same counters
 POST      ``/reload``    hot checkpoint reload from the watched directory
+POST      ``/faults``    chaos-test fault injection (``--enable-fault-injection``)
 ========  =============  ====================================================
 
 Every error is a structured JSON body ``{"error": {"type", "message"}}``
@@ -40,6 +41,14 @@ with ``429`` + a ``Retry-After`` derived from the pool's measured drain
 rate (see ``--max-backlog-rows``).  On SIGTERM/SIGINT it drains
 gracefully — stops accepting, answers every accepted request (bounded by
 ``--drain-deadline``), and marks final responses ``Connection: close``.
+
+It is also fault-tolerant by construction: requests may carry an
+``X-Deadline-Ms`` budget (expired ones answer a structured 504 instead
+of being scored), dead scoring workers are respawned by a pool
+supervisor, a per-model circuit breaker (``--breaker-*`` flags) trips to
+a model-free degraded fallback when scoring keeps failing, and corrupt
+checkpoints are quarantined on reload while the last good version keeps
+serving.
 
 Run it from a checkpoint directory (see :mod:`repro.serving.checkpoint`
 for the layout)::
@@ -62,7 +71,9 @@ from pathlib import Path
 
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
+from .breaker import BreakerConfig
 from .checkpoint import find_classifier_checkpoint, load_classifier_checkpoint, load_environment
+from .faults import FaultInjector
 from .handlers import ApiError, GatewayDispatcher
 from .protocol import MAX_BODY_BYTES, MAX_HEADER_BYTES
 from .registry import ModelRegistry
@@ -241,7 +252,9 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
                          dispatch_workers: int = 8,
                          max_backlog_rows: int | None = 4096,
-                         drain_deadline_s: float = 10.0) -> ServingServer:
+                         drain_deadline_s: float = 10.0,
+                         breaker_config: BreakerConfig | None = None,
+                         enable_fault_injection: bool = False) -> ServingServer:
     """Build a ready-to-start gateway from a checkpoint directory.
 
     Reads the ``environment.json`` bundle, registers every ranking
@@ -253,7 +266,15 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
     admission bound: ``max_backlog_rows`` rows of queued scoring work per
     model pool, beyond which requests are shed with a 429 and a
     ``Retry-After`` derived from the pool's drain rate.  Pass ``None`` to
-    opt out.
+    opt out.  The same always-protected default applies to the circuit
+    breaker: every routed model gets one (``breaker_config`` overrides
+    the default tuning), so repeated model failures degrade to the
+    model-free fallback instead of a 500 storm.
+
+    ``enable_fault_injection`` builds a
+    :class:`~repro.serving.faults.FaultInjector` into the service and
+    routes ``POST /faults`` to it — chaos tests only; never enable it on
+    a gateway you are not deliberately breaking.
     """
     checkpoint_dir = Path(checkpoint_dir)
     spec, taxonomy = load_environment(checkpoint_dir)
@@ -274,7 +295,11 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                              max_wait_ms=max_wait_ms, num_workers=num_workers,
                              adaptive_batch=adaptive_batch,
                              min_batch_rows=min_batch_rows,
-                             max_backlog_rows=max_backlog_rows)
+                             max_backlog_rows=max_backlog_rows,
+                             breaker_config=breaker_config or BreakerConfig(),
+                             spec=spec,
+                             fault_injector=FaultInjector()
+                             if enable_fault_injection else None)
     return ServingServer(service, host=host, port=port,
                          checkpoint_dir=checkpoint_dir, spec=spec,
                          taxonomy=taxonomy, backend=backend,
@@ -349,6 +374,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="seconds a SIGTERM/SIGINT graceful drain may "
                              "spend answering in-flight requests before the "
                              "loop is forced down")
+    parser.add_argument("--breaker-window", type=float, default=30.0,
+                        help="circuit breaker: rolling window (seconds) the "
+                             "failure ratio is computed over")
+    parser.add_argument("--breaker-threshold", type=float, default=0.5,
+                        help="circuit breaker: failure ratio that opens it "
+                             "(model failures / requests over the window)")
+    parser.add_argument("--breaker-min-requests", type=int, default=10,
+                        help="circuit breaker: minimum windowed requests "
+                             "before the ratio can open it")
+    parser.add_argument("--breaker-cooldown", type=float, default=5.0,
+                        help="circuit breaker: seconds open before half-open "
+                             "probes may test the model again")
+    parser.add_argument("--enable-fault-injection", action="store_true",
+                        help="route POST /faults to a live fault injector "
+                             "(chaos testing only — injects scoring errors, "
+                             "latency, worker kills, and torn checkpoint "
+                             "writes on demand)")
     parser.add_argument("--default-model", default=None,
                         help="model name for unrouted traffic "
                              "(default: the sole registered name)")
@@ -371,17 +413,25 @@ def main(argv: list[str] | None = None) -> int:
         idle_timeout_s=args.idle_timeout,
         dispatch_workers=args.dispatch_workers,
         max_backlog_rows=args.max_backlog_rows or None,
-        drain_deadline_s=args.drain_deadline)
+        drain_deadline_s=args.drain_deadline,
+        breaker_config=BreakerConfig(
+            window_s=args.breaker_window,
+            failure_threshold=args.breaker_threshold,
+            min_requests=args.breaker_min_requests,
+            cooldown_s=args.breaker_cooldown),
+        enable_fault_injection=args.enable_fault_injection)
     server.install_signal_handlers()
     names = ", ".join(server.service.registry.names())
     cap = ("static" if args.static_batch
            else f"adaptive ≤{args.max_batch_rows}")
     backlog = (f"shed past {args.max_backlog_rows} backlog rows"
                if args.max_backlog_rows else "no admission bound")
+    faults = ", FAULT INJECTION ENABLED" if args.enable_fault_injection else ""
     print(f"serving {names} on {server.url} "
           f"({args.backend} backend, {args.workers} scoring workers, "
-          f"{cap} batch cap, {backlog}; GET /metrics for Prometheus, "
-          f"POST /reload to hot-reload)")
+          f"{cap} batch cap, {backlog}, breaker opens at "
+          f"{args.breaker_threshold:g} failure ratio{faults}; "
+          f"GET /metrics for Prometheus, POST /reload to hot-reload)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -18,12 +18,26 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.dataset import Batch
+from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from ..querycat import QueryCategoryClassifier
+from .breaker import BreakerConfig, CircuitBreaker
 from .registry import ModelRegistry
-from .scorer import ScorerPool, ScorerStats
+from .scorer import DeadlineExceeded, PoolOverloaded, ScorerPool, ScorerStats
 
 __all__ = ["RankingService", "RankingResponse", "candidate_batch"]
+
+# Numeric features (by FeatureSpec name) the model-free degraded prior
+# prefers, in priority order: popularity/quality signals that rank
+# sensibly without any learned weights.
+_PRIOR_FEATURES = ("historical_ctr", "log_sales", "brand_popularity",
+                   "relevance")
+
+# Outcomes that say nothing about model health: backpressure, expired
+# deadlines, and client-data errors must neither open nor close the
+# breaker (see repro.serving.breaker).
+_BREAKER_EXEMPT = (PoolOverloaded, DeadlineExceeded, KeyError, ValueError,
+                   IndexError)
 
 
 def candidate_batch(numeric: np.ndarray, sparse: dict[str, np.ndarray]) -> Batch:
@@ -50,6 +64,7 @@ class RankingResponse:
     predicted_sc: int | None = None     # query intent (when classified)
     predicted_tc: int | None = None
     latency_ms: float = 0.0
+    degraded: bool = False              # model-free fallback (breaker open)
     extras: dict = field(default_factory=dict)
 
 
@@ -90,6 +105,25 @@ class RankingService:
         it into a 429); ``None`` (the default) keeps the unbounded
         library behavior.  The gateway always serves with a bound — see
         :func:`~repro.serving.server.serve_from_directory`.
+    breaker_config:
+        When set, each routed model name gets a
+        :class:`~repro.serving.breaker.CircuitBreaker` with this config:
+        repeated *model* failures open it and :meth:`rank` serves a
+        model-free degraded fallback (``degraded: True`` on the
+        response) instead of erroring, until half-open probes prove the
+        model healthy again.  ``None`` (the default) keeps the library
+        behavior — errors propagate; the gateway always serves with a
+        breaker.
+    spec:
+        Optional :class:`~repro.data.schema.FeatureSpec` letting the
+        degraded prior pick popularity-style numeric columns by name;
+        without it the prior averages all numeric features.
+    degraded_prior:
+        Optional ``Batch -> (n,) scores`` override for the degraded
+        fallback ordering (e.g. a business-rule prior).
+    fault_injector:
+        Optional :class:`~repro.serving.faults.FaultInjector` threaded
+        into every scorer pool — the chaos-testing seam.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -100,7 +134,11 @@ class RankingService:
                  max_batch_rows: int = 256, max_wait_ms: float = 2.0,
                  num_workers: int = 1, adaptive_batch: bool = True,
                  min_batch_rows: int = 8,
-                 max_backlog_rows: int | None = None):
+                 max_backlog_rows: int | None = None,
+                 breaker_config: BreakerConfig | None = None,
+                 spec: FeatureSpec | None = None,
+                 degraded_prior=None,
+                 fault_injector=None):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.registry = registry
@@ -108,17 +146,24 @@ class RankingService:
         self.classifier = classifier
         self.taxonomy = taxonomy
         self.routing = dict(routing or {})
+        self.spec = spec
+        self.fault_injector = fault_injector
         self._max_batch_rows = max_batch_rows
         self._max_wait_ms = max_wait_ms
         self._num_workers = num_workers
         self._adaptive_batch = adaptive_batch
         self._min_batch_rows = min_batch_rows
         self._max_backlog_rows = max_backlog_rows
+        self._breaker_config = breaker_config
+        self._degraded_prior = degraded_prior
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._degraded_responses = 0
         self._scorers: dict[tuple[str, int], ScorerPool] = {}
         self._closed = False
         # Guards pool creation: two concurrent rank() calls for the same
         # model must share one ScorerPool — its workers own the compiled
-        # plans, and duplicating pools would leak worker threads.
+        # plans, and duplicating pools would leak worker threads.  Also
+        # guards breaker creation (same one-instance-per-name argument).
         self._scorers_lock = threading.Lock()
 
     @property
@@ -199,7 +244,8 @@ class RankingService:
                                     name=f"{entry.name}-v{entry.version}",
                                     adaptive_batch=self._adaptive_batch,
                                     min_batch_rows=self._min_batch_rows,
-                                    max_backlog_rows=self._max_backlog_rows)
+                                    max_backlog_rows=self._max_backlog_rows,
+                                    fault_injector=self.fault_injector)
                 self._scorers[entry.key] = scorer
                 # Hot swap: a newer version's scorer retires older ones for
                 # the same name, else every swap leaks a worker thread and
@@ -213,8 +259,8 @@ class RankingService:
             old.close()                 # completes its pending requests first
         return scorer, entry.version
 
-    def _pooled_score(self, name: str, version: int | None,
-                      candidates: Batch) -> tuple[np.ndarray, int]:
+    def _pooled_score(self, name: str, version: int | None, candidates: Batch,
+                      deadline: float | None = None) -> tuple[np.ndarray, int]:
         """Resolve the pool and score, riding out hot-swap retirement.
 
         A caller can lose the race with a hot swap: it resolves a pool,
@@ -226,28 +272,120 @@ class RankingService:
         while True:
             scorer, resolved_version = self._scorer_for(name, version)
             try:
-                return scorer.score(candidates), resolved_version
+                return scorer.score(candidates, deadline=deadline), \
+                    resolved_version
             except RuntimeError:
                 if not scorer.closed:
                     raise               # a model error, not the swap race
 
     def score(self, candidates: Batch, model: str | None = None,
-              version: int | None = None) -> np.ndarray:
+              version: int | None = None,
+              deadline: float | None = None) -> np.ndarray:
         """Micro-batched scores for ``candidates`` under a routed model."""
         name = self._select_model(None, model)
-        return self._pooled_score(name, version, candidates)[0]
+        return self._pooled_score(name, version, candidates,
+                                  deadline=deadline)[0]
+
+    # ------------------------------------------------------------------
+    # Circuit breaker + degraded fallback
+    # ------------------------------------------------------------------
+    def _breaker_for(self, name: str) -> CircuitBreaker | None:
+        if self._breaker_config is None:
+            return None
+        with self._scorers_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(self._breaker_config)
+                self._breakers[name] = breaker
+            return breaker
+
+    def _degraded_scores(self, candidates: Batch) -> np.ndarray:
+        """Model-free fallback ordering while a breaker is open.
+
+        A degraded answer must cost nothing that can fail the way the
+        model just did: no pool, no compiled plan, no weights.  The
+        default prior averages popularity-style numeric columns (located
+        by name when ``spec`` is known, every numeric column otherwise)
+        and squashes through a sigmoid so the values stay score-like in
+        (0, 1) — historical CTR, sales, and brand popularity order
+        candidates far better than chance and infinitely better than a
+        500.  ``degraded_prior`` overrides the whole computation.
+        """
+        if self._degraded_prior is not None:
+            return np.asarray(self._degraded_prior(candidates),
+                              dtype=np.float64)
+        numeric = np.atleast_2d(np.asarray(candidates.numeric,
+                                           dtype=np.float64))
+        if numeric.size == 0:
+            return np.full(len(candidates), 0.5)
+        columns = numeric
+        if self.spec is not None:
+            names = list(self.spec.numeric_names)
+            wanted = [names.index(n) for n in _PRIOR_FEATURES if n in names]
+            if wanted:
+                columns = numeric[:, wanted]
+        prior = columns.mean(axis=1)
+        return 1.0 / (1.0 + np.exp(-prior))
+
+    def _latest_known_version(self, name: str) -> int:
+        try:
+            return self.registry.latest_version(name)
+        except KeyError:
+            return 0
+
+    def breaker_stats(self) -> dict[str, dict]:
+        """Per-model breaker snapshots (empty without a breaker config)."""
+        with self._scorers_lock:
+            breakers = dict(self._breakers)
+        return {name: breaker.snapshot()
+                for name, breaker in sorted(breakers.items())}
+
+    @property
+    def degraded_responses(self) -> int:
+        """Rank calls served by the degraded fallback since start."""
+        return self._degraded_responses
 
     def rank(self, candidates: Batch, query_tokens: np.ndarray | None = None,
              query_lengths: np.ndarray | int | None = None, top_k: int = 10,
-             model: str | None = None, version: int | None = None
-             ) -> RankingResponse:
-        """Rank ``candidates`` for a query; returns the top-k best first."""
+             model: str | None = None, version: int | None = None,
+             deadline: float | None = None) -> RankingResponse:
+        """Rank ``candidates`` for a query; returns the top-k best first.
+
+        ``deadline`` (absolute :func:`time.monotonic`) propagates into the
+        scorer pool: an expired request raises
+        :class:`~repro.serving.scorer.DeadlineExceeded` instead of
+        burning model time.  With a breaker configured, model failures
+        are recorded against the routed model's breaker, and while it is
+        open the response comes from the degraded prior with
+        ``degraded=True`` instead of erroring.
+        """
         started = time.monotonic()
         sc = tc = None
         if query_tokens is not None:
             sc, tc = self.classify_query(query_tokens, query_lengths)
         name = self._select_model(tc, model)
-        scores, resolved_version = self._pooled_score(name, version, candidates)
+        degraded = False
+        breaker = self._breaker_for(name)
+        if breaker is not None and not breaker.allow():
+            scores = self._degraded_scores(candidates)
+            resolved_version = self._latest_known_version(name)
+            degraded = True
+            with self._scorers_lock:
+                self._degraded_responses += 1
+        else:
+            try:
+                scores, resolved_version = self._pooled_score(
+                    name, version, candidates, deadline=deadline)
+            except BaseException as error:
+                if breaker is not None:
+                    if isinstance(error, _BREAKER_EXEMPT):
+                        breaker.abandon()   # no verdict on model health
+                    else:
+                        breaker.record_failure()
+                raise
+            else:
+                if breaker is not None:
+                    breaker.record_success()
         top_k = min(top_k, len(scores))
         order = np.argsort(-scores, kind="stable")[:top_k]
         return RankingResponse(
@@ -258,6 +396,7 @@ class RankingService:
             predicted_sc=sc,
             predicted_tc=tc,
             latency_ms=(time.monotonic() - started) * 1000.0,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------

@@ -463,9 +463,13 @@ class SelectorTransport:
         force_close = not request.keep_alive
         try:
             # Raw target: the dispatcher owns path normalization (the
-            # threaded backend hands it raw paths too).
+            # threaded backend hands it raw paths too).  received_at is
+            # the parser's off-the-wire stamp, so the deadline budget
+            # counts queueing inside the gateway (dispatch backlog,
+            # scorer queue) but not client-side send time.
             status, payload, headers = self.dispatcher.dispatch(
-                request.method, request.target, request.body)
+                request.method, request.target, request.body,
+                headers=request.headers, received_at=request.received_at)
             body, content_type = encode_body(payload)
         except BaseException as error:  # encoding failed: still must answer
             status, headers = 500, {}
@@ -610,6 +614,12 @@ class SelectorTransport:
 # ----------------------------------------------------------------------
 class _GatewayHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
+    # Match the selector backend's listen(1024).  The socketserver
+    # default backlog of 5 drops SYNs under a connection stampede (32
+    # clients reconnecting after an error burst): the losers retransmit
+    # on the 1s TCP timer and surface as periodic ECONNRESET waves —
+    # found by the chaos harness, which requires zero transport errors.
+    request_queue_size = 1024
     # The gateway holds real state (scorer pools); don't let a lingering
     # client connection on a reused address confuse a fresh server.
     allow_reuse_address = True
@@ -659,6 +669,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         dispatcher = self.server.dispatcher
+        # Stamp arrival before reading the body, matching the selector
+        # backend (its parser stamps when the head finishes): a client
+        # trickling its payload spends its own deadline budget.
+        received_at = time.monotonic()
+        headers = {name.lower(): value for name, value in self.headers.items()}
         try:
             # Drain the body before anything can error: on a keep-alive
             # connection an unread body would be parsed as the next
@@ -674,14 +689,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self.server.counters.dispatch_started()
         try:
-            status, payload, headers = dispatcher.dispatch(
-                method, self.path, body)
+            status, payload, response_headers = dispatcher.dispatch(
+                method, self.path, body,
+                headers=headers, received_at=received_at)
         finally:
             self.server.counters.dispatch_finished()
         self._requests_on_connection += 1
         self.server.counters.request_served(
             reused=self._requests_on_connection > 1)
-        self._send(status, payload, headers)
+        self._send(status, payload, response_headers)
 
     def _read_body(self) -> bytes:
         # Shared validation with the selector backend's parser, so the

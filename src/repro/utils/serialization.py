@@ -6,12 +6,26 @@ able to persist and reload trained models.  Checkpoints store the flat
 parameter state dict (``numpy.savez``) plus a JSON sidecar with the model
 name and :class:`~repro.models.config.ModelConfig` fields, so
 :func:`load_model` can rebuild the exact architecture.
+
+Checkpoints are written **atomically** (temp file in the same directory,
+then :func:`os.replace`) so a crash mid-write can never leave a
+half-written file under the real name — a hot-reloading server polling the
+directory sees either the old bytes or the new bytes, never a torn mix.
+The sidecar additionally records a SHA-256 **checksum** of the weights
+file; :func:`load_checkpoint` verifies it and raises
+:class:`CheckpointCorrupted` on mismatch, which is what lets
+``ModelRegistry.reload_from_directory`` quarantine a corrupt checkpoint
+instead of serving garbage weights.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import io
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -21,9 +35,65 @@ from ..hierarchy import Taxonomy
 from ..models import ModelConfig, build_model
 from ..models.base import RankingModel
 
-__all__ = ["save_checkpoint", "load_checkpoint", "load_model"]
+__all__ = ["CheckpointCorrupted", "atomic_write_bytes", "atomic_write_text",
+           "checksum_file", "save_checkpoint", "load_checkpoint", "load_model"]
 
 _FORMAT_VERSION = 1
+
+
+class CheckpointCorrupted(ValueError):
+    """A checkpoint's bytes do not match its declared checksum (or cannot
+    be parsed at all): a torn write, bit rot, or a concurrent overwrite.
+    Callers that hot-reload should quarantine the checkpoint and keep
+    serving the last good version rather than let this propagate."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Atomic writes + checksums
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (same-directory temp file +
+    :func:`os.replace`): readers never observe a partial file, and a crash
+    mid-write leaves the previous contents intact."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomic counterpart of ``Path.write_text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def checksum_file(path: str | Path) -> str:
+    """SHA-256 of a file's bytes as ``"sha256:<hex>"`` (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
+
+
+def _checksum_bytes(data: bytes) -> str:
+    return f"sha256:{hashlib.sha256(data).hexdigest()}"
 
 
 def save_checkpoint(model: RankingModel, path: str | Path,
@@ -31,7 +101,10 @@ def save_checkpoint(model: RankingModel, path: str | Path,
     """Persist a model to ``<path>.npz`` + ``<path>.json``.
 
     Returns the weights path.  ``extra`` (JSON-serializable) is stored in
-    the sidecar, e.g. training metrics.
+    the sidecar, e.g. training metrics.  Both files are written atomically
+    and the sidecar carries a SHA-256 checksum of the weights (see the
+    module docstring); the weights land before the sidecar referencing
+    them, so a crash between the two leaves a stale-but-consistent pair.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -39,7 +112,12 @@ def save_checkpoint(model: RankingModel, path: str | Path,
     meta_path = path.with_suffix(".json")
 
     state = model.state_dict()
-    np.savez(weights_path, **state)
+    # Serialize the archive in memory so the checksum covers exactly the
+    # bytes that hit disk, then write them in one atomic replace.
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    weights_bytes = buffer.getvalue()
+    atomic_write_bytes(weights_path, weights_bytes)
 
     config = getattr(model, "config", None)
     if not isinstance(config, ModelConfig):
@@ -53,28 +131,50 @@ def save_checkpoint(model: RankingModel, path: str | Path,
         # reloads as float32 regardless of the ambient default dtype.
         "dtype": dtypes.pop() if len(dtypes) == 1 else None,
         "extra": extra or {},
+        "checksum": {"weights": _checksum_bytes(weights_bytes)},
     }
     # MMoE's task routing lives outside the parameter arrays; persist it so
     # the rebuilt model routes examples identically.
     buckets = getattr(model, "bucket_assignment", None)
     if buckets is not None:
         meta["bucket_assignment"] = {str(k): int(v) for k, v in buckets.items()}
-    meta_path.write_text(json.dumps(meta, indent=2, default=_json_default))
+    atomic_write_text(meta_path,
+                      json.dumps(meta, indent=2, default=_json_default))
     return weights_path
 
 
 def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
-    """Load (state dict, metadata) from a checkpoint base path."""
+    """Load (state dict, metadata) from a checkpoint base path.
+
+    When the sidecar declares a weights checksum (every checkpoint written
+    since checksums landed), the weights bytes are verified against it
+    before parsing — a mismatch raises :class:`CheckpointCorrupted`, as
+    does an unparseable archive.  Sidecars without a checksum (older
+    checkpoints) load unverified, preserving compatibility.
+    """
     path = Path(path)
     weights_path = path.with_suffix(".npz")
     meta_path = path.with_suffix(".json")
     if not weights_path.exists() or not meta_path.exists():
         raise FileNotFoundError(f"checkpoint incomplete at {path}")
-    with np.load(weights_path) as archive:
-        state = {key: archive[key].copy() for key in archive.files}
     meta = json.loads(meta_path.read_text())
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint version {meta.get('format_version')}")
+    declared = (meta.get("checksum") or {}).get("weights")
+    if declared is not None:
+        actual = checksum_file(weights_path)
+        if actual != declared:
+            raise CheckpointCorrupted(
+                weights_path,
+                f"weights checksum {actual} != declared {declared}")
+    try:
+        with np.load(weights_path) as archive:
+            state = {key: archive[key].copy() for key in archive.files}
+    except Exception as error:
+        # A torn/garbled archive that predates checksums (or got mangled
+        # between the verify above and the read) is corruption, not a
+        # loader bug: surface it as such so reloaders can quarantine.
+        raise CheckpointCorrupted(weights_path, f"unreadable archive: {error}")
     return state, meta
 
 

@@ -188,18 +188,29 @@ class TestOperationalEndpoints:
     def test_stats_schema_pinned(self, client, batch):
         client.rank(batch.numeric, batch.sparse)
         payload = client.stats()
-        assert set(payload) == {"server", "scorers", "endpoints"}
+        assert set(payload) == {"server", "scorers", "endpoints",
+                                "breakers", "quarantined"}
         assert set(payload["server"]) == {"requests", "errors",
-                                          "shed_requests", "uptime_s",
+                                          "shed_requests",
+                                          "deadline_exceeded",
+                                          "degraded_responses", "uptime_s",
                                           "connections"}
         assert payload["server"]["requests"] > 0
         assert payload["server"]["shed_requests"] == 0
+        assert payload["server"]["deadline_exceeded"] == 0
+        assert payload["quarantined"] == {}
+        # A directory-booted gateway always serves with a breaker.
+        assert payload["breakers"]
+        for snapshot in payload["breakers"].values():
+            assert snapshot["state"] == "closed"
         scorer_keys = {"requests", "rows", "batches", "busy_seconds",
                        "latency_samples", "mean_latency_ms", "p95_latency_ms",
                        "max_latency_ms", "workers", "mean_batch_rows",
                        "throughput_rows_per_s", "backlog_rows",
                        "max_backlog_rows", "shed_requests", "shed_rows",
-                       "drain_rate_rows_per_s"}
+                       "drain_rate_rows_per_s", "worker_restarts",
+                       "expired_requests", "expired_rows",
+                       "lost_resolutions"}
         assert payload["scorers"], "at least one scorer pool must report"
         for stats in payload["scorers"].values():
             assert set(stats) == scorer_keys

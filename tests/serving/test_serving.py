@@ -150,7 +150,16 @@ class TestModelRegistry:
         # Unchanged weights: a re-scan is a no-op (fingerprint match).
         assert registry.reload_from_directory(tmp_path, dataset.spec,
                                               taxonomy) == []
-        # Overwritten weights: registered as the next version.
+        # Rewriting the *same* bytes is still a no-op: the fingerprint
+        # is a content checksum, not mtime+size.
+        serving.save_checkpoint(model, tmp_path / "ranker", "adv-hsc-moe")
+        assert registry.reload_from_directory(tmp_path, dataset.spec,
+                                              taxonomy) == []
+        # Changed weights: registered as the next version.
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = state[key] + 0.25
+        model.load_state_dict(state)
         serving.save_checkpoint(model, tmp_path / "ranker", "adv-hsc-moe")
         second = registry.reload_from_directory(tmp_path, dataset.spec, taxonomy)
         assert [(e.name, e.version) for e in second] == [("ranker", 2)]

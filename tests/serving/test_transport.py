@@ -391,7 +391,7 @@ class TestEventLoopDoesNotSpin:
         release = threading.Event()
 
         class StubDispatcher:
-            def dispatch(self, method, path, body):
+            def dispatch(self, method, path, body, **context):
                 release.wait(10)        # a slow scoring request
                 return 200, {"ok": True}, {}
 
@@ -437,7 +437,7 @@ class TestEventLoopDoesNotSpin:
         release = threading.Event()
 
         class StubDispatcher:
-            def dispatch(self, method, path, body):
+            def dispatch(self, method, path, body, **context):
                 release.wait(10)        # hold the request in flight
                 return 200, {"ok": True}, {}
 
