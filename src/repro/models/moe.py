@@ -27,7 +27,8 @@ from ..data.dataset import Batch
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from ..nn import functional as F
-from ..nn.infer import masked_softmax_array, sigmoid_array
+from ..nn.infer import (PrefixMemo, SplitMLP, masked_softmax_array,
+                        sigmoid_array)
 from .base import FeatureEmbedder, ModelOutput, RankingModel
 from .config import ModelConfig
 from .gates import NoisyTopKGate
@@ -165,6 +166,56 @@ class MoERanker(RankingModel):
             expert_logits = np.empty((x.shape[0], len(experts)), dtype=x.dtype)
             for index, plan in enumerate(experts):
                 expert_logits[:, index] = plan(x).reshape(-1)
+            return sigmoid_array((probs * expert_logits).sum(axis=1))
+        return score
+
+    def make_split_scorer(self, prefix_memo: PrefixMemo | None = None):
+        """Split-plan scoring: per-expert memoized item-side prefixes.
+
+        Every expert's first layer admits the same item/query column
+        split, so one memo entry per distinct item row carries the
+        concatenated ``(num_experts * hidden)`` prefix block; per request
+        only the query-side matmuls, the remaining expert layers, and the
+        (query-side) gate run.  The gate math is identical to
+        ``_build_scorer`` — only the expert towers are split.
+        """
+        embedder = self.embedder
+        item_cols, query_cols = embedder.input_column_split()
+        if item_cols.size == 0 or query_cols.size == 0:
+            return None
+        splits = [SplitMLP(expert, item_cols, query_cols)
+                  for expert in self.experts]
+        width = splits[0].prefix_width
+        memo = prefix_memo if prefix_memo is not None else PrefixMemo()
+        gate = self.inference_gate
+        config = self.config
+
+        def score(batch: Batch) -> np.ndarray:
+            x = embedder.model_input_array(batch)
+            gate_in = embedder.gate_input_array(
+                batch, config.gate_features, config.gate_include_numeric)
+            clean = gate_in @ gate.weight.data
+            mask = F.scatter_topk_mask(clean, gate.k)
+            probs = masked_softmax_array(clean, mask, axis=1)
+            x_item = np.ascontiguousarray(x[:, item_cols])
+            x_query = np.ascontiguousarray(x[:, query_cols])
+            keys = embedder.item_row_keys(batch)
+
+            def compute(rows: np.ndarray) -> np.ndarray:
+                block = np.empty((rows.size, len(splits) * width),
+                                 dtype=x.dtype)
+                x_rows = x_item[rows]
+                for index, split in enumerate(splits):
+                    block[:, index * width:(index + 1) * width] = \
+                        split.prefix(x_rows)
+                return block
+
+            prefix = memo.lookup(keys, compute)
+            expert_logits = np.empty((x.shape[0], len(splits)), dtype=x.dtype)
+            for index, split in enumerate(splits):
+                expert_logits[:, index] = split(
+                    prefix[:, index * width:(index + 1) * width],
+                    x_query).reshape(-1)
             return sigmoid_array((probs * expert_logits).sum(axis=1))
         return score
 

@@ -25,9 +25,20 @@ to a model-free fallback instead of erroring, corruption-safe checkpoint
 writes (atomic rename + checksum manifest) with quarantine on reload —
 all proven by the :class:`FaultInjector` chaos harness
 (``python -m repro.serving.loadgen --chaos``).
+
+Repeat traffic rides the Zipfian fast path: a version-keyed
+:class:`ResultCache` in front of the scorer pools (the model version
+lives in the key, so hot reload invalidates structurally) answers
+repeat ``(version, intent, candidates)`` requests bit-identically
+without scoring, and ``--split-precompute`` factors each supported
+model's compiled plan into a memoized query-independent item prefix
+plus a per-request query suffix (:class:`~repro.nn.infer.SplitMLP`).
+``python -m repro.serving.loadgen --zipf S`` generates the matching
+skewed workload and gates on the gateway's own hit-rate counters.
 """
 
 from .breaker import BreakerConfig, CircuitBreaker
+from .cache import ResultCache, canonical_key
 from .checkpoint import (ENVIRONMENT_FILENAME, CheckpointCorrupted,
                          checksum_file, find_classifier_checkpoint,
                          load_checkpoint, load_classifier_checkpoint,
@@ -66,6 +77,8 @@ __all__ = [
     "DeadlineExceeded",
     "BreakerConfig",
     "CircuitBreaker",
+    "ResultCache",
+    "canonical_key",
     "FaultInjector",
     "InjectedFault",
     "WorkerKilled",

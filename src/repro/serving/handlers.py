@@ -351,6 +351,7 @@ class GatewayDispatcher:
             "predicted_tc": response.predicted_tc,
             "latency_ms": response.latency_ms,
             "degraded": response.degraded,
+            "cached": response.cached,
         }
 
     def handle_classify(self, payload: dict) -> dict:
@@ -423,6 +424,7 @@ class GatewayDispatcher:
             "endpoints": endpoints,
             "breakers": self.service.breaker_stats(),
             "quarantined": self.service.registry.quarantined(),
+            "cache": self.service.cache_stats(),
         }
         if self.service.fault_injector is not None:
             result["faults"] = self.service.fault_injector.snapshot()
@@ -462,6 +464,33 @@ class GatewayDispatcher:
                "Rank responses served by the model-free degraded fallback.")
         lines.append(render_metric("gateway_degraded_responses_total",
                                    self.service.degraded_responses))
+        cache = self.service.cache_stats()
+        family("result_cache_enabled", "gauge",
+               "1 when the version-keyed result cache is configured.")
+        lines.append(render_metric("result_cache_enabled",
+                                   int(cache["enabled"])))
+        family("result_cache_entries", "gauge",
+               "Entries currently held by the result cache.")
+        lines.append(render_metric("result_cache_entries", cache["entries"]))
+        family("result_cache_capacity_entries", "gauge",
+               "Result cache capacity bound (LRU evicts past it).")
+        lines.append(render_metric("result_cache_capacity_entries",
+                                   cache["max_entries"]))
+        family("result_cache_hits_total", "counter",
+               "Requests answered from the result cache.")
+        lines.append(render_metric("result_cache_hits_total", cache["hits"]))
+        family("result_cache_misses_total", "counter",
+               "Cache lookups that fell through to the scorer.")
+        lines.append(render_metric("result_cache_misses_total",
+                                   cache["misses"]))
+        family("result_cache_evictions_total", "counter",
+               "Entries evicted by the LRU capacity bound.")
+        lines.append(render_metric("result_cache_evictions_total",
+                                   cache["evictions"]))
+        family("result_cache_expired_total", "counter",
+               "Entries dropped at lookup because their TTL passed.")
+        lines.append(render_metric("result_cache_expired_total",
+                                   cache["expired"]))
         if self._connection_stats is not None:
             connections = self._connection_stats()
             family("gateway_connections_open", "gauge",

@@ -49,6 +49,19 @@ and every breaker back to ``closed`` once the faults stop::
 a breaker threshold below the injected error rate — e.g.
 ``--breaker-threshold 0.05`` against the default 10% injection — or the
 breaker never opens and the run fails its recovery check.)
+
+``--zipf S`` replaces the per-request random candidates with a Zipfian
+key workload: each request draws a key from a bounded universe
+(``--zipf-universe``) with p(rank r) ∝ r^-S, and every key maps to one
+deterministic payload — identical across clients and iterations — so the
+gateway's version-keyed result cache sees realistic repeat traffic.  The
+summary gains the gateway's own cache hit/miss deltas for the run plus a
+``warm_hit_rate`` that excludes each distinct key's unavoidable
+cold-start miss; ``--min-hit-rate`` turns that into a CI gate::
+
+    python -m repro.serving.loadgen --url http://127.0.0.1:8000 \\
+        --zipf 1.0 --zipf-universe 64 --duration 5 --clients 8 \\
+        --min-hit-rate 0.5 --out zipf_summary.json
 """
 
 from __future__ import annotations
@@ -86,6 +99,14 @@ class LoadSummary:
     fault-tolerance contract — a deadline miss is the client's budget
     expiring, a degraded response is still an answer — so neither feeds
     ``errors`` or ``error_statuses``.
+
+    The ``zipf_s``/cache fields are populated only by Zipfian runs
+    (``--zipf``): ``cache_hits``/``cache_misses`` are the gateway's own
+    result-cache counter deltas over the run, ``cold_start_misses`` the
+    distinct keys the run touched (each key's first request can never
+    hit), and ``warm_hit_rate`` the hit rate with those unavoidable
+    misses excluded — the steady-state number a long-running gateway
+    would see.
     """
 
     duration_s: float
@@ -107,6 +128,14 @@ class LoadSummary:
     p95_ms: float = 0.0
     p99_ms: float = 0.0
     max_ms: float = 0.0
+    zipf_s: float | None = None         # Zipfian runs only, from here down
+    zipf_universe: int = 0
+    distinct_keys: int = 0
+    cache_hits: int = 0                 # gateway counter deltas
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    cold_start_misses: int = 0          # first touch of each distinct key
+    warm_hit_rate: float = 0.0          # hit rate net of cold starts
 
     def to_dict(self) -> dict:
         payload = asdict(self)
@@ -124,6 +153,12 @@ class LoadSummary:
             extra += f", {self.deadline_exceeded} deadline-exceeded (504)"
         if self.degraded:
             extra += f", {self.degraded} degraded"
+        if self.zipf_s is not None:
+            extra += (f"; zipf s={self.zipf_s:g} over {self.zipf_universe} "
+                      f"keys ({self.distinct_keys} touched): cache "
+                      f"{self.cache_hits} hits / {self.cache_misses} misses "
+                      f"({self.cache_hit_rate:.1%}, warm "
+                      f"{self.warm_hit_rate:.1%})")
         return (f"{self.requests} requests ({self.rows} rows) in "
                 f"{self.duration_s:.2f}s from {self.clients} clients — "
                 f"{self.rps:,.0f} req/s, {self.rows_per_s:,.0f} rows/s, "
@@ -177,11 +212,54 @@ def _candidate_generator(spec: dict, rows: int, rng: np.random.Generator):
     return generate
 
 
+def _zipf_sampler(zipf_s: float, zipf_universe: int):
+    """Bounded Zipfian rank sampler: p(rank r) ∝ r^-s, r in [0, universe).
+
+    numpy's ``rng.zipf`` draws from the unbounded distribution; a cache
+    workload needs a *bounded* key universe, so sample by inverting the
+    normalized cumulative mass instead.
+    """
+    if zipf_universe <= 0:
+        raise ValueError(f"zipf_universe must be positive, got {zipf_universe}")
+    ranks = np.arange(1, zipf_universe + 1, dtype=np.float64)
+    probs = ranks ** -zipf_s
+    cumulative = np.cumsum(probs / probs.sum())
+    cumulative[-1] = 1.0                # guard float undershoot
+
+    def sample(rng: np.random.Generator) -> int:
+        return int(np.searchsorted(cumulative, rng.random(), side="right"))
+
+    return sample
+
+
+def _zipf_payload(spec: dict, rows: int, seed: int, key: int):
+    """The deterministic candidate payload for one Zipfian key.
+
+    Seeded by ``(seed, key)`` alone, so every client thread (and every
+    repeat draw of the key) produces byte-identical features — exactly
+    what a repeat query for the same items looks like to the gateway's
+    result cache.
+    """
+    rng = np.random.default_rng((seed, key))
+    return _candidate_generator(spec, rows, rng)()
+
+
+def _gateway_cache_counts(url: str, ready_timeout_s: float = 30.0) -> dict:
+    """The gateway's result-cache counters from ``GET /stats``."""
+    probe = ServingClient(url)
+    probe.wait_ready(timeout_s=ready_timeout_s)
+    cache = probe.stats().get("cache", {})
+    return {"hits": int(cache.get("hits", 0)),
+            "misses": int(cache.get("misses", 0))}
+
+
 def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
              rows_per_request: int = 8, top_k: int = 5, seed: int = 0,
              ready_timeout_s: float = 30.0,
              deadline_ms: float | None = None,
-             deadline_fraction: float = 0.0) -> LoadSummary:
+             deadline_fraction: float = 0.0,
+             zipf_s: float | None = None,
+             zipf_universe: int = 512) -> LoadSummary:
     """Drive ``clients`` closed-loop rank threads against ``url``.
 
     Each thread waits for its previous response before sending the next
@@ -197,6 +275,11 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     structured 504 ``deadline_exceeded`` answers and ``"degraded": true``
     fallback responses are counted separately from errors (see
     :class:`LoadSummary`).
+
+    When ``zipf_s`` is set, requests draw a key from a bounded Zipfian
+    distribution over ``zipf_universe`` keys and send that key's
+    deterministic payload (shared across all clients), and the summary
+    carries the gateway's result-cache hit/miss deltas for the run.
     """
     probe = ServingClient(url)
     probe.wait_ready(timeout_s=ready_timeout_s)
@@ -204,6 +287,10 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     if spec is None:
         raise RuntimeError(f"gateway at {url} publishes no feature spec; "
                            "start it with spec= (or from a checkpoint dir)")
+    sample_key = _zipf_sampler(zipf_s, zipf_universe) \
+        if zipf_s is not None else None
+    cache_before = _gateway_cache_counts(url, ready_timeout_s) \
+        if zipf_s is not None else None
 
     latencies: list[list[float]] = [[] for _ in range(clients)]
     transport_errors = [0] * clients
@@ -211,6 +298,7 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     retry_hints = [0.0] * clients
     deadline_misses = [0] * clients
     degraded_counts = [0] * clients
+    keys_touched: list[set] = [set() for _ in range(clients)]
     started = threading.Event()
     deadline_holder = [0.0]
 
@@ -220,7 +308,13 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
         generate = _candidate_generator(spec, rows_per_request, rng)
         started.wait()
         while time.monotonic() < deadline_holder[0]:
-            numeric, sparse = generate()
+            if sample_key is not None:
+                key = sample_key(rng)
+                keys_touched[index].add(key)
+                numeric, sparse = _zipf_payload(spec, rows_per_request,
+                                                seed, key)
+            else:
+                numeric, sparse = generate()
             budget = deadline_ms if deadline_ms is not None \
                 and rng.random() < deadline_fraction else None
             t0 = time.monotonic()
@@ -261,11 +355,30 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     for counts in status_counts:
         for status, count in counts.items():
             merged_statuses[status] = merged_statuses.get(status, 0) + count
-    return _summarize(elapsed, clients, rows_per_request, merged,
-                      sum(transport_errors), merged_statuses,
-                      max(retry_hints),
-                      deadline_exceeded=sum(deadline_misses),
-                      degraded=sum(degraded_counts))
+    summary = _summarize(elapsed, clients, rows_per_request, merged,
+                         sum(transport_errors), merged_statuses,
+                         max(retry_hints),
+                         deadline_exceeded=sum(deadline_misses),
+                         degraded=sum(degraded_counts))
+    if zipf_s is not None:
+        cache_after = _gateway_cache_counts(url, ready_timeout_s)
+        distinct = len(set().union(*keys_touched)) if clients else 0
+        hits = cache_after["hits"] - cache_before["hits"]
+        misses = cache_after["misses"] - cache_before["misses"]
+        lookups = hits + misses
+        # Each distinct key's first request can never hit; the warm rate
+        # judges only the lookups a hit was possible for.
+        warm_lookups = max(lookups - distinct, 0)
+        summary.zipf_s = zipf_s
+        summary.zipf_universe = zipf_universe
+        summary.distinct_keys = distinct
+        summary.cache_hits = hits
+        summary.cache_misses = misses
+        summary.cache_hit_rate = hits / lookups if lookups else 0.0
+        summary.cold_start_misses = distinct
+        summary.warm_hit_rate = min(hits / warm_lookups, 1.0) \
+            if warm_lookups else 0.0
+    return summary
 
 
 def run_sweep(url: str, client_counts: list[int], duration_s: float = 3.0,
@@ -562,6 +675,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="chaos mode: seconds to wait for breakers to "
                              "re-close and backlogs to drain after faults "
                              "stop")
+    parser.add_argument("--zipf", type=float, default=None, metavar="S",
+                        help="Zipfian workload mode: draw each request's "
+                             "key with p(rank r) ∝ r^-S from a bounded "
+                             "universe and send that key's deterministic "
+                             "payload, so the gateway's result cache sees "
+                             "repeat traffic; the summary gains the "
+                             "gateway's cache hit/miss deltas")
+    parser.add_argument("--zipf-universe", type=int, default=512,
+                        help="Zipfian mode: number of distinct keys")
+    parser.add_argument("--min-hit-rate", type=float, default=None,
+                        help="Zipfian mode: fail unless the run's warm "
+                             "cache hit rate (cold-start misses excluded) "
+                             "reaches this floor")
     parser.add_argument("--rows", type=int, default=8,
                         help="candidate rows per rank request")
     parser.add_argument("--top-k", type=int, default=5)
@@ -572,9 +698,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="exit 0 even when some requests errored")
     args = parser.parse_args(argv)
     if sum(bool(flag) for flag in
-           (args.overload, args.sweep, args.chaos)) > 1:
-        parser.error("--overload, --sweep, and --chaos are mutually "
-                     "exclusive")
+           (args.overload, args.sweep, args.chaos,
+            args.zipf is not None)) > 1:
+        parser.error("--overload, --sweep, --chaos, and --zipf are "
+                     "mutually exclusive")
+    if args.min_hit_rate is not None and args.zipf is None:
+        parser.error("--min-hit-rate requires --zipf")
 
     if args.chaos:
         summary, detail, failures = run_chaos(
@@ -620,7 +749,9 @@ def main(argv: list[str] | None = None) -> int:
         summaries = [run_load(args.url, duration_s=args.duration,
                               clients=args.clients,
                               rows_per_request=args.rows,
-                              top_k=args.top_k, seed=args.seed)]
+                              top_k=args.top_k, seed=args.seed,
+                              zipf_s=args.zipf,
+                              zipf_universe=args.zipf_universe)]
         print(summaries[0].format())
         payload = summaries[0].to_dict()
 
@@ -650,6 +781,20 @@ def main(argv: list[str] | None = None) -> int:
     if errors and not args.allow_errors:
         print(f"FAIL: {errors} error responses")
         return 1
+    if args.min_hit_rate is not None:
+        summary = summaries[0]
+        if summary.warm_hit_rate < args.min_hit_rate:
+            print(f"FAIL: warm cache hit rate {summary.warm_hit_rate:.1%} "
+                  f"below the --min-hit-rate floor "
+                  f"{args.min_hit_rate:.1%} ({summary.cache_hits} hits / "
+                  f"{summary.cache_misses} misses, "
+                  f"{summary.cold_start_misses} cold starts)")
+            return 1
+        print(f"zipf OK: warm hit rate {summary.warm_hit_rate:.1%} ≥ "
+              f"{args.min_hit_rate:.1%} floor "
+              f"({summary.cache_hits} hits, {summary.cache_misses} misses, "
+              f"{summary.cold_start_misses} cold starts over "
+              f"{summary.distinct_keys} keys)")
     return 0
 
 

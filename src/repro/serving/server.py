@@ -72,6 +72,7 @@ from pathlib import Path
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from .breaker import BreakerConfig
+from .cache import ResultCache
 from .checkpoint import find_classifier_checkpoint, load_classifier_checkpoint, load_environment
 from .faults import FaultInjector
 from .handlers import ApiError, GatewayDispatcher
@@ -254,7 +255,10 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          max_backlog_rows: int | None = 4096,
                          drain_deadline_s: float = 10.0,
                          breaker_config: BreakerConfig | None = None,
-                         enable_fault_injection: bool = False) -> ServingServer:
+                         enable_fault_injection: bool = False,
+                         cache_entries: int = 4096,
+                         cache_ttl_s: float = 30.0,
+                         split_precompute: bool = False) -> ServingServer:
     """Build a ready-to-start gateway from a checkpoint directory.
 
     Reads the ``environment.json`` bundle, registers every ranking
@@ -270,6 +274,16 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
     breaker: every routed model gets one (``breaker_config`` overrides
     the default tuning), so repeated model failures degrade to the
     model-free fallback instead of a 500 storm.
+
+    A directory-booted gateway also serves with a version-keyed result
+    cache by default (``cache_entries`` LRU entries, ``cache_ttl_s``
+    seconds each; either 0 disables it): repeat ``(model version,
+    intent, candidate features)`` requests answer from the cache,
+    bit-identical per version, and a hot reload invalidates structurally
+    because the version lives in the key.  ``split_precompute`` opts the
+    supported models into the split compiled plan (item-side first-layer
+    prefixes memoized per item — see
+    :class:`~repro.nn.infer.SplitMLP`).
 
     ``enable_fault_injection`` builds a
     :class:`~repro.serving.faults.FaultInjector` into the service and
@@ -289,6 +303,8 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
         classifier = load_classifier_checkpoint(classifier_path)
     if default_model is None and len(registry.names()) == 1:
         default_model = registry.names()[0]
+    result_cache = (ResultCache(max_entries=cache_entries, ttl_s=cache_ttl_s)
+                    if cache_entries > 0 and cache_ttl_s > 0 else None)
     service = RankingService(registry, default_model=default_model,
                              classifier=classifier, taxonomy=taxonomy,
                              max_batch_rows=max_batch_rows,
@@ -299,7 +315,9 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                              breaker_config=breaker_config or BreakerConfig(),
                              spec=spec,
                              fault_injector=FaultInjector()
-                             if enable_fault_injection else None)
+                             if enable_fault_injection else None,
+                             result_cache=result_cache,
+                             split_precompute=split_precompute)
     return ServingServer(service, host=host, port=port,
                          checkpoint_dir=checkpoint_dir, spec=spec,
                          taxonomy=taxonomy, backend=backend,
@@ -386,6 +404,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--breaker-cooldown", type=float, default=5.0,
                         help="circuit breaker: seconds open before half-open "
                              "probes may test the model again")
+    parser.add_argument("--cache-entries", type=int, default=4096,
+                        help="result cache capacity in entries, keyed by "
+                             "(model version, intent, candidate features) — "
+                             "hot reload invalidates structurally "
+                             "(0 disables the cache)")
+    parser.add_argument("--cache-ttl-s", type=float, default=30.0,
+                        help="result cache entry time-to-live in seconds "
+                             "(0 disables the cache)")
+    parser.add_argument("--split-precompute", action="store_true",
+                        help="split each supported model's compiled plan "
+                             "into a memoized query-independent item prefix "
+                             "plus a per-request query suffix (float "
+                             "rounding may differ from the unsplit plan at "
+                             "~1e-10)")
     parser.add_argument("--enable-fault-injection", action="store_true",
                         help="route POST /faults to a live fault injector "
                              "(chaos testing only — injects scoring errors, "
@@ -419,17 +451,25 @@ def main(argv: list[str] | None = None) -> int:
             failure_threshold=args.breaker_threshold,
             min_requests=args.breaker_min_requests,
             cooldown_s=args.breaker_cooldown),
-        enable_fault_injection=args.enable_fault_injection)
+        enable_fault_injection=args.enable_fault_injection,
+        cache_entries=args.cache_entries,
+        cache_ttl_s=args.cache_ttl_s,
+        split_precompute=args.split_precompute)
     server.install_signal_handlers()
     names = ", ".join(server.service.registry.names())
     cap = ("static" if args.static_batch
            else f"adaptive ≤{args.max_batch_rows}")
     backlog = (f"shed past {args.max_backlog_rows} backlog rows"
                if args.max_backlog_rows else "no admission bound")
+    cache = (f"result cache {args.cache_entries} entries/"
+             f"{args.cache_ttl_s:g}s TTL"
+             if args.cache_entries > 0 and args.cache_ttl_s > 0
+             else "result cache off")
+    split = ", split precompute" if args.split_precompute else ""
     faults = ", FAULT INJECTION ENABLED" if args.enable_fault_injection else ""
     print(f"serving {names} on {server.url} "
           f"({args.backend} backend, {args.workers} scoring workers, "
-          f"{cap} batch cap, {backlog}, breaker opens at "
+          f"{cap} batch cap, {backlog}, {cache}{split}, breaker opens at "
           f"{args.breaker_threshold:g} failure ratio{faults}; "
           f"GET /metrics for Prometheus, POST /reload to hot-reload)")
     try:

@@ -21,7 +21,9 @@ from ..data.dataset import Batch
 from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from ..querycat import QueryCategoryClassifier
+from ..nn.infer import PrefixMemo
 from .breaker import BreakerConfig, CircuitBreaker
+from .cache import ResultCache, canonical_key
 from .registry import ModelRegistry
 from .scorer import DeadlineExceeded, PoolOverloaded, ScorerPool, ScorerStats
 
@@ -65,6 +67,7 @@ class RankingResponse:
     predicted_tc: int | None = None
     latency_ms: float = 0.0
     degraded: bool = False              # model-free fallback (breaker open)
+    cached: bool = False                # served from the result cache
     extras: dict = field(default_factory=dict)
 
 
@@ -124,6 +127,27 @@ class RankingService:
     fault_injector:
         Optional :class:`~repro.serving.faults.FaultInjector` threaded
         into every scorer pool — the chaos-testing seam.
+    result_cache:
+        Optional :class:`~repro.serving.cache.ResultCache`.  When set,
+        :meth:`rank` answers repeat requests from the cache — keyed by
+        ``(model name, model version, querycat intent, canonical feature
+        hash)``, so a hot reload invalidates structurally (new-version
+        requests miss; old entries age out of the LRU) — and
+        :meth:`classify_query` memoizes intent per token sequence.
+        Degraded (breaker-open) answers are never cached, and a cache
+        hit is bit-identical to the compute path for the same version
+        (the stored array *is* the computed one).  ``None`` (the
+        default) keeps the library uncached; the gateway serves with a
+        cache unless ``--cache-entries 0`` — see
+        :func:`~repro.serving.server.serve_from_directory`.
+    split_precompute:
+        When True, models exposing
+        :meth:`~repro.models.base.RankingModel.make_split_scorer` score
+        through the split compiled plan: the query-independent item-side
+        first-layer contribution is memoized per distinct item row
+        (shared across the pool's workers), shrinking per-request FLOPs
+        and weight traffic.  Split scores match the full plan to float
+        rounding, not bit-for-bit; default off.
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -138,7 +162,9 @@ class RankingService:
                  breaker_config: BreakerConfig | None = None,
                  spec: FeatureSpec | None = None,
                  degraded_prior=None,
-                 fault_injector=None):
+                 fault_injector=None,
+                 result_cache: ResultCache | None = None,
+                 split_precompute: bool = False):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.registry = registry
@@ -156,6 +182,8 @@ class RankingService:
         self._max_backlog_rows = max_backlog_rows
         self._breaker_config = breaker_config
         self._degraded_prior = degraded_prior
+        self._cache = result_cache
+        self._split_precompute = split_precompute
         self._breakers: dict[str, CircuitBreaker] = {}
         self._degraded_responses = 0
         self._scorers: dict[tuple[str, int], ScorerPool] = {}
@@ -177,7 +205,13 @@ class RankingService:
     def classify_query(self, tokens: np.ndarray,
                        lengths: np.ndarray | int | None = None
                        ) -> tuple[int | None, int | None]:
-        """Predict (sub category, top category) for one query, or Nones."""
+        """Predict (sub category, top category) for one query, or Nones.
+
+        With a result cache configured, the (sc, tc) pair is memoized per
+        token sequence — the classifier is loaded once at boot (it has no
+        versioned reload path), so its answers never go stale; the TTL
+        just bounds the memory.
+        """
         if self.classifier is None:
             return None, None
         tokens = np.asarray(tokens, dtype=np.int64)
@@ -186,9 +220,18 @@ class RankingService:
         if lengths is None:
             lengths = np.full(tokens.shape[0], tokens.shape[1], dtype=np.int64)
         lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
+        cache_key = None
+        if self._cache is not None:
+            cache_key = ("classify",
+                         canonical_key(tokens, {"lengths": lengths}))
+            hit = self._cache.get(cache_key)
+            if hit is not None:
+                return hit
         sc = int(self.classifier.predict_sc(tokens, lengths)[0])
         tc = int(self.taxonomy.parents_of(np.asarray([sc]))[0]) \
             if self.taxonomy is not None else None
+        if cache_key is not None:
+            self._cache.put(cache_key, (sc, tc))
         return sc, tc
 
     # ------------------------------------------------------------------
@@ -210,11 +253,23 @@ class RankingService:
     def _scorer_factory(self, model):
         """Per-worker score closures for ``model``.
 
-        Models expose :meth:`~repro.models.base.RankingModel.make_scorer`
-        (an independent compiled plan per call).  Arbitrary scorable
-        objects fall back to their bound ``score`` behind one shared lock,
-        since nothing guarantees it is safe to call from several workers.
+        With ``split_precompute`` on and a model that supports it, every
+        worker gets its own split plan but they all share one
+        :class:`~repro.nn.infer.PrefixMemo` — the memo is per (model,
+        version) by construction, since this factory is built per
+        registry entry.  Otherwise models expose
+        :meth:`~repro.models.base.RankingModel.make_scorer` (an
+        independent compiled plan per call), and arbitrary scorable
+        objects fall back to their bound ``score`` behind one shared
+        lock, since nothing guarantees it is safe to call from several
+        workers.
         """
+        if self._split_precompute:
+            make_split = getattr(model, "make_split_scorer", None)
+            if make_split is not None:
+                memo = PrefixMemo()
+                if make_split(prefix_memo=memo) is not None:
+                    return lambda: make_split(prefix_memo=memo)
         make_scorer = getattr(model, "make_scorer", None)
         if make_scorer is not None:
             return make_scorer
@@ -358,12 +413,37 @@ class RankingService:
         are recorded against the routed model's breaker, and while it is
         open the response comes from the degraded prior with
         ``degraded=True`` instead of erroring.
+
+        With a result cache configured, a repeat of ``(routed model,
+        live version, intent, candidate features)`` answers from the
+        cache (``cached=True``) without touching the scorer pool — the
+        cached value is the previously computed score array, so hits are
+        bit-identical to recomputation under the same model version.
+        Entries are stored **pre-top-k**, so requests differing only in
+        ``top_k`` share one entry; degraded fallback answers are never
+        stored (a healthy answer must not be shadowed by an outage's
+        prior).
         """
         started = time.monotonic()
         sc = tc = None
         if query_tokens is not None:
             sc, tc = self.classify_query(query_tokens, query_lengths)
         name = self._select_model(tc, model)
+        cache_key = feature_digest = None
+        if self._cache is not None:
+            feature_digest = canonical_key(candidates.numeric,
+                                           candidates.sparse)
+            try:
+                live_version = self.registry.entry(name, version).version
+            except KeyError:
+                live_version = None     # scoring will raise the same error
+            if live_version is not None:
+                cache_key = (name, live_version, tc, feature_digest)
+                scores = self._cache.get(cache_key)
+                if scores is not None:
+                    return self._top_k_response(
+                        scores, top_k, name, live_version, sc, tc, started,
+                        cached=True)
         degraded = False
         breaker = self._breaker_for(name)
         if breaker is not None and not breaker.allow():
@@ -386,17 +466,36 @@ class RankingService:
             else:
                 if breaker is not None:
                     breaker.record_success()
+                if self._cache is not None:
+                    # Store under the version that actually scored (which
+                    # can differ from the looked-up one if a reload won a
+                    # race in between) — an entry is only ever keyed by
+                    # the version that produced it, so stale hits are
+                    # structurally impossible.  Read-only copy: the hit
+                    # path hands this exact array back out.
+                    stored = np.array(scores, copy=True)
+                    stored.setflags(write=False)
+                    self._cache.put(
+                        (name, resolved_version, tc, feature_digest), stored)
+        return self._top_k_response(scores, top_k, name, resolved_version,
+                                    sc, tc, started, degraded=degraded)
+
+    def _top_k_response(self, scores: np.ndarray, top_k: int, name: str,
+                        version: int, sc: int | None, tc: int | None,
+                        started: float, degraded: bool = False,
+                        cached: bool = False) -> RankingResponse:
         top_k = min(top_k, len(scores))
         order = np.argsort(-scores, kind="stable")[:top_k]
         return RankingResponse(
             indices=order,
             scores=scores[order],
             model_name=name,
-            model_version=resolved_version,
+            model_version=version,
             predicted_sc=sc,
             predicted_tc=tc,
             latency_ms=(time.monotonic() - started) * 1000.0,
             degraded=degraded,
+            cached=cached,
         )
 
     # ------------------------------------------------------------------
@@ -408,6 +507,19 @@ class RankingService:
             scorers = dict(self._scorers)
         return {f"{name}:v{version}": scorer.stats()
                 for (name, version), scorer in scorers.items()}
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The configured result cache, or ``None`` when uncached."""
+        return self._cache
+
+    def cache_stats(self) -> dict:
+        """Result-cache counters for ``/stats`` (zeros when uncached)."""
+        if self._cache is None:
+            return {"enabled": False, "entries": 0, "max_entries": 0,
+                    "ttl_s": 0.0, "hits": 0, "misses": 0, "evictions": 0,
+                    "expired": 0, "hit_rate": 0.0}
+        return {"enabled": True, **self._cache.snapshot()}
 
     def overload_status(self) -> float | None:
         """Pre-parse admission check: retry-after seconds, or ``None``.

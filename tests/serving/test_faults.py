@@ -530,6 +530,9 @@ def fault_server(model, dataset, taxonomy, tmp_path, backend):
     server = serving.serve_from_directory(
         tmp_path, port=0, num_workers=2, max_wait_ms=0.5, backend=backend,
         enable_fault_injection=True,
+        # Fault tests repeat identical payloads and need every request to
+        # reach the scorer, so the result cache must be off.
+        cache_entries=0,
         breaker_config=BreakerConfig(window_s=5.0, failure_threshold=0.9,
                                      min_requests=50, cooldown_s=0.5,
                                      probe_successes=1))
@@ -647,6 +650,7 @@ class TestChaosHarness:
         server = serving.serve_from_directory(
             tmp_path, port=0, num_workers=2, max_wait_ms=0.5,
             backend="selector", enable_fault_injection=True,
+            cache_entries=0,
             breaker_config=BreakerConfig(window_s=3.0, failure_threshold=0.05,
                                          min_requests=5, cooldown_s=0.5,
                                          probe_successes=2))

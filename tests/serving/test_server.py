@@ -189,7 +189,7 @@ class TestOperationalEndpoints:
         client.rank(batch.numeric, batch.sparse)
         payload = client.stats()
         assert set(payload) == {"server", "scorers", "endpoints",
-                                "breakers", "quarantined"}
+                                "breakers", "quarantined", "cache"}
         assert set(payload["server"]) == {"requests", "errors",
                                           "shed_requests",
                                           "deadline_exceeded",
@@ -199,6 +199,9 @@ class TestOperationalEndpoints:
         assert payload["server"]["shed_requests"] == 0
         assert payload["server"]["deadline_exceeded"] == 0
         assert payload["quarantined"] == {}
+        assert set(payload["cache"]) == {"enabled", "entries", "max_entries",
+                                         "ttl_s", "hits", "misses",
+                                         "evictions", "expired", "hit_rate"}
         # A directory-booted gateway always serves with a breaker.
         assert payload["breakers"]
         for snapshot in payload["breakers"].values():

@@ -383,6 +383,34 @@ class TestRankingService:
         with pytest.raises(ValueError):
             RankingService(registry, num_workers=0)
 
+    def test_split_precompute_matches_reference(self, registry, model, batch):
+        """split_precompute routes scoring through the split plan + shared
+        prefix memo; answers must match the full plan to float rounding,
+        repeat requests included (memoized prefixes)."""
+        with RankingService(registry, default_model="ranker", max_wait_ms=0.0,
+                            num_workers=2, split_precompute=True) as service:
+            first = service.rank(batch, top_k=6)
+            second = service.rank(batch, top_k=6)
+        expected = np.sort(model.score(batch))[::-1][:6]
+        np.testing.assert_allclose(first.scores, expected, atol=1e-9)
+        np.testing.assert_allclose(second.scores, expected, atol=1e-9)
+
+    def test_split_precompute_falls_back_without_support(self, batch):
+        """Models without make_split_scorer (arbitrary scorables) must
+        still serve when the flag is on."""
+        class _Plain:
+            def score(self, b):
+                return np.asarray(b.numeric[:, 0], dtype=np.float64)
+
+        registry = ModelRegistry()
+        registry.register("plain", _Plain())
+        with RankingService(registry, default_model="plain", max_wait_ms=0.0,
+                            split_precompute=True) as service:
+            response = service.rank(batch, top_k=3)
+        np.testing.assert_allclose(
+            response.scores,
+            np.sort(np.asarray(batch.numeric[:, 0]))[::-1][:3], atol=1e-12)
+
     def test_candidate_batch_shapes(self, dataset):
         raw = dataset.batch(np.arange(6))
         built = candidate_batch(raw.numeric, raw.sparse)
