@@ -46,7 +46,14 @@ class NoisyTopKGate(nn.Module):
         super().__init__()
         if not 0 < k <= num_experts:
             raise ValueError(f"k must be in [1, {num_experts}], got {k}")
-        rng = rng if rng is not None else np.random.default_rng()
+        # A seeded default, never an OS-entropy one: every initializer in
+        # repro.nn.init promises "reproducible from a single seed", and an
+        # unseeded fallback here silently broke that for any gate built
+        # without an explicit rng (and made forked scorer processes
+        # inherit *identical* noise streams look indistinguishable from
+        # correctly independent ones).  Callers wanting fresh entropy must
+        # say so by passing their own generator.
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.num_experts = num_experts
         self.k = k
         self.noisy = noisy
@@ -58,6 +65,17 @@ class NoisyTopKGate(nn.Module):
         # for many epochs.  A trainable bias initialized at -2 starts the
         # noise at softplus(-2) ≈ 0.13 instead; the model can grow it back.
         self.noise_bias = nn.Parameter(np.full((num_experts,), -2.0))
+        self._rng = rng
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace the noise generator.
+
+        Multi-process serving forks/spawns workers after the model exists;
+        without an explicit reseed every child would continue the parent's
+        stream from the same state and draw *correlated* noise.  Each child
+        calls :meth:`repro.nn.Module.reseed` with a stream derived from
+        ``np.random.SeedSequence`` spawn keys, which lands here.
+        """
         self._rng = rng
 
     def forward(self, x: nn.Tensor, k: int | None = None) -> GateOutput:

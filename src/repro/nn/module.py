@@ -87,6 +87,44 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def reseed(self, seed: "int | np.random.SeedSequence") -> "Module":
+        """Re-derive every RNG held anywhere in the module tree from ``seed``.
+
+        Walks ``modules()`` in deterministic registration order and hands
+        each RNG-holding module (one exposing ``reseed(rng)`` or a plain
+        ``_rng`` attribute) an independent generator spawned from one
+        ``np.random.SeedSequence``.  This is the fork-safety seam for
+        multi-process serving: a child process inherits (fork) or rebuilds
+        (spawn) the parent's generators, so without an explicit per-child
+        reseed every "independent" worker would draw the same noise stream.
+        Same seed → same streams; different seeds → provably independent
+        spawn keys.
+        """
+        sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+
+        def _custom_reseed(module):
+            # An RNG-holding module may expose its own ``reseed(rng)``
+            # (e.g. NoisyTopKGate); the inherited Module.reseed takes a
+            # *seed*, so only an override counts.
+            if type(module).reseed is Module.reseed:
+                return None
+            return module.reseed
+
+        holders = [module for module in self.modules()
+                   if module is not self
+                   and (hasattr(module, "_rng")
+                        or _custom_reseed(module) is not None)]
+        if hasattr(self, "_rng"):
+            holders.insert(0, self)
+        for module, child_seq in zip(holders, sequence.spawn(max(len(holders), 1))):
+            rng = np.random.default_rng(child_seq)
+            reseed = _custom_reseed(module) if module is not self else None
+            if reseed is not None:
+                reseed(rng)
+            else:
+                object.__setattr__(module, "_rng", rng)
+        return self
+
     def astype(self, dtype) -> "Module":
         """Cast every parameter (and pending grad) in place to ``dtype``.
 
@@ -108,8 +146,17 @@ class Module:
         """Return a flat name → array copy of all parameters."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter values from :meth:`state_dict` output."""
+    def load_state_dict(self, state: dict[str, np.ndarray], copy: bool = True) -> None:
+        """Load parameter values from :meth:`state_dict` output.
+
+        With ``copy=False`` the provided arrays are attached directly when
+        their dtype already matches (``np.asarray`` is then a no-op view).
+        Multi-process serving uses this to back every parameter with a
+        read-only ``np.load(..., mmap_mode="r")`` memmap: N processes map
+        the same ``.npy`` files and the OS page cache keeps one physical
+        copy of the weights.  Such a model is inference-only — optimizer
+        steps would need writable buffers.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -119,7 +166,7 @@ class Module:
             value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
-            param.data = value.copy()
+            param.data = value.copy() if copy else value
 
     # ------------------------------------------------------------------
     # Forward

@@ -40,15 +40,18 @@ skewed workload and gates on the gateway's own hit-rate counters.
 from .breaker import BreakerConfig, CircuitBreaker
 from .cache import ResultCache, canonical_key
 from .checkpoint import (ENVIRONMENT_FILENAME, CheckpointCorrupted,
-                         checksum_file, find_classifier_checkpoint,
-                         load_checkpoint, load_classifier_checkpoint,
-                         load_environment, load_model, save_checkpoint,
-                         save_classifier_checkpoint, save_environment)
+                         checksum_file, ensure_weight_store,
+                         find_classifier_checkpoint, load_checkpoint,
+                         load_classifier_checkpoint, load_environment,
+                         load_model, load_model_shared, load_shared_state,
+                         save_checkpoint, save_classifier_checkpoint,
+                         save_environment)
 from .client import ServingClient, ServingError
 from .faults import FaultInjector, InjectedFault, WorkerKilled
 from .handlers import GatewayDispatcher
 from .loadgen import LoadSummary, run_chaos, run_load, run_sweep
 from .metrics import LatencyHistogram, log_spaced_buckets
+from .procscorer import ProcessScorerError, ProcessScorerHost
 from .protocol import ProtocolError, RequestParser
 from .registry import ModelRegistry, RegisteredModel
 from .scorer import (BatchScorer, DeadlineExceeded, PoolOverloaded,
@@ -56,7 +59,8 @@ from .scorer import (BatchScorer, DeadlineExceeded, PoolOverloaded,
                      latency_percentile)
 from .server import ApiError, ServingServer, serve_from_directory
 from .service import RankingResponse, RankingService, candidate_batch
-from .transport import GatewayCounters, SelectorTransport, ThreadedTransport
+from .transport import (GatewayCounters, SelectorTransport, ShardedTransport,
+                        ThreadedTransport)
 
 __all__ = [
     "save_checkpoint",
@@ -97,7 +101,13 @@ __all__ = [
     "GatewayDispatcher",
     "GatewayCounters",
     "SelectorTransport",
+    "ShardedTransport",
     "ThreadedTransport",
+    "ProcessScorerHost",
+    "ProcessScorerError",
+    "ensure_weight_store",
+    "load_shared_state",
+    "load_model_shared",
     "ProtocolError",
     "RequestParser",
     "ServingClient",

@@ -22,6 +22,9 @@ import dataclasses
 import hashlib
 import io
 import json
+import os
+import shutil
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -30,14 +33,16 @@ from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from ..querycat import QueryCategoryClassifier, QueryClassifierConfig
 from ..utils.serialization import (CheckpointCorrupted, atomic_write_bytes,
-                                   atomic_write_text, checksum_file,
-                                   load_checkpoint, load_model,
+                                   atomic_write_text, build_model_from_meta,
+                                   checksum_file, load_checkpoint, load_model,
                                    save_checkpoint)
 
 __all__ = ["save_checkpoint", "load_checkpoint", "load_model",
+           "build_model_from_meta",
            "save_classifier_checkpoint", "load_classifier_checkpoint",
            "save_environment", "load_environment",
            "find_classifier_checkpoint", "ENVIRONMENT_FILENAME",
+           "ensure_weight_store", "load_shared_state", "load_model_shared",
            "CheckpointCorrupted", "checksum_file"]
 
 _CLASSIFIER_FORMAT_VERSION = 1
@@ -151,6 +156,94 @@ def load_environment(directory: str | Path) -> tuple[FeatureSpec, Taxonomy]:
             f"unsupported environment bundle version {payload.get('format_version')}")
     return (FeatureSpec.from_dict(payload["spec"]),
             Taxonomy.from_dict(payload["taxonomy"]))
+
+
+# ----------------------------------------------------------------------
+# Shared weight stores (multi-process serving)
+# ----------------------------------------------------------------------
+_WEIGHT_STORE_FORMAT_VERSION = 1
+_WEIGHT_STORE_MANIFEST = "manifest.json"
+
+
+def ensure_weight_store(path: str | Path) -> Path:
+    """Extract a checkpoint's parameters into a mmap-able ``.npy`` store.
+
+    ``np.load(mmap_mode="r")`` cannot map members of an ``.npz`` archive
+    (they are zip entries, not page-aligned files), so multi-process
+    serving explodes the archive once into
+    ``.<name>-<digest>.weights/`` next to the checkpoint — one ``.npy``
+    per parameter plus a manifest mapping qualified parameter names to
+    files.  Every scorer process then maps the same files read-only and
+    the OS page cache keeps a single physical copy of the weights.
+
+    The store is keyed by the weights file's content digest, so a
+    hot-reloaded checkpoint gets a fresh store and an existing store is
+    reused as-is (idempotent).  Creation is atomic: the store is built in
+    a temp directory and renamed into place; a concurrent creator losing
+    the rename race simply uses the winner's store.
+    """
+    path = Path(path)
+    weights_path = path.with_suffix(".npz")
+    fingerprint = checksum_file(weights_path)
+    digest = fingerprint.split(":", 1)[1][:16]
+    store = path.parent / f".{path.name}-{digest}.weights"
+    manifest_path = store / _WEIGHT_STORE_MANIFEST
+    if manifest_path.exists():
+        return store
+    # Verifies the checksum before trusting the bytes — a torn checkpoint
+    # must not become a quietly-corrupt weight store.
+    state, _ = load_checkpoint(path)
+    tmp = Path(tempfile.mkdtemp(dir=path.parent, prefix=f".{path.name}-tmp."))
+    try:
+        params = {}
+        for index, (name, array) in enumerate(state.items()):
+            filename = f"p{index:04d}.npy"
+            np.save(tmp / filename, np.ascontiguousarray(array))
+            params[name] = filename
+        manifest = {
+            "format_version": _WEIGHT_STORE_FORMAT_VERSION,
+            "kind": "weight_store",
+            "fingerprint": fingerprint,
+            "params": params,
+        }
+        (tmp / _WEIGHT_STORE_MANIFEST).write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, store)
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+        if not manifest_path.exists():
+            raise
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return store
+
+
+def load_shared_state(store: str | Path) -> dict[str, np.ndarray]:
+    """Map a weight store's parameters read-only (name → memmap array)."""
+    store = Path(store)
+    manifest = json.loads((store / _WEIGHT_STORE_MANIFEST).read_text())
+    if manifest.get("kind") != "weight_store":
+        raise ValueError(f"not a weight store: {store}")
+    return {name: np.load(store / filename, mmap_mode="r")
+            for name, filename in manifest["params"].items()}
+
+
+def load_model_shared(path: str | Path, spec: FeatureSpec,
+                      taxonomy: Taxonomy):
+    """Rebuild a checkpointed model with memory-mapped, shared weights.
+
+    Functionally equivalent to :func:`load_model` but every parameter is
+    backed by the checkpoint's weight store (see :func:`ensure_weight_store`)
+    instead of a private copy, so N processes serving the same checkpoint
+    hold one physical copy of the parameters.  The result is
+    inference-only: the arrays are read-only memmaps.
+    """
+    path = Path(path)
+    store = ensure_weight_store(path)
+    meta = json.loads(path.with_suffix(".json").read_text())
+    model = build_model_from_meta(meta, spec, taxonomy)
+    model.load_state_dict(load_shared_state(store), copy=False)
+    return model
 
 
 def find_classifier_checkpoint(directory: str | Path) -> Path | None:

@@ -546,6 +546,18 @@ class GatewayDispatcher:
             ("scorer_lost_resolutions_total", "counter",
              "Future resolutions lost to a cancel/race (lost responses).",
              lambda s: s.lost_resolutions),
+            ("scorer_averted_respawns_total", "counter",
+             "Worker respawns abandoned because close() won the race.",
+             lambda s: s.averted_respawns),
+            ("scorer_processes", "gauge",
+             "Scorer processes behind the pool (0 = in-process scoring).",
+             lambda s: s.processes),
+            ("scorer_process_restarts_total", "counter",
+             "Dead scorer processes respawned by the host.",
+             lambda s: s.process_restarts),
+            ("scorer_process_busy_seconds_total", "counter",
+             "Child-measured seconds inside the scoring plan.",
+             lambda s: s.process_busy_seconds),
         ]
         scorer_stats = self.service.stats()
         for name, mtype, help_text, getter in scorer_gauges:

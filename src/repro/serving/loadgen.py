@@ -109,13 +109,18 @@ class LoadSummary:
     would see.
     """
 
-    duration_s: float
+    duration_s: float                   # nominal: the configured --duration
     clients: int
     rows_per_request: int
     requests: int
     rows: int
     errors: int
     transport_errors: int
+    # Measured wall time from the first request sent to the last response
+    # received (across all clients).  This — not the nominal duration — is
+    # the denominator behind rps/rows_per_s: client ramp-up and overrun
+    # otherwise skew every published rate.
+    elapsed_s: float = 0.0
     error_statuses: dict = field(default_factory=dict)  # status -> count
     shed_requests: int = 0
     retry_after_hint_s: float = 0.0
@@ -159,8 +164,10 @@ class LoadSummary:
                       f"{self.cache_hits} hits / {self.cache_misses} misses "
                       f"({self.cache_hit_rate:.1%}, warm "
                       f"{self.warm_hit_rate:.1%})")
+        measured = self.elapsed_s if self.elapsed_s > 0 else self.duration_s
         return (f"{self.requests} requests ({self.rows} rows) in "
-                f"{self.duration_s:.2f}s from {self.clients} clients — "
+                f"{measured:.2f}s measured "
+                f"(nominal {self.duration_s:g}s) from {self.clients} clients — "
                 f"{self.rps:,.0f} req/s, {self.rows_per_s:,.0f} rows/s, "
                 f"{self.errors} errors ({self.transport_errors} transport)"
                 f"{shed}{extra}; latency mean {self.mean_ms:.2f}ms "
@@ -168,12 +175,33 @@ class LoadSummary:
                 f"p99 {self.p99_ms:.2f}ms max {self.max_ms:.2f}ms")
 
 
+def _measured_elapsed(windows: list[list[float | None]]) -> float:
+    """Wall time from the earliest first-send to the latest last-response.
+
+    ``windows`` holds one ``[first_sent, last_done]`` pair per client
+    (``None`` entries mean that client never got a request off).  This is
+    the honest rate denominator: the nominal ``--duration`` misses both
+    client ramp-up (threads that start late) and overrun (in-flight
+    requests completing after the deadline).
+    """
+    starts = [w[0] for w in windows if w[0] is not None]
+    ends = [w[1] for w in windows if w[1] is not None]
+    if not starts or not ends:
+        return 0.0
+    return max(max(ends) - min(starts), 0.0)
+
+
 def _summarize(duration_s: float, clients: int, rows_per_request: int,
                latencies: list[float], transport_errors: int,
                error_statuses: dict, retry_after_hint_s: float,
-               deadline_exceeded: int = 0, degraded: int = 0) -> LoadSummary:
+               deadline_exceeded: int = 0, degraded: int = 0,
+               elapsed_s: float | None = None) -> LoadSummary:
     samples = np.asarray(latencies, dtype=np.float64)
     requests = int(samples.size)
+    # Rates divide by the *measured* elapsed time; the nominal duration is
+    # only a fallback for callers that never measured (and is kept in the
+    # summary untouched either way).
+    denominator = elapsed_s if elapsed_s is not None else duration_s
     return LoadSummary(
         duration_s=duration_s,
         clients=clients,
@@ -182,14 +210,15 @@ def _summarize(duration_s: float, clients: int, rows_per_request: int,
         rows=requests * rows_per_request,
         errors=transport_errors + sum(error_statuses.values()),
         transport_errors=transport_errors,
+        elapsed_s=elapsed_s if elapsed_s is not None else 0.0,
         error_statuses=dict(sorted(error_statuses.items())),
         shed_requests=error_statuses.get(429, 0),
         retry_after_hint_s=retry_after_hint_s,
         deadline_exceeded=deadline_exceeded,
         degraded=degraded,
-        rps=requests / duration_s if duration_s > 0 else 0.0,
-        rows_per_s=requests * rows_per_request / duration_s
-        if duration_s > 0 else 0.0,
+        rps=requests / denominator if denominator > 0 else 0.0,
+        rows_per_s=requests * rows_per_request / denominator
+        if denominator > 0 else 0.0,
         mean_ms=float(samples.mean() * 1000.0) if requests else 0.0,
         p50_ms=latency_percentile(samples, 50) * 1000.0,
         p95_ms=latency_percentile(samples, 95) * 1000.0,
@@ -299,6 +328,11 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     deadline_misses = [0] * clients
     degraded_counts = [0] * clients
     keys_touched: list[set] = [set() for _ in range(clients)]
+    # Per-client [first_sent, last_done] timestamps; every attempt updates
+    # last_done (success or error), so the measured window spans first
+    # request out → last response (or failure) in.
+    send_windows: list[list[float | None]] = [[None, None]
+                                              for _ in range(clients)]
     started = threading.Event()
     deadline_holder = [0.0]
 
@@ -318,6 +352,9 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
             budget = deadline_ms if deadline_ms is not None \
                 and rng.random() < deadline_fraction else None
             t0 = time.monotonic()
+            window = send_windows[index]
+            if window[0] is None:
+                window[0] = t0
             try:
                 result = client.rank(numeric, sparse, top_k=top_k,
                                      deadline_ms=budget)
@@ -336,6 +373,8 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
             except OSError:
                 transport_errors[index] += 1
                 continue
+            finally:
+                window[1] = time.monotonic()
             if result.get("degraded"):
                 degraded_counts[index] += 1
             latencies[index].append(time.monotonic() - t0)
@@ -349,17 +388,17 @@ def run_load(url: str, duration_s: float = 5.0, clients: int = 4,
     started.set()
     for thread in threads:
         thread.join()
-    elapsed = time.monotonic() - run_started
     merged = [sample for bucket in latencies for sample in bucket]
     merged_statuses: dict = {}
     for counts in status_counts:
         for status, count in counts.items():
             merged_statuses[status] = merged_statuses.get(status, 0) + count
-    summary = _summarize(elapsed, clients, rows_per_request, merged,
+    summary = _summarize(duration_s, clients, rows_per_request, merged,
                          sum(transport_errors), merged_statuses,
                          max(retry_hints),
                          deadline_exceeded=sum(deadline_misses),
-                         degraded=sum(degraded_counts))
+                         degraded=sum(degraded_counts),
+                         elapsed_s=_measured_elapsed(send_windows))
     if zipf_s is not None:
         cache_after = _gateway_cache_counts(url, ready_timeout_s)
         distinct = len(set().union(*keys_touched)) if clients else 0

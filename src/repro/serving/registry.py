@@ -202,6 +202,18 @@ class ModelRegistry:
     def latest_version(self, name: str) -> int:
         return self.entry(name).version
 
+    def fingerprint(self, name: str, version: int | None = None) -> str | None:
+        """The content fingerprint (weights checksum) serving for ``name``.
+
+        ``None`` for models registered in-memory (no checkpoint behind
+        them).  There is exactly one registry per gateway — shared by
+        every gateway shard and every scorer process host — so this is
+        the single source of truth reload atomicity is asserted against:
+        after a ``POST /reload``, all shards answer with this fingerprint
+        or the reload never happened.
+        """
+        return self.entry(name, version).metadata.get("fingerprint")
+
     def versions(self, name: str) -> list[int]:
         with self._lock:
             if name not in self._entries:

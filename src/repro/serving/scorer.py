@@ -146,9 +146,16 @@ class ScorerStats:
     drain_rate_rows_per_s: float = 0.0  # recent wall-clock drain rate
     # Fault-tolerance view (pool-level, like the admission counters).
     worker_restarts: int = 0            # dead workers respawned by the supervisor
+    averted_respawns: int = 0           # respawns abandoned because close() won
     expired_requests: int = 0           # requests dropped at their deadline
     expired_rows: int = 0               # rows those requests carried
     lost_resolutions: int = 0           # futures already cancelled/raced at resolve
+    # Multi-process view (zero when scoring stays in-process): the parent
+    # aggregates its scorer processes' counters into these so the pinned
+    # /stats schema stays truthful about where the work actually ran.
+    processes: int = 0                  # scorer processes behind this pool
+    process_restarts: int = 0           # dead scorer processes respawned
+    process_busy_seconds: float = 0.0   # child-measured time inside the plan
 
     @property
     def mean_batch_rows(self) -> float:
@@ -473,6 +480,7 @@ class ScorerPool:
         # totals accumulate counters from workers the supervisor
         # replaced, keeping /stats monotonic across restarts.
         self._worker_restarts = 0
+        self._averted_respawns = 0
         self._expired_requests = 0
         self._expired_rows = 0
         self._lost_resolutions = 0
@@ -542,6 +550,13 @@ class ScorerPool:
         """Dead workers respawned by the supervisor since start."""
         return self._worker_restarts
 
+    @property
+    def averted_respawns(self) -> int:
+        """Respawns abandoned because close() won the race (see
+        :meth:`_respawn_dead_workers`); each one is a leaked-thread
+        near-miss the lock converted into a clean no-op."""
+        return self._averted_respawns
+
     # ------------------------------------------------------------------
     # Worker supervision
     # ------------------------------------------------------------------
@@ -574,13 +589,23 @@ class ScorerPool:
             # totals before dropping our reference to it.
             final = worker.snapshot()
             with self._state_lock:
+                # Re-check closed under the same lock close() takes when it
+                # flips the flag: the factory call above can be slow (it
+                # compiles a scoring plan), and a close() landing between
+                # the top-of-loop check and thread.start() would enumerate
+                # _workers without the replacement — a worker thread nobody
+                # ever sentinels or joins.  Holding _state_lock across
+                # publish + start makes check→start atomic against close.
+                if self._closed:
+                    self._averted_respawns += 1
+                    return
                 self._retired.requests += final.requests
                 self._retired.rows += final.rows
                 self._retired.batches += final.batches
                 self._retired.busy_seconds += final.busy_seconds
                 self._worker_restarts += 1
-            self._workers[index] = replacement
-            replacement.thread.start()
+                self._workers[index] = replacement
+                replacement.thread.start()
 
     def _note_expired(self, request: _Request) -> None:
         with self._state_lock:
@@ -761,6 +786,7 @@ class ScorerPool:
             stats.shed_requests = self._shed_requests
             stats.shed_rows = self._shed_rows
             stats.worker_restarts = self._worker_restarts
+            stats.averted_respawns = self._averted_respawns
             stats.expired_requests = self._expired_requests
             stats.expired_rows = self._expired_rows
             stats.lost_resolutions = self._lost_resolutions
@@ -788,7 +814,14 @@ class ScorerPool:
         with self._submit_lock:
             if self._closed:
                 return
-            self._closed = True
+            # Flip the flag while also holding _state_lock: a respawner
+            # that already passed its top-of-loop closed check is either
+            # inside the locked publish+start region (its replacement is
+            # in _workers before we proceed, so it gets a sentinel and a
+            # join below) or will take the lock after us and avert.  No
+            # interleaving can start a thread this method never joins.
+            with self._state_lock:
+                self._closed = True
         self._supervisor_stop.set()
         self._supervisor.join()
         with self._submit_lock:

@@ -117,6 +117,11 @@ class ServingServer:
         :meth:`install_signal_handlers`) the gateway stops accepting and
         answers every in-flight request, but cuts whatever cannot finish
         within this many seconds.
+    gateway_shards:
+        Selector backend only: run this many independent selector loops
+        accepting on the same port (``SO_REUSEPORT`` siblings, or one
+        ``dup()``-shared acceptor where unavailable).  All shards drive
+        one dispatcher/registry, so hot reload stays atomic across them.
 
     The constructor binds the socket but does not serve: call
     :meth:`start` (background thread) or :meth:`serve_forever`.
@@ -131,9 +136,11 @@ class ServingServer:
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  dispatch_workers: int = 8,
-                 drain_deadline_s: float = 10.0):
+                 drain_deadline_s: float = 10.0,
+                 gateway_shards: int = 1):
         self.service = service
         self.backend = backend
+        self.gateway_shards = gateway_shards
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.spec = spec
         self.taxonomy = taxonomy
@@ -146,7 +153,8 @@ class ServingServer:
             backend, host, port, self.dispatcher, counters=self.counters,
             idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
             max_header_bytes=max_header_bytes,
-            dispatch_workers=dispatch_workers)
+            dispatch_workers=dispatch_workers,
+            shards=gateway_shards)
         self.drain_deadline_s = drain_deadline_s
         self._thread: threading.Thread | None = None
         self._serving = False
@@ -258,7 +266,10 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          enable_fault_injection: bool = False,
                          cache_entries: int = 4096,
                          cache_ttl_s: float = 30.0,
-                         split_precompute: bool = False) -> ServingServer:
+                         split_precompute: bool = False,
+                         scorer_processes: int = 0,
+                         gateway_shards: int = 1,
+                         process_start_method: str | None = None) -> ServingServer:
     """Build a ready-to-start gateway from a checkpoint directory.
 
     Reads the ``environment.json`` bundle, registers every ranking
@@ -289,6 +300,14 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
     :class:`~repro.serving.faults.FaultInjector` into the service and
     routes ``POST /faults`` to it — chaos tests only; never enable it on
     a gateway you are not deliberately breaking.
+
+    ``scorer_processes`` > 0 moves scoring into that many worker
+    *processes* per model (hydrated from this same checkpoint directory
+    with memory-mapped shared weights — see
+    :mod:`repro.serving.procscorer`); ``--workers`` is ignored for such
+    models since the pool runs one proxy thread per process.
+    ``gateway_shards`` > 1 (selector backend only) runs that many
+    selector loops accepting on one port via ``SO_REUSEPORT``.
     """
     checkpoint_dir = Path(checkpoint_dir)
     spec, taxonomy = load_environment(checkpoint_dir)
@@ -317,13 +336,18 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                              fault_injector=FaultInjector()
                              if enable_fault_injection else None,
                              result_cache=result_cache,
-                             split_precompute=split_precompute)
+                             split_precompute=split_precompute,
+                             scorer_processes=scorer_processes,
+                             environment_dir=checkpoint_dir
+                             if scorer_processes > 0 else None,
+                             process_start_method=process_start_method)
     return ServingServer(service, host=host, port=port,
                          checkpoint_dir=checkpoint_dir, spec=spec,
                          taxonomy=taxonomy, backend=backend,
                          idle_timeout_s=idle_timeout_s,
                          dispatch_workers=dispatch_workers,
-                         drain_deadline_s=drain_deadline_s)
+                         drain_deadline_s=drain_deadline_s,
+                         gateway_shards=gateway_shards)
 
 
 def _bootstrap_demo(checkpoint_dir: Path) -> None:
@@ -368,6 +392,16 @@ def main(argv: list[str] | None = None) -> int:
                              "the thread-per-connection fallback")
     parser.add_argument("--workers", type=int, default=4,
                         help="scoring workers per model (ScorerPool size)")
+    parser.add_argument("--scorer-processes", type=int, default=0,
+                        help="score in this many worker processes per model "
+                             "(each hydrates the checkpoint with mmap-shared "
+                             "weights; 0 = in-process threads, the default). "
+                             "Overrides --workers for checkpointed models")
+    parser.add_argument("--gateway-shards", type=int, default=1,
+                        help="selector backend: run this many event loops "
+                             "accepting on one port via SO_REUSEPORT "
+                             "(dup()-shared acceptor fallback); hot reload "
+                             "stays atomic across shards")
     parser.add_argument("--dispatch-workers", type=int, default=8,
                         help="selector backend: threads running endpoint "
                              "handlers")
@@ -454,7 +488,9 @@ def main(argv: list[str] | None = None) -> int:
         enable_fault_injection=args.enable_fault_injection,
         cache_entries=args.cache_entries,
         cache_ttl_s=args.cache_ttl_s,
-        split_precompute=args.split_precompute)
+        split_precompute=args.split_precompute,
+        scorer_processes=args.scorer_processes,
+        gateway_shards=args.gateway_shards)
     server.install_signal_handlers()
     names = ", ".join(server.service.registry.names())
     cap = ("static" if args.static_batch
@@ -467,8 +503,13 @@ def main(argv: list[str] | None = None) -> int:
              else "result cache off")
     split = ", split precompute" if args.split_precompute else ""
     faults = ", FAULT INJECTION ENABLED" if args.enable_fault_injection else ""
+    scale = ""
+    if args.scorer_processes > 0:
+        scale += f", {args.scorer_processes} scorer processes"
+    if args.gateway_shards > 1:
+        scale += f", {args.gateway_shards} gateway shards"
     print(f"serving {names} on {server.url} "
-          f"({args.backend} backend, {args.workers} scoring workers, "
+          f"({args.backend} backend, {args.workers} scoring workers{scale}, "
           f"{cap} batch cap, {backlog}, {cache}{split}, breaker opens at "
           f"{args.breaker_threshold:g} failure ratio{faults}; "
           f"GET /metrics for Prometheus, POST /reload to hot-reload)")

@@ -24,6 +24,7 @@ from ..querycat import QueryCategoryClassifier
 from ..nn.infer import PrefixMemo
 from .breaker import BreakerConfig, CircuitBreaker
 from .cache import ResultCache, canonical_key
+from .procscorer import ProcessScorerHost
 from .registry import ModelRegistry
 from .scorer import DeadlineExceeded, PoolOverloaded, ScorerPool, ScorerStats
 
@@ -148,6 +149,20 @@ class RankingService:
         (shared across the pool's workers), shrinking per-request FLOPs
         and weight traffic.  Split scores match the full plan to float
         rounding, not bit-for-bit; default off.
+    scorer_processes / environment_dir:
+        When ``scorer_processes`` > 0 **and** the routed registry entry
+        was registered from a checkpoint (its metadata carries the
+        checkpoint path), scoring crosses the process boundary: a
+        :class:`~repro.serving.procscorer.ProcessScorerHost` spawns that
+        many scorer processes which hydrate the model from disk with
+        memory-mapped shared weights, and the pool's worker threads each
+        proxy batches to one process over a binary-frame pipe.
+        ``environment_dir`` is the checkpoint directory holding
+        ``environment.json`` (required for the process path; without it,
+        or for entries with no checkpoint on disk, scoring silently stays
+        in-process).  ``process_start_method`` overrides the
+        multiprocessing start method (default ``spawn`` — the serving
+        parent is heavily threaded, so ``fork`` is reserved for tests).
     """
 
     def __init__(self, registry: ModelRegistry,
@@ -164,9 +179,14 @@ class RankingService:
                  degraded_prior=None,
                  fault_injector=None,
                  result_cache: ResultCache | None = None,
-                 split_precompute: bool = False):
+                 split_precompute: bool = False,
+                 scorer_processes: int = 0,
+                 environment_dir=None,
+                 process_start_method: str | None = None):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if scorer_processes < 0:
+            raise ValueError("scorer_processes must be >= 0")
         self.registry = registry
         self.default_model = default_model
         self.classifier = classifier
@@ -184,9 +204,13 @@ class RankingService:
         self._degraded_prior = degraded_prior
         self._cache = result_cache
         self._split_precompute = split_precompute
+        self._scorer_processes = int(scorer_processes)
+        self._environment_dir = environment_dir
+        self._process_start_method = process_start_method
         self._breakers: dict[str, CircuitBreaker] = {}
         self._degraded_responses = 0
         self._scorers: dict[tuple[str, int], ScorerPool] = {}
+        self._proc_hosts: dict[tuple[str, int], ProcessScorerHost] = {}
         self._closed = False
         # Guards pool creation: two concurrent rank() calls for the same
         # model must share one ScorerPool — its workers own the compiled
@@ -281,9 +305,29 @@ class RankingService:
 
         return lambda: locked_score
 
+    def _process_host_for(self, entry) -> ProcessScorerHost | None:
+        """Build the multi-process backend for ``entry``, or ``None``.
+
+        The process path needs a checkpoint on disk (children hydrate the
+        model themselves) and the environment bundle's directory; entries
+        registered in-memory keep the in-process factory.
+        """
+        if self._scorer_processes <= 0 or self._environment_dir is None:
+            return None
+        checkpoint = (entry.metadata or {}).get("checkpoint")
+        if checkpoint is None:
+            return None
+        return ProcessScorerHost(
+            checkpoint, self._environment_dir,
+            processes=self._scorer_processes,
+            version=entry.version,
+            split_precompute=self._split_precompute,
+            start_method=self._process_start_method)
+
     def _scorer_for(self, name: str, version: int | None) -> tuple[ScorerPool, int]:
         entry = self.registry.entry(name, version)
         stale: list[ScorerPool] = []
+        stale_hosts: list[ProcessScorerHost] = []
         with self._scorers_lock:
             # A closed service must not resurrect pools: a late caller
             # (e.g. an in-flight gateway request during shutdown) would
@@ -292,8 +336,19 @@ class RankingService:
                 raise RuntimeError("RankingService is closed")
             scorer = self._scorers.get(entry.key)
             if scorer is None:
-                scorer = ScorerPool(self._scorer_factory(entry.model),
-                                    num_workers=self._num_workers,
+                host = self._process_host_for(entry)
+                if host is not None:
+                    # One pool worker thread per scorer process: each
+                    # thread parks in recv_bytes (GIL released) while its
+                    # child scores, so micro-batch collection overlaps
+                    # cross-process scoring.
+                    factory, num_workers = host.make_scorer, host.processes
+                    self._proc_hosts[entry.key] = host
+                else:
+                    factory = self._scorer_factory(entry.model)
+                    num_workers = self._num_workers
+                scorer = ScorerPool(factory,
+                                    num_workers=num_workers,
                                     max_batch_rows=self._max_batch_rows,
                                     max_wait_ms=self._max_wait_ms,
                                     name=f"{entry.name}-v{entry.version}",
@@ -310,8 +365,13 @@ class RankingService:
                 for key in [k for k in self._scorers
                             if k[0] == name and k[1] < entry.version]:
                     stale.append(self._scorers.pop(key))
+                    old_host = self._proc_hosts.pop(key, None)
+                    if old_host is not None:
+                        stale_hosts.append(old_host)
         for old in stale:
             old.close()                 # completes its pending requests first
+        for old_host in stale_hosts:
+            old_host.close()            # after the pool: no in-flight frames
         return scorer, entry.version
 
     def _pooled_score(self, name: str, version: int | None, candidates: Batch,
@@ -502,11 +562,27 @@ class RankingService:
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, ScorerStats]:
-        """Per-model serving statistics, keyed by ``name:vVERSION``."""
+        """Per-model serving statistics, keyed by ``name:vVERSION``.
+
+        For models scored by worker processes, the host's aggregated
+        child counters are folded into the pool's stats (``processes``,
+        ``process_restarts``, ``process_busy_seconds``), so ``/stats``
+        reports where the work actually ran.
+        """
         with self._scorers_lock:
             scorers = dict(self._scorers)
-        return {f"{name}:v{version}": scorer.stats()
-                for (name, version), scorer in scorers.items()}
+            hosts = dict(self._proc_hosts)
+        result = {}
+        for (name, version), scorer in scorers.items():
+            stats = scorer.stats()
+            host = hosts.get((name, version))
+            if host is not None:
+                aggregate = host.stats()
+                stats.processes = aggregate["processes"]
+                stats.process_restarts = aggregate["process_restarts"]
+                stats.process_busy_seconds = aggregate["busy_seconds"]
+            result[f"{name}:v{version}"] = stats
+        return result
 
     @property
     def result_cache(self) -> ResultCache | None:
@@ -552,8 +628,13 @@ class RankingService:
         with self._scorers_lock:
             self._closed = True
             scorers, self._scorers = dict(self._scorers), {}
+            hosts, self._proc_hosts = dict(self._proc_hosts), {}
         for scorer in scorers.values():
             scorer.close()
+        # Hosts after pools: the pools' worker threads are the only frame
+        # senders, and they are joined by now.
+        for host in hosts.values():
+            host.close()
 
     def __enter__(self) -> "RankingService":
         return self

@@ -44,7 +44,7 @@ from .protocol import (MAX_BODY_BYTES, MAX_HEADER_BYTES, ProtocolError,
                        encode_head, validate_content_length)
 
 __all__ = ["GatewayCounters", "SelectorTransport", "ThreadedTransport",
-           "BACKENDS", "create_transport"]
+           "ShardedTransport", "BACKENDS", "create_transport"]
 
 _RECV_CHUNK = 65536
 # Write backpressure: once a connection's outbound buffer passes this,
@@ -164,7 +164,9 @@ class SelectorTransport:
                  idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
                  max_body_bytes: int = MAX_BODY_BYTES,
                  max_header_bytes: int = MAX_HEADER_BYTES,
-                 dispatch_workers: int = 8):
+                 dispatch_workers: int = 8,
+                 listener: socket.socket | None = None,
+                 reuse_port: bool = False):
         if idle_timeout_s <= 0:
             raise ValueError("idle_timeout_s must be positive")
         if dispatch_workers <= 0:
@@ -174,10 +176,19 @@ class SelectorTransport:
         self.idle_timeout_s = idle_timeout_s
         self._max_body_bytes = max_body_bytes
         self._max_header_bytes = max_header_bytes
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(1024)
+        if listener is not None:
+            # Sharding: the caller owns socket creation (SO_REUSEPORT
+            # siblings or dup()'d fds of one acceptor) and each shard
+            # loop drives one pre-bound listener.
+            self._listener = listener
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                self._listener.setsockopt(socket.SOL_SOCKET,
+                                          socket.SO_REUSEPORT, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(1024)
         self._listener.setblocking(False)
         self._selector = selectors.DefaultSelector()
         # Self-pipe: dispatch threads finishing a response must wake the
@@ -798,13 +809,156 @@ class ThreadedTransport:
         self._httpd.server_close()
 
 
+class ShardedTransport:
+    """N selector event loops accepting on one port.
+
+    One selector loop eventually saturates a core on accept + parse +
+    buffer shuffling; sharding runs ``shards`` independent
+    :class:`SelectorTransport` loops whose listeners all bind the same
+    address via ``SO_REUSEPORT`` — the kernel load-balances incoming
+    connections across the shard listeners.  Where ``SO_REUSEPORT`` is
+    unavailable the fallback is one bound acceptor socket ``dup()``-ed
+    into every shard: all loops select on the same underlying listener
+    and accept races resolve through the non-blocking ``EAGAIN`` path
+    (a thundering herd, but a correct one).
+
+    Every shard drives the **same** dispatcher and counters: routing,
+    model registry, scorer pools, and the result cache are shared, so a
+    ``POST /reload`` is atomic across shards by construction — there is
+    exactly one registry swap, and every shard's next request sees it
+    (or none does, when the reload is rejected).  Each shard gets its
+    own dispatch pool of ``dispatch_workers // shards`` threads so the
+    total handler concurrency matches the unsharded configuration.
+
+    The lifecycle surface mirrors :class:`SelectorTransport`;
+    ``serve_forever`` runs shard 0 on the calling thread and the rest on
+    ``gateway-shard-N`` threads.
+    """
+
+    def __init__(self, host: str, port: int, dispatcher: GatewayDispatcher,
+                 counters: GatewayCounters | None = None,
+                 shards: int = 2,
+                 idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_header_bytes: int = MAX_HEADER_BYTES,
+                 dispatch_workers: int = 8,
+                 force_dup_fallback: bool = False):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self.dispatcher = dispatcher
+        self.counters = counters if counters is not None else GatewayCounters()
+        self.idle_timeout_s = idle_timeout_s
+        listeners, self.reuse_port = self._make_listeners(
+            host, port, shards, allow_reuse_port=not force_dup_fallback)
+        per_shard_workers = max(1, dispatch_workers // shards)
+        self._shards = [SelectorTransport(
+            host, port, dispatcher, counters=self.counters,
+            idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
+            max_header_bytes=max_header_bytes,
+            dispatch_workers=per_shard_workers, listener=listener)
+            for listener in listeners]
+        self._threads: list[threading.Thread] = []
+
+    @staticmethod
+    def _make_listeners(host: str, port: int, shards: int,
+                        allow_reuse_port: bool = True
+                        ) -> tuple[list[socket.socket], bool]:
+        """Bind one listener per shard on a single address.
+
+        Returns ``(listeners, used_reuse_port)``.  The REUSEPORT path
+        binds shard 0 first (resolving ``port=0`` to a concrete port)
+        and the siblings to that concrete port; any failure falls back
+        to the single-acceptor ``dup()`` layout.
+        """
+        listeners: list[socket.socket] = []
+        if allow_reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            try:
+                bound_port = port
+                for _ in range(shards):
+                    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                    sock.bind((host, bound_port))
+                    bound_port = sock.getsockname()[1]
+                    sock.listen(1024)
+                    listeners.append(sock)
+                return listeners, True
+            except OSError:
+                for sock in listeners:
+                    sock.close()
+                listeners = []
+        base = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        base.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        base.bind((host, port))
+        base.listen(1024)
+        listeners = [base] + [base.dup() for _ in range(shards - 1)]
+        return listeners, False
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def server_address(self) -> tuple[str, int]:
+        return self._shards[0].server_address
+
+    @property
+    def loop_wakeups(self) -> int:
+        return sum(shard.loop_wakeups for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors SelectorTransport)
+    # ------------------------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.05) -> None:
+        self._threads = [threading.Thread(
+            target=shard.serve_forever, kwargs={"poll_interval": poll_interval},
+            name=f"gateway-shard-{index}", daemon=True)
+            for index, shard in enumerate(self._shards[1:], start=1)]
+        for thread in self._threads:
+            thread.start()
+        try:
+            self._shards[0].serve_forever(poll_interval=poll_interval)
+        finally:
+            for thread in self._threads:
+                thread.join()
+
+    def shutdown(self) -> None:
+        for shard in self._shards:
+            shard.shutdown()
+
+    def begin_drain(self) -> None:
+        for shard in self._shards:
+            shard.begin_drain()
+
+    def drain(self, deadline_s: float) -> None:
+        """Drain every shard against one shared wall-clock deadline."""
+        self.begin_drain()
+        deadline = time.monotonic() + max(deadline_s, 0.0)
+        for shard in self._shards:
+            shard._loop_done.wait(timeout=max(deadline - time.monotonic(), 0.0))
+        self.shutdown()
+
+    def server_close(self) -> None:
+        for shard in self._shards:
+            shard.server_close()
+
+
 BACKENDS = {"selector": SelectorTransport, "threaded": ThreadedTransport}
 
 
 def create_transport(backend: str, host: str, port: int,
                      dispatcher: GatewayDispatcher, **kwargs):
     """Build the requested transport; ``backend`` is ``selector`` or
-    ``threaded``."""
+    ``threaded``.  ``shards`` > 1 (selector only) builds a
+    :class:`ShardedTransport` running that many selector loops on one
+    port."""
+    shards = kwargs.pop("shards", 1)
+    if shards and shards > 1:
+        if backend != "selector":
+            raise ValueError("gateway sharding requires the selector "
+                             f"backend, not {backend!r}")
+        return ShardedTransport(host, port, dispatcher, shards=shards,
+                                **kwargs)
     try:
         factory = BACKENDS[backend]
     except KeyError:

@@ -36,7 +36,8 @@ from ..models import ModelConfig, build_model
 from ..models.base import RankingModel
 
 __all__ = ["CheckpointCorrupted", "atomic_write_bytes", "atomic_write_text",
-           "checksum_file", "save_checkpoint", "load_checkpoint", "load_model"]
+           "checksum_file", "save_checkpoint", "load_checkpoint",
+           "build_model_from_meta", "load_model"]
 
 _FORMAT_VERSION = 1
 
@@ -178,14 +179,16 @@ def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
     return state, meta
 
 
-def load_model(path: str | Path, spec: FeatureSpec, taxonomy: Taxonomy,
-               train_dataset=None) -> RankingModel:
-    """Rebuild a model from a checkpoint and restore its weights.
+def build_model_from_meta(meta: dict, spec: FeatureSpec, taxonomy: Taxonomy,
+                          train_dataset=None) -> RankingModel:
+    """Rebuild the architecture a checkpoint sidecar describes — no weights.
 
-    ``spec``/``taxonomy`` must structurally match the ones the model was
-    trained with (same cardinalities); mismatches surface as shape errors.
+    Factored out of :func:`load_model` so alternative weight sources can
+    reuse the rebuild: multi-process serving workers construct the model
+    here and then attach memory-mapped parameter files instead of the
+    ``.npz`` copy (``load_state_dict(..., copy=False)``).  The returned
+    model is freshly initialized and already cast to the sidecar's dtype.
     """
-    state, meta = load_checkpoint(path)
     config_fields = dict(meta["config"])
     # JSON turns tuples into lists; restore the tuple-typed fields.
     for key in ("hidden_sizes", "gate_features", "input_features"):
@@ -202,6 +205,19 @@ def load_model(path: str | Path, spec: FeatureSpec, taxonomy: Taxonomy,
     dtype = meta.get("dtype")
     if dtype is not None and any(p.dtype != np.dtype(dtype) for p in model.parameters()):
         model.astype(np.dtype(dtype))
+    return model
+
+
+def load_model(path: str | Path, spec: FeatureSpec, taxonomy: Taxonomy,
+               train_dataset=None) -> RankingModel:
+    """Rebuild a model from a checkpoint and restore its weights.
+
+    ``spec``/``taxonomy`` must structurally match the ones the model was
+    trained with (same cardinalities); mismatches surface as shape errors.
+    """
+    state, meta = load_checkpoint(path)
+    model = build_model_from_meta(meta, spec, taxonomy,
+                                  train_dataset=train_dataset)
     model.load_state_dict(state)
     return model
 

@@ -119,3 +119,73 @@ class TestSelectionConsistency:
         (out.probs ** 2).sum().backward()
         assert gate.weight.grad is not None
         assert np.abs(gate.weight.grad).sum() > 0
+
+
+class _GatePair(nn.Module):
+    """Minimal module tree holding two RNG-bearing gates (reseed tests)."""
+
+    def __init__(self):
+        super().__init__()
+        self.first = NoisyTopKGate(6, 8, k=3, rng=np.random.default_rng(1))
+        self.second = NoisyTopKGate(6, 8, k=3, rng=np.random.default_rng(1))
+
+
+def _noise(gate, x):
+    """The actual noise drawn for one training forward pass."""
+    gate.train()
+    out = gate(x)
+    return out.noisy_logits.data - out.clean_logits.data
+
+
+class TestRngContract:
+    """The fork-safety contract: seeded defaults, explicit reseeding.
+
+    The default-rng fallback used to be ``np.random.default_rng()`` —
+    OS entropy — so two gates built identically diverged, breaking the
+    single-seed reproducibility promise of ``repro.nn.init``.  These
+    are the regression tests for that fix and for the per-child reseed
+    seam multi-process serving relies on.
+    """
+
+    def test_default_rng_is_seeded(self):
+        """Two gates built without an rng must be bit-identical, noise
+        included (fails on the unseeded ``default_rng()`` fallback)."""
+        a, b = NoisyTopKGate(6, 8, k=3), NoisyTopKGate(6, 8, k=3)
+        x = random_input()
+        np.testing.assert_array_equal(_noise(a, x), _noise(b, x))
+
+    def test_gate_reseed_redirects_noise_stream(self, gate):
+        x = random_input()
+        _noise(gate, x)                       # advance the original stream
+        gate.reseed(np.random.default_rng(7))
+        fresh = NoisyTopKGate(6, 8, k=3, rng=np.random.default_rng(0))
+        fresh.reseed(np.random.default_rng(7))
+        np.testing.assert_array_equal(_noise(gate, x), _noise(fresh, x))
+
+    def test_module_reseed_is_reproducible_and_independent(self):
+        x = random_input()
+        pair = _GatePair().reseed(0)
+        again = _GatePair().reseed(0)
+        # Same seed → same streams, gate by gate.
+        np.testing.assert_array_equal(_noise(pair.first, x),
+                                      _noise(again.first, x))
+        np.testing.assert_array_equal(_noise(pair.second, x),
+                                      _noise(again.second, x))
+        # But sibling gates get *independent* spawned streams, even though
+        # they were constructed from identical generators.
+        assert not np.allclose(_noise(pair.first, x), _noise(pair.second, x))
+
+    def test_module_reseed_entropy_tuple_matches_worker_contract(self):
+        """Serving children reseed from ``(seed, version, worker_index)``:
+        same tuple → identical streams, different worker → divergent."""
+        x = random_input()
+        worker0 = _GatePair().reseed(
+            np.random.SeedSequence(entropy=(0, 1, 0)))
+        worker0_again = _GatePair().reseed(
+            np.random.SeedSequence(entropy=(0, 1, 0)))
+        worker1 = _GatePair().reseed(
+            np.random.SeedSequence(entropy=(0, 1, 1)))
+        np.testing.assert_array_equal(_noise(worker0.first, x),
+                                      _noise(worker0_again.first, x))
+        assert not np.allclose(_noise(worker0.first, x),
+                               _noise(worker1.first, x))

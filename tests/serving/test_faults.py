@@ -249,6 +249,54 @@ class TestWorkerSupervision:
         assert stats.requests == 4              # 3 pre-crash + 1 post-respawn
         assert stats.rows == 8
 
+    def test_close_during_respawn_is_averted(self):
+        """The respawn/close TOCTOU race, interleaved deterministically.
+
+        A respawner that passed its top-of-loop closed check and is deep
+        inside the (slow, lock-free) factory call must NOT publish and
+        start its replacement once ``close()`` wins — pre-fix it did,
+        leaking a worker thread that no sentinel would ever stop.
+        """
+        injector = FaultInjector()
+        in_factory = threading.Event()
+        release = threading.Event()
+        builds = []
+
+        def factory():
+            if builds:                          # respawn path only
+                in_factory.set()
+                assert release.wait(timeout=10)
+
+            def score(batch):
+                return batch.numeric[:, 0]
+            builds.append(score)
+            return score
+
+        pool = ScorerPool(factory, num_workers=1, max_wait_ms=0.0,
+                          fault_injector=injector)
+        injector.arm_worker_kills(1)
+        with pytest.raises(WorkerKilled):
+            pool.score(_rows(2))
+        deadline = time.monotonic() + 5.0
+        while pool.worker_stats() and pool._workers[0].thread.is_alive():
+            assert time.monotonic() < deadline, "killed worker never died"
+            time.sleep(0.01)
+        # Take over the supervisor's role so the interleaving is ours.
+        pool._supervisor_stop.set()
+        pool._supervisor.join()
+        respawner = threading.Thread(target=pool._respawn_dead_workers)
+        respawner.start()
+        assert in_factory.wait(timeout=5), "respawn never reached factory"
+        pool.close()                            # wins the race mid-respawn
+        release.set()
+        respawner.join(timeout=5)
+        assert not respawner.is_alive()
+        # The replacement was abandoned: not published, never started.
+        assert pool.averted_respawns == 1
+        assert pool.worker_restarts == 0
+        assert not pool._workers[0].thread.is_alive()
+        assert pool.stats().averted_respawns == 1
+
 
 # ----------------------------------------------------------------------
 # Service-level breaker + degraded fallback

@@ -1,0 +1,93 @@
+"""Unit tests for the load generator's rate arithmetic.
+
+Regression suite for the PR 9 rate-math fix: published req/s and rows/s
+used to divide by the *configured* ``--duration``, so client ramp-up
+(threads starting late) and overrun (in-flight requests completing after
+the deadline) skewed every rate the sweep printed.  Rates now divide by
+the measured first-send → last-response window; ``duration_s`` stays the
+nominal knob it always was.
+"""
+
+import pytest
+
+from repro.serving.loadgen import LoadSummary, _measured_elapsed, _summarize
+
+
+class TestMeasuredElapsed:
+    def test_spans_earliest_start_to_latest_end(self):
+        windows = [[10.0, 14.0], [10.5, 16.0], [11.0, 13.0]]
+        assert _measured_elapsed(windows) == pytest.approx(6.0)
+
+    def test_clients_that_never_sent_are_ignored(self):
+        windows = [[None, None], [5.0, 9.0], [None, None]]
+        assert _measured_elapsed(windows) == pytest.approx(4.0)
+
+    def test_no_traffic_measures_zero(self):
+        assert _measured_elapsed([]) == 0.0
+        assert _measured_elapsed([[None, None]]) == 0.0
+
+    def test_never_negative(self):
+        # A client that sent but whose only response landed "before" a
+        # later client's first send cannot produce a negative window.
+        assert _measured_elapsed([[7.0, 7.0]]) == 0.0
+
+
+class TestRateDenominator:
+    def test_rates_divide_by_measured_not_nominal(self):
+        """100 requests over a measured 2s is 50 req/s, even when the
+        operator asked for ``--duration 5`` (the pre-fix code published
+        20 req/s here)."""
+        summary = _summarize(duration_s=5.0, clients=4, rows_per_request=8,
+                             latencies=[0.01] * 100, transport_errors=0,
+                             error_statuses={}, retry_after_hint_s=0.0,
+                             elapsed_s=2.0)
+        assert summary.rps == pytest.approx(50.0)
+        assert summary.rows_per_s == pytest.approx(400.0)
+
+    def test_nominal_duration_is_preserved_untouched(self):
+        summary = _summarize(duration_s=5.0, clients=1, rows_per_request=1,
+                             latencies=[0.01] * 10, transport_errors=0,
+                             error_statuses={}, retry_after_hint_s=0.0,
+                             elapsed_s=2.5)
+        assert summary.duration_s == 5.0
+        assert summary.elapsed_s == 2.5
+
+    def test_unmeasured_falls_back_to_nominal(self):
+        """Callers that never measured (elapsed_s=None) keep the old
+        behavior rather than publishing infinities."""
+        summary = _summarize(duration_s=4.0, clients=1, rows_per_request=2,
+                             latencies=[0.01] * 8, transport_errors=0,
+                             error_statuses={}, retry_after_hint_s=0.0)
+        assert summary.rps == pytest.approx(2.0)
+        assert summary.rows_per_s == pytest.approx(4.0)
+        assert summary.elapsed_s == 0.0
+
+    def test_zero_measured_window_yields_zero_rates(self):
+        summary = _summarize(duration_s=3.0, clients=1, rows_per_request=1,
+                             latencies=[0.01], transport_errors=0,
+                             error_statuses={}, retry_after_hint_s=0.0,
+                             elapsed_s=0.0)
+        assert summary.rps == 0.0
+        assert summary.rows_per_s == 0.0
+
+    def test_elapsed_rides_serialization(self):
+        summary = _summarize(duration_s=3.0, clients=2, rows_per_request=4,
+                             latencies=[0.02] * 6, transport_errors=0,
+                             error_statuses={}, retry_after_hint_s=0.0,
+                             elapsed_s=1.5)
+        assert summary.to_dict()["elapsed_s"] == 1.5
+
+    def test_format_reports_both_measured_and_nominal(self):
+        summary = _summarize(duration_s=5.0, clients=4, rows_per_request=8,
+                             latencies=[0.01] * 100, transport_errors=0,
+                             error_statuses={}, retry_after_hint_s=0.0,
+                             elapsed_s=2.0)
+        text = summary.format()
+        assert "2.00s measured" in text
+        assert "nominal 5s" in text
+
+    def test_format_without_measurement_shows_nominal_as_measured(self):
+        text = LoadSummary(duration_s=3.0, clients=1, rows_per_request=1,
+                           requests=3, rows=3, errors=0,
+                           transport_errors=0).format()
+        assert "3.00s measured" in text

@@ -213,7 +213,8 @@ class TestOperationalEndpoints:
                        "max_backlog_rows", "shed_requests", "shed_rows",
                        "drain_rate_rows_per_s", "worker_restarts",
                        "expired_requests", "expired_rows",
-                       "lost_resolutions"}
+                       "lost_resolutions", "averted_respawns", "processes",
+                       "process_restarts", "process_busy_seconds"}
         assert payload["scorers"], "at least one scorer pool must report"
         for stats in payload["scorers"].values():
             assert set(stats) == scorer_keys
