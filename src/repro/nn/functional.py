@@ -26,6 +26,18 @@ loop into a single (B·T, 3H) matmul, sliced per step through lightweight
 view nodes whose backwards write into one shared gradient buffer.  Weight
 gradients accumulate across steps into the parameter's single ``.grad``
 buffer (allocated once on the first step's backward).
+
+Packed ragged scans
+-------------------
+``gru_sequence_packed`` removes the *wasted FLOPs* the masked scan still
+pays on ragged batches: examples are sorted by length once (descending,
+stable — with an early exit when the batch arrives already sorted either
+way, as the querycat length-bucketed loader produces), the input
+projection runs over only the valid (example, step) pairs, and each
+timestep updates only the still-valid prefix of the sorted batch — the
+cuDNN/PackedSequence trick.  The fused backward accumulates into the same
+shared gradient buffers as the masked path, so the two are numerically
+interchangeable (pinned in f64 by the parity tests).
 """
 
 from __future__ import annotations
@@ -50,6 +62,7 @@ __all__ = [
     "bce_with_logits_fused",
     "gru_cell_fused",
     "gru_sequence",
+    "gru_sequence_packed",
 ]
 
 def relu(x: Tensor) -> Tensor:
@@ -432,6 +445,228 @@ def gru_sequence(x: Tensor, weight_ih: Tensor, weight_hh: Tensor,
         h = gru_cell_fused(_time_slice(x_proj, t), h, weight_hh, bias_hh, mask=mask)
         outputs[t] = h
     return outputs, h
+
+
+# Introspection counters for the packed scan (read by the regression tests
+# and the benchmark harness; not part of the functional API).  ``presorted``
+# counts calls that skipped the argsort because the batch arrived sorted by
+# length in either direction — the querycat length-bucketed loader produces
+# ascending batches, which must hit this fast path.
+packed_scan_counters = {"calls": 0, "argsort": 0, "presorted": 0}
+
+
+def reset_packed_scan_counters() -> None:
+    for key in packed_scan_counters:
+        packed_scan_counters[key] = 0
+
+
+def _packed_order(lengths: np.ndarray) -> np.ndarray | None:
+    """Row order making ``lengths`` non-increasing; ``None`` for identity.
+
+    Early-exits on already-sorted input: a non-increasing batch needs no
+    reorder at all, and a non-decreasing one (length-bucketed loaders sort
+    ascending) just reverses — neither pays the O(B log B) argsort.
+    """
+    packed_scan_counters["calls"] += 1
+    diffs = np.diff(lengths)
+    if not (diffs > 0).any():               # already non-increasing
+        packed_scan_counters["presorted"] += 1
+        return None
+    if not (diffs < 0).any():               # non-decreasing: reverse it
+        packed_scan_counters["presorted"] += 1
+        return np.arange(lengths.shape[0] - 1, -1, -1, dtype=np.int64)
+    packed_scan_counters["argsort"] += 1
+    # Stable descending sort: ties keep their original relative order, so
+    # the packing is deterministic for a given batch.
+    return np.argsort(-lengths, kind="stable")
+
+
+def _permute_rows(x: Tensor, index: np.ndarray, inverse: np.ndarray,
+                  op: str = "permute_rows") -> Tensor:
+    """Row permutation ``out[j] = x[index[j]]`` with O(B) backward.
+
+    ``inverse`` must be the inverse permutation of ``index`` — the backward
+    is then a plain gather ``dx = g[inverse]`` instead of a scatter-add.
+    """
+    out = x._make_child(x.data[index], (x,), op)
+    if out.requires_grad:
+        def _backward():
+            x._accumulate(out.grad[inverse])
+        out._backward = _backward
+    return out
+
+
+def _pack_rows(x: Tensor, flat_index: np.ndarray, time: int) -> Tensor:
+    """Gather valid (example, step) rows of a (B, T, F) tensor.
+
+    ``flat_index`` holds *unique* flattened ``(b, t)`` positions, so the
+    backward can write straight into the parent's shared gradient buffer
+    with a fancy-indexed ``+=`` — no ``np.add.at`` scatter needed.
+    """
+    batch, _, features = x.shape
+    flat = x.data.reshape(batch * time, features)
+    out = x._make_child(flat[flat_index], (x,), "pack_rows")
+    if out.requires_grad:
+        def _backward():
+            if x.grad is None:
+                x.grad = np.zeros_like(x.data)
+            grad_flat = x.grad.reshape(batch * time, features)
+            grad_flat[flat_index] += out.grad
+        out._backward = _backward
+    return out
+
+
+def _row_slice(packed: Tensor, start: int, stop: int) -> Tensor:
+    """Slice rows [start, stop) of a packed (total, C) tensor.
+
+    Like :func:`_time_slice`, the backward writes into the parent's shared
+    gradient buffer at O(rows·C) instead of allocating a full-size scatter
+    target per step.
+    """
+    out = packed._make_child(packed.data[start:stop], (packed,), "row_slice")
+    if out.requires_grad:
+        def _backward():
+            if packed.grad is None:
+                packed.grad = np.zeros_like(packed.data)
+            packed.grad[start:stop] += out.grad
+        out._backward = _backward
+    return out
+
+
+def _gru_cell_prefix(x_gates: Tensor, h: Tensor, weight_hh: Tensor,
+                     bias_hh: Tensor, active: int) -> Tensor:
+    """Fused GRU step over the first ``active`` rows of ``h``.
+
+    Rows past ``active`` (examples already finished at this timestep, in
+    length-sorted order) are carried through untouched — forward copies
+    them, backward passes their gradient straight through.  The gate math
+    and the analytic backward are exactly :func:`gru_cell_fused`, just on
+    the prefix, so the per-step FLOPs shrink with the surviving batch.
+    """
+    hs = h.shape[1]
+    h_prev = h.data
+    hp = h_prev[:active]
+    gates_h = hp @ weight_hh.data + bias_hh.data
+    r = _stable_sigmoid(x_gates.data[:, :hs] + gates_h[:, :hs])
+    z = _stable_sigmoid(x_gates.data[:, hs:2 * hs] + gates_h[:, hs:2 * hs])
+    hn = gates_h[:, 2 * hs:]
+    n = np.tanh(x_gates.data[:, 2 * hs:] + r * hn)
+    h_new = h_prev.copy()
+    h_new[:active] = (1.0 - z) * n + z * hp
+    out = h._make_child(h_new, (x_gates, h, weight_hh, bias_hh), "gru_cell_prefix")
+    if out.requires_grad:
+        def _backward():
+            g = out.grad[:active]
+            dn = g * (1.0 - z)
+            dz = g * (hp - n)
+            dn_pre = dn * (1.0 - n * n)
+            dz_pre = dz * (z * (1.0 - z))
+            dr = dn_pre * hn
+            dr_pre = dr * (r * (1.0 - r))
+            d_gates_h = np.concatenate([dr_pre, dz_pre, dn_pre * r], axis=1)
+            if x_gates.requires_grad:
+                x_gates._accumulate(np.concatenate([dr_pre, dz_pre, dn_pre], axis=1))
+            if weight_hh.requires_grad:
+                weight_hh._accumulate(hp.T @ d_gates_h)
+            if bias_hh.requires_grad:
+                bias_hh._accumulate(d_gates_h.sum(axis=0))
+            if h.requires_grad:
+                dh = np.empty_like(out.grad)
+                dh[:active] = d_gates_h @ weight_hh.data.T
+                dh[:active] += g * z
+                dh[active:] = out.grad[active:]
+                h._accumulate(dh)
+        out._backward = _backward
+    return out
+
+
+def gru_sequence_packed(x: Tensor, weight_ih: Tensor, weight_hh: Tensor,
+                        bias_ih: Tensor, bias_hh: Tensor,
+                        h0: Tensor | None = None,
+                        lengths: np.ndarray | None = None,
+                        reverse: bool = False) -> tuple[list[Tensor], Tensor]:
+    """Packed ragged GRU scan — :func:`gru_sequence` minus the wasted FLOPs.
+
+    Examples are sorted by length once (descending, stable; identity /
+    reversal fast paths for already-sorted batches), the hoisted input
+    projection runs over only the valid (example, step) rows, and each
+    timestep updates only the still-valid prefix of the sorted batch.
+    Outputs and the final state are unsorted back to the original row
+    order, so the returned values are drop-in interchangeable with the
+    masked scan (parity pinned in f64 by the equivalence tests).
+
+    With uniform full lengths the packing degenerates to the masked path
+    plus gather overhead — callers (``GRU.forward``, the compiled scan)
+    only select it when lengths are actually ragged.
+    """
+    x = as_tensor(x)
+    weight_ih = as_tensor(weight_ih)
+    weight_hh = as_tensor(weight_hh)
+    bias_ih = as_tensor(bias_ih)
+    bias_hh = as_tensor(bias_hh)
+    if x.ndim != 3:
+        raise ValueError("gru_sequence_packed expects (batch, time, features) input")
+    batch, time, features = x.shape
+    hs = weight_hh.shape[0]
+    if weight_ih.shape != (features, 3 * hs):
+        raise ValueError(f"weight_ih shape {weight_ih.shape} does not match "
+                         f"input features {features} / hidden size {hs}")
+    if lengths is None:
+        lens = np.full(batch, time, dtype=np.int64)
+    else:
+        lens = np.asarray(lengths, dtype=np.int64).reshape(-1)
+        if lens.shape[0] != batch:
+            raise ValueError(f"lengths must have one entry per example "
+                             f"({batch}), got {lens.shape[0]}")
+        lens = np.clip(lens, 0, time)
+
+    order = _packed_order(lens)
+    if order is None:
+        sorted_lens = lens
+        inverse = None
+    else:
+        sorted_lens = lens[order]
+        inverse = np.empty(batch, dtype=np.int64)
+        inverse[order] = np.arange(batch, dtype=np.int64)
+
+    # batch_sizes[t] = number of examples still valid at step t; in sorted
+    # order those are exactly the first batch_sizes[t] rows.
+    batch_sizes = (sorted_lens[:, None] > np.arange(time)[None, :]).sum(axis=0)
+    offsets = np.zeros(time + 1, dtype=np.int64)
+    np.cumsum(batch_sizes, out=offsets[1:])
+    ord_rows = order if order is not None else np.arange(batch, dtype=np.int64)
+    flat_index = np.empty(int(offsets[-1]), dtype=np.int64)
+    for t in range(time):
+        nt = int(batch_sizes[t])
+        if nt:
+            flat_index[offsets[t]:offsets[t + 1]] = ord_rows[:nt] * time + t
+
+    # Hoisted input projection over valid rows only: one (total, 3H) matmul.
+    packed_x = _pack_rows(x, flat_index, time)
+    x_proj = packed_x @ weight_ih + bias_ih
+
+    h0t = as_tensor(h0) if h0 is not None \
+        else Tensor(np.zeros((batch, hs), dtype=x_proj.dtype))
+    h = h0t if order is None else _permute_rows(h0t, order, inverse,
+                                                op="sort_rows")
+
+    steps = range(time - 1, -1, -1) if reverse else range(time)
+    outputs: list[Tensor] = [None] * time  # type: ignore[list-item]
+    # Steps with no surviving example (possible at the start of a reverse
+    # scan when every length < time) emit the untouched initial state.
+    unsorted = h0t
+    for t in steps:
+        nt = int(batch_sizes[t])
+        if nt:
+            x_gates = _row_slice(x_proj, int(offsets[t]), int(offsets[t + 1]))
+            if nt == batch:
+                h = gru_cell_fused(x_gates, h, weight_hh, bias_hh)
+            else:
+                h = _gru_cell_prefix(x_gates, h, weight_hh, bias_hh, nt)
+            unsorted = h if order is None else \
+                _permute_rows(h, inverse, order, op="unsort_rows")
+        outputs[t] = unsorted
+    return outputs, unsorted
 
 
 def scatter_topk_mask(logits: np.ndarray, k: int) -> np.ndarray:

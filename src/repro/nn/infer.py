@@ -33,6 +33,16 @@ Semantics
 * Unknown module types fall back to the module's Tensor forward under
   ``no_grad`` so custom models still compile; only the types registered
   here get the fast closures.
+* **Packed ragged scans**: a compiled GRU/BiGRU whose cell has
+  ``packed=True`` (the default) automatically routes ragged batches
+  through a sort-by-length packed scan (the serving mirror of
+  ``gru_sequence_packed``) — each timestep only computes the still-valid
+  prefix.  Uniform batches keep the masked scan.
+* **int8 quantized lane**: a Linear carrying a
+  :class:`~repro.nn.quantize.QuantizedWeight` (see ``hydrate_quantized``)
+  compiles to the blocked int8→f32 matmul with f32 accumulation instead
+  of the full-precision step; biases, activations, GRU and embedding
+  steps stay float32.
 
 Numerics match the Tensor path operation for operation (same kernels, same
 evaluation order), so compiled scoring is bit-comparable to ``no_grad``
@@ -46,6 +56,7 @@ from typing import Callable
 
 import numpy as np
 
+from .functional import _packed_order
 from .layers import (MLP, Dropout, Embedding, Linear, ReLU, Sigmoid, Tanh,
                      check_embedding_ids)
 from .module import Module, Sequential
@@ -245,6 +256,11 @@ class SplitMLP:
         if not isinstance(first, Linear):
             raise ValueError("split requires the MLP to start with a Linear "
                              f"layer, got {type(first).__name__}")
+        if getattr(first, "quantized", None) is not None:
+            # The snapshot below would capture the NaN placeholder a
+            # quantized hydration leaves in weight.data.
+            raise ValueError("split plans snapshot the full-precision first "
+                             "layer; quantized models cannot be split")
         static_columns = np.asarray(static_columns, dtype=np.intp).reshape(-1)
         dynamic_columns = np.asarray(dynamic_columns, dtype=np.intp).reshape(-1)
         weight = first.weight.data
@@ -370,8 +386,41 @@ class PrefixMemo:
 # ----------------------------------------------------------------------
 # Layer compilers
 # ----------------------------------------------------------------------
+def _quantized_linear_step(module: Linear, pool: BufferPool,
+                           relu: bool) -> Callable:
+    """int8 plan lane: blocked-cast matmul, f32 accumulation, f32 bias/relu.
+
+    Selected when the Linear carries a
+    :class:`~repro.nn.quantize.QuantizedWeight` (attached by
+    ``hydrate_quantized`` for serving, or transiently during calibration).
+    The cast scratch comes from the plan's buffer pool, so the shared
+    read-only ``QuantizedWeight`` never holds per-call state — one mmap'd
+    int8 tensor safely feeds every scorer worker and process shard.
+    """
+    step = pool.reserve()
+    scratch_step = pool.reserve()
+    qw = module.quantized
+    bias = module.bias
+
+    def run(x):
+        out = pool.get(step, (x.shape[0], qw.out_features), np.float32)
+        scratch = pool.get(scratch_step, qw.scratch_shape(), np.float32)
+        qw.matmul_into(x, out, scratch)
+        if bias is not None:
+            out += bias.data
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+    return run
+
+
 @register_compiler(Linear)
 def _compile_linear(module: Linear, pool: BufferPool) -> Callable:
+    # The quantized attribute is sampled at compile time (unlike weights,
+    # which are read live): hydration happens before any plan is built and
+    # a hot reload compiles fresh plans for the new model object.
+    if getattr(module, "quantized", None) is not None:
+        return _quantized_linear_step(module, pool, relu=False)
     step = pool.reserve()
     weight, bias = module.weight, module.bias
 
@@ -387,6 +436,8 @@ def _compile_linear(module: Linear, pool: BufferPool) -> Callable:
 
 def _linear_relu_step(module: Linear, pool: BufferPool) -> Callable:
     """The fused kernel's forward math: matmul + bias + in-place relu."""
+    if getattr(module, "quantized", None) is not None:
+        return _quantized_linear_step(module, pool, relu=True)
     step = pool.reserve()
     weight, bias = module.weight, module.bias
 
@@ -491,15 +542,77 @@ def _gru_scan(cell: GRUCell, pool: BufferPool, reverse: bool) -> Callable:
     input projection is one (B·T, 3H) matmul hoisted out of the loop, each
     step computes the fused cell's forward, and steps where every example
     is valid skip the mask.  Returns the final hidden state.
+
+    When the batch is ragged and ``cell.packed`` is set (the default), the
+    scan packs instead — the serving mirror of
+    :func:`repro.nn.functional.gru_sequence_packed`: sort rows by length
+    once (``_packed_order``'s early-exits apply), project only the valid
+    (example, step) positions, update only the still-valid prefix at each
+    step, and unsort the final state.
     """
     step_proj = pool.reserve()
     step_gates = pool.reserve()
+    step_pack = pool.reserve()
+    step_out = pool.reserve()
+
+    def run_packed(x, lens):
+        w_ih, w_hh = cell.weight_ih.data, cell.weight_hh.data
+        b_ih, b_hh = cell.bias_ih.data, cell.bias_hh.data
+        batch, time, features = x.shape
+        hs = w_hh.shape[0]
+        order = _packed_order(lens)
+        sorted_lens = lens if order is None else lens[order]
+        batch_sizes = (sorted_lens[:, None] > np.arange(time)[None, :]).sum(axis=0)
+        offsets = np.zeros(time + 1, dtype=np.int64)
+        np.cumsum(batch_sizes, out=offsets[1:])
+        total = int(offsets[-1])
+        ord_rows = order if order is not None else np.arange(batch, dtype=np.int64)
+        flat_index = np.empty(total, dtype=np.int64)
+        for t in range(time):
+            nt = int(batch_sizes[t])
+            if nt:
+                flat_index[offsets[t]:offsets[t + 1]] = ord_rows[:nt] * time + t
+        # Hoisted projection over the valid rows only.
+        packed = pool.get(step_pack, (total, features), x.dtype)
+        np.take(x.reshape(batch * time, features), flat_index, axis=0,
+                out=packed)
+        proj = pool.get(step_proj, (total, 3 * hs), w_ih.dtype)
+        np.matmul(packed, w_ih, out=proj)
+        proj += b_ih
+        h = pool.get(step_out, (batch, hs), w_hh.dtype)
+        h[:] = 0.0
+        gates_buf = pool.get(step_gates, (batch, 3 * hs), w_hh.dtype)
+        steps = range(time - 1, -1, -1) if reverse else range(time)
+        for t in steps:
+            nt = int(batch_sizes[t])
+            if nt == 0:
+                continue
+            hp = h[:nt]
+            gates = gates_buf[:nt]
+            np.matmul(hp, w_hh, out=gates)
+            gates += b_hh
+            xg = proj[offsets[t]:offsets[t + 1]]
+            r = _stable_sigmoid(xg[:, :hs] + gates[:, :hs])
+            z = _stable_sigmoid(xg[:, hs:2 * hs] + gates[:, hs:2 * hs])
+            n = np.tanh(xg[:, 2 * hs:] + r * gates[:, 2 * hs:])
+            h[:nt] = (1.0 - z) * n + z * hp
+        if order is None:
+            return h
+        inverse = np.empty(batch, dtype=np.int64)
+        inverse[order] = np.arange(batch, dtype=np.int64)
+        return h[inverse]
 
     def run(x, lengths=None):
         w_ih, w_hh = cell.weight_ih.data, cell.weight_hh.data
         b_ih, b_hh = cell.bias_ih.data, cell.bias_hh.data
         batch, time, features = x.shape
         hs = w_hh.shape[0]
+        if lengths is not None and cell.packed:
+            lens = np.clip(np.asarray(lengths), 0, time)
+            # Same dispatch rule as nn.rnn.GRU: packing only pays for
+            # itself when there are padded positions to skip.
+            if lens.size and lens.min() < time:
+                return run_packed(x, lens)
         proj = pool.get(step_proj, (batch * time, 3 * hs), w_ih.dtype)
         np.matmul(x.reshape(batch * time, features), w_ih, out=proj)
         proj += b_ih

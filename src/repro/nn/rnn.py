@@ -15,6 +15,14 @@ graph — ~10 autograd nodes per step — kept as the reference implementation
 for gradcheck parity tests.  Both paths follow the module's parameter dtype
 end to end: initial states and length masks are created at that dtype, so
 ``nn.set_default_dtype(np.float32)`` training runs never silently upcast.
+
+On top of the fused path, ``packed=True`` (the default) routes ragged
+batches through :func:`repro.nn.functional.gru_sequence_packed`: examples
+are sorted by length once and each timestep computes only the still-valid
+prefix, so padded positions cost nothing instead of being computed and
+masked away.  The masked fused scan remains the reference the packed lane
+is pinned against (and still serves uniform-length batches, where packing
+has nothing to skip).
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ class GRUCell(Module):
     """
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
-                 fused: bool = True):
+                 fused: bool = True, packed: bool = True):
         super().__init__()
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("GRUCell sizes must be positive")
@@ -53,6 +61,9 @@ class GRUCell(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.fused = fused
+        # Advisory for sequence drivers (GRU/BiGRU): route ragged batches
+        # through the packed scan.  A single cell step has nothing to pack.
+        self.packed = packed
         # Fused weights for the three gates: columns [r | z | n].
         self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
         self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
@@ -86,9 +97,10 @@ class GRU(Module):
     """Unidirectional GRU over a (batch, time, features) sequence."""
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
-                 reverse: bool = False, fused: bool = True):
+                 reverse: bool = False, fused: bool = True, packed: bool = True):
         super().__init__()
-        self.cell = GRUCell(input_size, hidden_size, rng=rng, fused=fused)
+        self.cell = GRUCell(input_size, hidden_size, rng=rng, fused=fused,
+                            packed=packed)
         self.hidden_size = hidden_size
         self.reverse = reverse
 
@@ -113,14 +125,27 @@ class GRU(Module):
 
         On the default fused path this delegates to
         :func:`repro.nn.functional.gru_sequence`, which batches the input
-        projection over all timesteps and masks in-kernel; with
-        ``cell.fused=False`` it runs the original per-op time loop.
+        projection over all timesteps and masks in-kernel — or, when the
+        batch is ragged and ``cell.packed`` is set (the default), to
+        :func:`repro.nn.functional.gru_sequence_packed`, which skips the
+        padded positions' FLOPs entirely.  With ``cell.fused=False`` it
+        runs the original per-op time loop.
         """
         x = as_tensor(x)
         if x.ndim != 3:
             raise ValueError("GRU expects (batch, time, features) input")
         cell = self.cell
         if cell.fused:
+            if cell.packed and lengths is not None:
+                lens = np.asarray(lengths)
+                # Packing only wins when there are padded positions to
+                # skip; a full uniform batch would pay the gather/unsort
+                # overhead for nothing.
+                if lens.size and lens.min() < x.shape[1]:
+                    return F.gru_sequence_packed(
+                        x, cell.weight_ih, cell.weight_hh,
+                        cell.bias_ih, cell.bias_hh,
+                        lengths=lens, reverse=self.reverse)
             return F.gru_sequence(x, cell.weight_ih, cell.weight_hh,
                                   cell.bias_ih, cell.bias_hh,
                                   lengths=lengths, reverse=self.reverse)
@@ -143,10 +168,12 @@ class BiGRU(Module):
     """Bidirectional GRU; final representation concatenates both directions."""
 
     def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None,
-                 fused: bool = True):
+                 fused: bool = True, packed: bool = True):
         super().__init__()
-        self.forward_gru = GRU(input_size, hidden_size, rng=rng, reverse=False, fused=fused)
-        self.backward_gru = GRU(input_size, hidden_size, rng=rng, reverse=True, fused=fused)
+        self.forward_gru = GRU(input_size, hidden_size, rng=rng, reverse=False,
+                               fused=fused, packed=packed)
+        self.backward_gru = GRU(input_size, hidden_size, rng=rng, reverse=True,
+                                fused=fused, packed=packed)
         self.hidden_size = hidden_size
 
     @property

@@ -158,21 +158,27 @@ def decode_scores(payload: memoryview) -> np.ndarray:
 # ----------------------------------------------------------------------
 def _scorer_process_main(conn, checkpoint_base: str, environment_dir: str,
                          seed: int, version: int, worker_index: int,
-                         split_precompute: bool) -> None:
+                         split_precompute: bool,
+                         quantized: bool = False) -> None:
     """Entry point of one scorer process (must stay module-level for
     spawn-context picklability).
 
-    Hydrates the model from disk (shared weights), reseeds its RNGs with
-    a per-child spawn key, compiles a scoring plan, then serves frames
-    until a shutdown frame or a closed pipe.
+    Hydrates the model from disk (shared weights — the int8 store when
+    ``quantized``), reseeds its RNGs with a per-child spawn key, compiles
+    a scoring plan, then serves frames until a shutdown frame or a closed
+    pipe.
     """
     spec, taxonomy = load_environment(environment_dir)
-    model = load_model_shared(checkpoint_base, spec, taxonomy)
+    model = load_model_shared(checkpoint_base, spec, taxonomy,
+                              quantized=quantized)
     model.eval()
     model.reseed(np.random.SeedSequence(
         entropy=(int(seed), int(version), int(worker_index))))
     scorer = None
-    if split_precompute:
+    # Split precompute snapshots full-precision first-layer weights, which
+    # a quantized hydration does not have — quantized children always run
+    # the quantized compiled plans.
+    if split_precompute and not quantized:
         make_split = getattr(model, "make_split_scorer", None)
         if callable(make_split):
             scorer = make_split()
@@ -251,6 +257,7 @@ class ProcessScorerHost:
     def __init__(self, checkpoint_base: str | Path, environment_dir: str | Path,
                  processes: int, seed: int = 0, version: int = 0,
                  split_precompute: bool = False,
+                 quantized: bool = False,
                  start_method: str | None = None,
                  stats_timeout_s: float = 1.0):
         if processes <= 0:
@@ -260,6 +267,7 @@ class ProcessScorerHost:
         self._seed = int(seed)
         self._version = int(version)
         self._split_precompute = bool(split_precompute)
+        self._quantized = bool(quantized)
         self._stats_timeout_s = float(stats_timeout_s)
         # spawn by default: the serving parent is heavily threaded, and
         # fork() of a threaded process inherits locks in arbitrary states.
@@ -290,7 +298,7 @@ class ProcessScorerHost:
             target=_scorer_process_main,
             args=(child_conn, self._checkpoint_base, self._environment_dir,
                   self._seed, self._version, channel.index,
-                  self._split_precompute),
+                  self._split_precompute, self._quantized),
             name=f"repro-scorer-{channel.index}", daemon=True)
         process.start()
         child_conn.close()

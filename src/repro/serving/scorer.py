@@ -156,6 +156,9 @@ class ScorerStats:
     processes: int = 0                  # scorer processes behind this pool
     process_restarts: int = 0           # dead scorer processes respawned
     process_busy_seconds: float = 0.0   # child-measured time inside the plan
+    # Plan lane: True when this pool scores through int8 quantized plans
+    # (the model hydrated from a .quant.npz artifact).
+    quantized: bool = False
 
     @property
     def mean_batch_rows(self) -> float:

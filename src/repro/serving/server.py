@@ -122,6 +122,10 @@ class ServingServer:
         accepting on the same port (``SO_REUSEPORT`` siblings, or one
         ``dup()``-shared acceptor where unavailable).  All shards drive
         one dispatcher/registry, so hot reload stays atomic across them.
+    quantized:
+        Serve int8 quantized plans: ``POST /reload`` re-scans the
+        checkpoint directory through the ``.quant.npz`` artifacts, so a
+        quantized gateway stays quantized across hot reloads.
 
     The constructor binds the socket but does not serve: call
     :meth:`start` (background thread) or :meth:`serve_forever`.
@@ -137,18 +141,21 @@ class ServingServer:
                  max_header_bytes: int = MAX_HEADER_BYTES,
                  dispatch_workers: int = 8,
                  drain_deadline_s: float = 10.0,
-                 gateway_shards: int = 1):
+                 gateway_shards: int = 1,
+                 quantized: bool = False):
         self.service = service
         self.backend = backend
         self.gateway_shards = gateway_shards
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.spec = spec
         self.taxonomy = taxonomy
+        self.quantized = bool(quantized)
         self.counters = GatewayCounters()
         self.dispatcher = GatewayDispatcher(
             service, spec=spec, taxonomy=taxonomy,
             checkpoint_dir=checkpoint_dir,
-            connection_stats=self.counters.snapshot)
+            connection_stats=self.counters.snapshot,
+            quantized=quantized)
         self._transport = create_transport(
             backend, host, port, self.dispatcher, counters=self.counters,
             idle_timeout_s=idle_timeout_s, max_body_bytes=max_body_bytes,
@@ -269,7 +276,8 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          split_precompute: bool = False,
                          scorer_processes: int = 0,
                          gateway_shards: int = 1,
-                         process_start_method: str | None = None) -> ServingServer:
+                         process_start_method: str | None = None,
+                         quantized: bool = False) -> ServingServer:
     """Build a ready-to-start gateway from a checkpoint directory.
 
     Reads the ``environment.json`` bundle, registers every ranking
@@ -308,14 +316,24 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
     models since the pool runs one proxy thread per process.
     ``gateway_shards`` > 1 (selector backend only) runs that many
     selector loops accepting on one port via ``SO_REUSEPORT``.
+
+    ``quantized`` hydrates every ranking checkpoint from its int8
+    ``.quant.npz`` artifact (per-output-channel symmetric weights, f32
+    scales and accumulation — see :mod:`repro.nn.quantize`) instead of
+    the full-precision weights, which are never loaded; a checkpoint
+    without a quantized artifact is quarantined, never silently served
+    at full precision.  Composes with ``scorer_processes``: worker
+    processes mmap one shared copy of the int8 tensors.
     """
     checkpoint_dir = Path(checkpoint_dir)
     spec, taxonomy = load_environment(checkpoint_dir)
     registry = ModelRegistry()
-    registered = registry.reload_from_directory(checkpoint_dir, spec, taxonomy)
+    registered = registry.reload_from_directory(checkpoint_dir, spec, taxonomy,
+                                                quantized=quantized)
     if not registered:
+        detail = (" with .quant.npz artifacts" if quantized else "")
         raise FileNotFoundError(
-            f"no ranking-model checkpoints found in {checkpoint_dir}")
+            f"no ranking-model checkpoints{detail} found in {checkpoint_dir}")
     classifier = None
     classifier_path = find_classifier_checkpoint(checkpoint_dir)
     if classifier_path is not None:
@@ -347,7 +365,8 @@ def serve_from_directory(checkpoint_dir: str | Path, host: str = "127.0.0.1",
                          idle_timeout_s=idle_timeout_s,
                          dispatch_workers=dispatch_workers,
                          drain_deadline_s=drain_deadline_s,
-                         gateway_shards=gateway_shards)
+                         gateway_shards=gateway_shards,
+                         quantized=quantized)
 
 
 def _bootstrap_demo(checkpoint_dir: Path) -> None:
@@ -359,6 +378,7 @@ def _bootstrap_demo(checkpoint_dir: Path) -> None:
     training run.  Imports training-side code, so it lives behind the
     ``--bootstrap-demo`` flag instead of the serving path proper.
     """
+    from .. import nn
     from ..experiments.common import CI, build_environment, model_config
     from ..models import build_model
     from ..querycat import QueryCategoryClassifier, QueryClassifierConfig
@@ -366,13 +386,23 @@ def _bootstrap_demo(checkpoint_dir: Path) -> None:
                              save_environment)
 
     env = build_environment(CI)
-    model = build_model("adv-hsc-moe", env.dataset.spec, env.taxonomy,
-                        model_config(CI), train_dataset=env.train)
-    classifier = QueryCategoryClassifier(
-        env.log.queries.vocab_size, env.taxonomy.max_sc_id() + 1,
-        QueryClassifierConfig(embedding_dim=8, hidden_size=12))
+    # Build at the scale's dtype (float32), matching train_and_eval — int8
+    # quantization below requires float32 parameters.
+    with nn.default_dtype(CI.np_dtype):
+        model = build_model("adv-hsc-moe", env.dataset.spec, env.taxonomy,
+                            model_config(CI), train_dataset=env.train)
+        classifier = QueryCategoryClassifier(
+            env.log.queries.vocab_size, env.taxonomy.max_sc_id() + 1,
+            QueryClassifierConfig(embedding_dim=8, hidden_size=12))
     save_environment(checkpoint_dir, env.dataset.spec, env.taxonomy)
-    save_checkpoint(model, checkpoint_dir / "ranker", "adv-hsc-moe")
+    # quantize=True also writes the int8 .quant.npz sidecar (calibrated
+    # on a held-out batch), so the same demo directory boots both a
+    # full-precision gateway and a --quantized one (the CI parity gate
+    # serves both from one bootstrap).
+    save_checkpoint(model, checkpoint_dir / "ranker", "adv-hsc-moe",
+                    quantize=True,
+                    calibration_batch=next(
+                        env.train.iter_batches(256, shuffle=False)))
     save_classifier_checkpoint(classifier, checkpoint_dir / "querycat")
 
 
@@ -446,6 +476,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-ttl-s", type=float, default=30.0,
                         help="result cache entry time-to-live in seconds "
                              "(0 disables the cache)")
+    parser.add_argument("--quantized", action="store_true",
+                        help="serve int8 quantized plans: hydrate every "
+                             "ranking checkpoint from its .quant.npz "
+                             "artifact (per-channel symmetric int8 weights, "
+                             "f32 scales/accumulation) without loading the "
+                             "full-precision weights; checkpoints lacking "
+                             "the artifact are quarantined")
     parser.add_argument("--split-precompute", action="store_true",
                         help="split each supported model's compiled plan "
                              "into a memoized query-independent item prefix "
@@ -490,7 +527,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_ttl_s=args.cache_ttl_s,
         split_precompute=args.split_precompute,
         scorer_processes=args.scorer_processes,
-        gateway_shards=args.gateway_shards)
+        gateway_shards=args.gateway_shards,
+        quantized=args.quantized)
     server.install_signal_handlers()
     names = ", ".join(server.service.registry.names())
     cap = ("static" if args.static_batch
@@ -502,6 +540,7 @@ def main(argv: list[str] | None = None) -> int:
              if args.cache_entries > 0 and args.cache_ttl_s > 0
              else "result cache off")
     split = ", split precompute" if args.split_precompute else ""
+    quant = ", int8 quantized plans" if args.quantized else ""
     faults = ", FAULT INJECTION ENABLED" if args.enable_fault_injection else ""
     scale = ""
     if args.scorer_processes > 0:
@@ -510,8 +549,8 @@ def main(argv: list[str] | None = None) -> int:
         scale += f", {args.gateway_shards} gateway shards"
     print(f"serving {names} on {server.url} "
           f"({args.backend} backend, {args.workers} scoring workers{scale}, "
-          f"{cap} batch cap, {backlog}, {cache}{split}, breaker opens at "
-          f"{args.breaker_threshold:g} failure ratio{faults}; "
+          f"{cap} batch cap, {backlog}, {cache}{split}{quant}, "
+          f"breaker opens at {args.breaker_threshold:g} failure ratio{faults}; "
           f"GET /metrics for Prometheus, POST /reload to hot-reload)")
     try:
         server.serve_forever()

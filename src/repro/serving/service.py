@@ -288,7 +288,11 @@ class RankingService:
         lock, since nothing guarantees it is safe to call from several
         workers.
         """
-        if self._split_precompute:
+        # Split precompute snapshots full-precision first-layer weights; a
+        # quantized hydration has none (NaN placeholders), so quantized
+        # models always score through the quantized compiled plans.
+        if self._split_precompute \
+                and not getattr(model, "_quantized_serving", False):
             make_split = getattr(model, "make_split_scorer", None)
             if make_split is not None:
                 memo = PrefixMemo()
@@ -322,6 +326,7 @@ class RankingService:
             processes=self._scorer_processes,
             version=entry.version,
             split_precompute=self._split_precompute,
+            quantized=bool((entry.metadata or {}).get("quantized")),
             start_method=self._process_start_method)
 
     def _scorer_for(self, name: str, version: int | None) -> tuple[ScorerPool, int]:
@@ -581,6 +586,12 @@ class RankingService:
                 stats.processes = aggregate["processes"]
                 stats.process_restarts = aggregate["process_restarts"]
                 stats.process_busy_seconds = aggregate["busy_seconds"]
+            try:
+                entry = self.registry.entry(name, version)
+            except KeyError:
+                entry = None
+            stats.quantized = bool(entry is not None
+                                   and (entry.metadata or {}).get("quantized"))
             result[f"{name}:v{version}"] = stats
         return result
 

@@ -34,12 +34,20 @@ from ..data.schema import FeatureSpec
 from ..hierarchy import Taxonomy
 from ..models import ModelConfig, build_model
 from ..models.base import RankingModel
+from ..nn.quantize import (QuantizedWeight, hydrate_quantized,
+                           quantizable_weights, quantize_module)
 
 __all__ = ["CheckpointCorrupted", "atomic_write_bytes", "atomic_write_text",
            "checksum_file", "save_checkpoint", "load_checkpoint",
-           "build_model_from_meta", "load_model"]
+           "load_quantized_checkpoint", "build_model_from_meta",
+           "load_model", "load_model_quantized"]
 
 _FORMAT_VERSION = 1
+
+# Checksum-manifest entry -> the artifact suffix it covers.  Every sidecar
+# a checkpoint writes must appear here so load-time verification covers the
+# complete artifact set, not just the weights archive.
+_ARTIFACT_SUFFIXES = {"weights": ".npz", "quantized": ".quant.npz"}
 
 
 class CheckpointCorrupted(ValueError):
@@ -98,14 +106,27 @@ def _checksum_bytes(data: bytes) -> str:
 
 
 def save_checkpoint(model: RankingModel, path: str | Path,
-                    model_name: str, extra: dict | None = None) -> Path:
+                    model_name: str, extra: dict | None = None,
+                    quantize: bool = False,
+                    calibration_batch=None) -> Path:
     """Persist a model to ``<path>.npz`` + ``<path>.json``.
 
     Returns the weights path.  ``extra`` (JSON-serializable) is stored in
     the sidecar, e.g. training metrics.  Both files are written atomically
-    and the sidecar carries a SHA-256 checksum of the weights (see the
-    module docstring); the weights land before the sidecar referencing
-    them, so a crash between the two leaves a stale-but-consistent pair.
+    and the sidecar carries a SHA-256 checksum of **every** artifact (see
+    the module docstring); the artifacts land before the sidecar
+    referencing them, so a crash between the writes leaves a
+    stale-but-consistent set.
+
+    With ``quantize=True`` a third artifact ``<path>.quant.npz`` is
+    written: per-output-channel symmetric int8 tensors + float32 scales
+    for every eligible Linear weight (see :mod:`repro.nn.quantize`) and
+    float32 passthroughs for the rest, enough to serve without the
+    full-precision archive resident.  ``calibration_batch`` (a held-out
+    :class:`~repro.data.dataset.Batch`) is then scored through both the
+    f32 and the quantized compiled plans and the achieved max score delta
+    is recorded in the sidecar's ``quantization.calibration`` block — the
+    number the serving gate pins against.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -119,6 +140,33 @@ def save_checkpoint(model: RankingModel, path: str | Path,
     np.savez(buffer, **state)
     weights_bytes = buffer.getvalue()
     atomic_write_bytes(weights_path, weights_bytes)
+    checksum = {"weights": _checksum_bytes(weights_bytes)}
+
+    quantization = None
+    if quantize:
+        quantized = quantize_module(model)
+        if not quantized:
+            raise ValueError("model has no quantizable Linear weights")
+        arrays: dict[str, np.ndarray] = {}
+        for name, array in state.items():
+            if name in quantized:
+                arrays[f"q:{name}"] = quantized[name].q
+                arrays[f"scale:{name}"] = quantized[name].scales
+            else:
+                arrays[f"f:{name}"] = array
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        quant_bytes = buffer.getvalue()
+        atomic_write_bytes(path.with_suffix(".quant.npz"), quant_bytes)
+        checksum["quantized"] = _checksum_bytes(quant_bytes)
+        quantization = {
+            "scheme": "per-channel-symmetric-int8",
+            "params": sorted(quantized),
+            "nbytes": int(sum(qw.nbytes for qw in quantized.values())),
+        }
+        if calibration_batch is not None:
+            quantization["calibration"] = _calibrate_quantized(
+                model, quantized, calibration_batch)
 
     config = getattr(model, "config", None)
     if not isinstance(config, ModelConfig):
@@ -132,8 +180,10 @@ def save_checkpoint(model: RankingModel, path: str | Path,
         # reloads as float32 regardless of the ambient default dtype.
         "dtype": dtypes.pop() if len(dtypes) == 1 else None,
         "extra": extra or {},
-        "checksum": {"weights": _checksum_bytes(weights_bytes)},
+        "checksum": checksum,
     }
+    if quantization is not None:
+        meta["quantization"] = quantization
     # MMoE's task routing lives outside the parameter arrays; persist it so
     # the rebuilt model routes examples identically.
     buckets = getattr(model, "bucket_assignment", None)
@@ -144,14 +194,68 @@ def save_checkpoint(model: RankingModel, path: str | Path,
     return weights_path
 
 
+def _calibrate_quantized(model: RankingModel,
+                         quantized: dict[str, QuantizedWeight],
+                         batch) -> dict:
+    """Measure the quantized plans' score error on a held-out batch.
+
+    Scores the batch through a fresh f32 compiled plan, then transiently
+    attaches the quantized tensors (the compilers prefer them; the f32
+    weights stay resident and untouched) and scores through a fresh
+    quantized plan.  The attachment is removed before returning, so plans
+    built afterwards are full-precision again.
+    """
+    reference = np.asarray(model.make_scorer()(batch), dtype=np.float64)
+    linears = quantizable_weights(model)
+    try:
+        for name, qw in quantized.items():
+            linears[name].quantized = qw
+        scores = np.asarray(model.make_scorer()(batch), dtype=np.float64)
+    finally:
+        for name in quantized:
+            if hasattr(linears[name], "quantized"):
+                del linears[name].quantized
+    delta = np.abs(scores - reference)
+    return {"rows": int(len(reference)),
+            "max_abs_score_delta": float(delta.max()) if delta.size else 0.0,
+            "mean_abs_score_delta": float(delta.mean()) if delta.size else 0.0}
+
+
+def _verify_artifacts(path: Path, meta: dict) -> None:
+    """Verify every artifact the sidecar's checksum manifest declares.
+
+    Historically only the weights ``.npz`` was checked, so a torn sidecar
+    artifact (e.g. the quantized tensors) would pass verification and
+    surface later as garbage.  Now each manifest entry maps to its file
+    (:data:`_ARTIFACT_SUFFIXES`): a missing file, a digest mismatch, or an
+    entry this code doesn't know how to locate all raise
+    :class:`CheckpointCorrupted` so hot-reloaders quarantine instead of
+    serving a partially-verified checkpoint.
+    """
+    for key, declared in (meta.get("checksum") or {}).items():
+        suffix = _ARTIFACT_SUFFIXES.get(key)
+        if suffix is None:
+            raise CheckpointCorrupted(
+                path, f"checksum manifest declares unknown artifact {key!r}")
+        artifact = path.with_suffix(suffix)
+        if not artifact.exists():
+            raise CheckpointCorrupted(
+                artifact, f"declared artifact {key!r} is missing")
+        actual = checksum_file(artifact)
+        if actual != declared:
+            raise CheckpointCorrupted(
+                artifact, f"{key} checksum {actual} != declared {declared}")
+
+
 def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
     """Load (state dict, metadata) from a checkpoint base path.
 
-    When the sidecar declares a weights checksum (every checkpoint written
-    since checksums landed), the weights bytes are verified against it
-    before parsing — a mismatch raises :class:`CheckpointCorrupted`, as
-    does an unparseable archive.  Sidecars without a checksum (older
-    checkpoints) load unverified, preserving compatibility.
+    When the sidecar declares a checksum manifest (every checkpoint
+    written since checksums landed), **all** declared artifacts are
+    verified against it before parsing — a mismatch or a missing artifact
+    raises :class:`CheckpointCorrupted`, as does an unparseable archive.
+    Sidecars without a checksum (older checkpoints) load unverified,
+    preserving compatibility.
     """
     path = Path(path)
     weights_path = path.with_suffix(".npz")
@@ -161,13 +265,7 @@ def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
     meta = json.loads(meta_path.read_text())
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint version {meta.get('format_version')}")
-    declared = (meta.get("checksum") or {}).get("weights")
-    if declared is not None:
-        actual = checksum_file(weights_path)
-        if actual != declared:
-            raise CheckpointCorrupted(
-                weights_path,
-                f"weights checksum {actual} != declared {declared}")
+    _verify_artifacts(path, meta)
     try:
         with np.load(weights_path) as archive:
             state = {key: archive[key].copy() for key in archive.files}
@@ -177,6 +275,72 @@ def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
         # loader bug: surface it as such so reloaders can quarantine.
         raise CheckpointCorrupted(weights_path, f"unreadable archive: {error}")
     return state, meta
+
+
+def load_quantized_checkpoint(path: str | Path) -> tuple[
+        dict[str, np.ndarray], dict[str, QuantizedWeight], dict]:
+    """Load ``(passthrough state, quantized tensors, metadata)``.
+
+    Reads only the sidecar and the ``.quant.npz`` artifact into memory —
+    the full-precision archive is verified (streamed checksum) but never
+    parsed, so serving a quantized checkpoint keeps the f32 weights off
+    the heap.  Raises :class:`CheckpointCorrupted` on any manifest
+    mismatch and :class:`FileNotFoundError`/:class:`ValueError` when the
+    checkpoint has no quantized artifact.
+    """
+    path = Path(path)
+    quant_path = path.with_suffix(".quant.npz")
+    meta_path = path.with_suffix(".json")
+    if not meta_path.exists():
+        raise FileNotFoundError(f"checkpoint incomplete at {path}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {meta.get('format_version')}")
+    if "quantization" not in meta:
+        raise ValueError(f"checkpoint {path} was saved without quantize=True")
+    _verify_artifacts(path, meta)
+    try:
+        with np.load(quant_path) as archive:
+            arrays = {key: archive[key].copy() for key in archive.files}
+    except Exception as error:
+        raise CheckpointCorrupted(quant_path, f"unreadable archive: {error}")
+    return _split_quantized_arrays(arrays, quant_path) + (meta,)
+
+
+def _split_quantized_arrays(arrays: dict[str, np.ndarray], origin) -> tuple[
+        dict[str, np.ndarray], dict[str, QuantizedWeight]]:
+    """Partition ``q:``/``scale:``/``f:`` archive keys into the hydration
+    inputs.  Shared by the npz loader above and the mmap'd weight store
+    (:func:`repro.serving.checkpoint.load_shared_state`)."""
+    state: dict[str, np.ndarray] = {}
+    pending_q: dict[str, np.ndarray] = {}
+    pending_scale: dict[str, np.ndarray] = {}
+    for key, array in arrays.items():
+        tag, _, name = key.partition(":")
+        if not name or tag not in ("q", "scale", "f"):
+            raise CheckpointCorrupted(origin, f"unrecognized array key {key!r}")
+        {"q": pending_q, "scale": pending_scale, "f": state}[tag][name] = array
+    if set(pending_q) != set(pending_scale):
+        raise CheckpointCorrupted(
+            origin, "quantized tensors and scales do not pair up")
+    quantized = {name: QuantizedWeight(pending_q[name], pending_scale[name])
+                 for name in pending_q}
+    return state, quantized
+
+
+def load_model_quantized(path: str | Path, spec: FeatureSpec,
+                         taxonomy: Taxonomy, train_dataset=None) -> RankingModel:
+    """Rebuild a model from a quantized checkpoint, int8 weights attached.
+
+    The result is inference-only (see
+    :func:`repro.nn.quantize.hydrate_quantized`): compiled plans run the
+    quantized Linear lane, ``predict`` raises, and the f32 weights are
+    never loaded.
+    """
+    state, quantized, meta = load_quantized_checkpoint(path)
+    model = build_model_from_meta(meta, spec, taxonomy,
+                                  train_dataset=train_dataset)
+    return hydrate_quantized(model, state, quantized)
 
 
 def build_model_from_meta(meta: dict, spec: FeatureSpec, taxonomy: Taxonomy,

@@ -72,6 +72,11 @@ GRADCHECK_CASES = {
                                               _GRU_BHH, lengths=_SEQ_LENGTHS,
                                               reverse=True)[1],
                      RNG(0).normal(size=(4, 3, 2))),
+    # Unsorted ragged lengths force the packed scan's argsort + unsort lane.
+    "gru_sequence_packed": (lambda t: F.gru_sequence_packed(
+                                t, _GRU_WIH, _GRU_WHH, _GRU_BIH, _GRU_BHH,
+                                lengths=_SEQ_LENGTHS, reverse=True)[1],
+                            RNG(0).normal(size=(4, 3, 2))),
 }
 
 # Exports that intentionally have no gradient path: plain-numpy helpers for
@@ -128,6 +133,30 @@ class TestGRUKernelGradients:
                                             _GRU_BHH)[1], _GRU_BIH.data)
         check_grad(lambda t: F.gru_sequence(self._XSEQ, _GRU_WIH, _GRU_WHH,
                                             _GRU_BIH, t)[1], _GRU_BHH.data)
+
+    def test_packed_sequence_weights(self):
+        """The packed scan's shared-buffer weight accumulation (prefix steps
+        write partial-batch gradients) must match finite differences."""
+        check_grad(lambda t: F.gru_sequence_packed(
+            self._XSEQ, t, _GRU_WHH, _GRU_BIH, _GRU_BHH,
+            lengths=_SEQ_LENGTHS)[1], _GRU_WIH.data)
+        check_grad(lambda t: F.gru_sequence_packed(
+            self._XSEQ, _GRU_WIH, t, _GRU_BIH, _GRU_BHH,
+            lengths=_SEQ_LENGTHS)[1], _GRU_WHH.data)
+
+    def test_packed_sequence_all_step_outputs(self):
+        """Gradients through every unsorted per-step output — each
+        _permute_rows/_row_slice backward must land in the right rows."""
+        def through_all_steps(t):
+            outputs, _ = F.gru_sequence_packed(t, _GRU_WIH, _GRU_WHH,
+                                               _GRU_BIH, _GRU_BHH,
+                                               lengths=_SEQ_LENGTHS,
+                                               reverse=True)
+            total = outputs[0]
+            for step in outputs[1:]:
+                total = total + step
+            return total
+        check_grad(through_all_steps, self._XSEQ)
 
     def test_sequence_all_step_outputs(self):
         """Gradients through intermediate step outputs (not just the final

@@ -184,6 +184,131 @@ class TestFusedMatchesPerOp:
                                    atol=1e-12)
 
 
+def _paired_packed_bigrus(dtype, seed=0):
+    """A packed and a masked (packed=False) BiGRU with identical weights."""
+    packed = nn.BiGRU(3, 4, rng=np.random.default_rng(seed), packed=True)
+    masked = nn.BiGRU(3, 4, rng=np.random.default_rng(seed), packed=False)
+    if dtype != np.float64:
+        packed.astype(dtype)
+        masked.astype(dtype)
+    return packed, masked
+
+
+class TestPackedMatchesMasked:
+    """The packed ragged scan must be numerically interchangeable with the
+    masked fused scan — forward values and every parameter/input gradient —
+    across direction, length mixes, and both dtypes (mirroring
+    TestFusedMatchesPerOp, which pins the masked scan itself against the
+    per-op reference)."""
+
+    # Unsorted ragged lengths: forces the argsort lane, includes a length-1
+    # example (active only at t=0) and a full-length one.
+    LENGTHS = np.array([5, 2, 4, 1])
+
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12), (np.float32, 1e-5)])
+    @pytest.mark.parametrize("lengths", [
+        np.array([5, 2, 4, 1]),         # unsorted ragged (argsort lane)
+        np.array([1, 2, 4, 5]),         # ascending (bucketed-loader shape)
+        np.array([4, 3, 2, 1]),         # descending (identity fast path)
+        np.array([3, 3, 3, 3]),         # uniform short: every step partial
+    ], ids=["unsorted", "ascending", "descending", "uniform-short"])
+    def test_bigru_forward_and_gradients(self, dtype, tol, lengths):
+        packed, masked = _paired_packed_bigrus(dtype)
+        x = np.random.default_rng(1).normal(size=(4, 5, 3)).astype(dtype)
+        xp, xm = Tensor(x, requires_grad=True), Tensor(x, requires_grad=True)
+        out_packed = packed(xp, lengths=lengths)
+        out_masked = masked(xm, lengths=lengths)
+        np.testing.assert_allclose(out_packed.data, out_masked.data, atol=tol)
+        assert out_packed.dtype == dtype
+        out_packed.sum().backward()
+        out_masked.sum().backward()
+        np.testing.assert_allclose(xp.grad, xm.grad, atol=tol)
+        for (name, pp), (_, pm) in zip(packed.named_parameters(),
+                                       masked.named_parameters()):
+            np.testing.assert_allclose(pp.grad, pm.grad, atol=tol,
+                                       err_msg=name)
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_gru_reverse_direction(self, reverse):
+        gru_packed = nn.GRU(3, 4, rng=np.random.default_rng(0),
+                            reverse=reverse, packed=True)
+        gru_masked = nn.GRU(3, 4, rng=np.random.default_rng(0),
+                            reverse=reverse, packed=False)
+        x = np.random.default_rng(2).normal(size=(3, 6, 3))
+        outs_p, final_p = gru_packed(Tensor(x), lengths=self.LENGTHS[:3])
+        outs_m, final_m = gru_masked(Tensor(x), lengths=self.LENGTHS[:3])
+        np.testing.assert_allclose(final_p.data, final_m.data, atol=1e-12)
+        for step_p, step_m in zip(outs_p, outs_m):
+            np.testing.assert_allclose(step_p.data, step_m.data, atol=1e-12)
+
+    def test_reverse_all_short_lengths(self):
+        """Reverse scan where every length < time: the leading reverse steps
+        have zero active rows and must emit the untouched initial state."""
+        import repro.nn.functional as F
+        x = np.random.default_rng(3).normal(size=(3, 6, 4))
+        lens = np.array([2, 3, 1])
+        gru_packed = nn.GRU(4, 3, rng=np.random.default_rng(0), reverse=True,
+                            packed=True)
+        gru_masked = nn.GRU(4, 3, rng=np.random.default_rng(0), reverse=True,
+                            packed=False)
+        outs_p, final_p = gru_packed(Tensor(x), lengths=lens)
+        outs_m, final_m = gru_masked(Tensor(x), lengths=lens)
+        np.testing.assert_allclose(final_p.data, final_m.data, atol=1e-12)
+        for step_p, step_m in zip(outs_p, outs_m):
+            np.testing.assert_allclose(step_p.data, step_m.data, atol=1e-12)
+
+    def test_uniform_full_lengths_take_masked_path(self):
+        """With nothing to skip, GRU.forward must not pay the packing
+        overhead: the packed kernel is never entered."""
+        import repro.nn.functional as F
+        F.reset_packed_scan_counters()
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0), packed=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 5, 3)))
+        gru(x, lengths=np.array([5, 5, 5, 5]))
+        assert F.packed_scan_counters["calls"] == 0
+
+    def test_zero_length_example(self):
+        """A zero-length example keeps its initial (zero) state end to end."""
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0), packed=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 5, 3)))
+        _, final = gru(x, lengths=np.array([0, 5, 2]))
+        np.testing.assert_allclose(final.data[0], np.zeros(4))
+
+
+class TestPackedFastPathCounters:
+    """bucket_by_length loaders produce (near-)sorted batches; the packed
+    scan's argsort must early-exit on them (satellite: sorted-input
+    early-exit + regression that bucketed training hits it)."""
+
+    def setup_method(self):
+        import repro.nn.functional as F
+        F.reset_packed_scan_counters()
+
+    def test_ascending_batch_skips_argsort(self):
+        import repro.nn.functional as F
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0), packed=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6, 3)))
+        gru(x, lengths=np.array([1, 2, 2, 5]))
+        assert F.packed_scan_counters["calls"] == 1
+        assert F.packed_scan_counters["presorted"] == 1
+        assert F.packed_scan_counters["argsort"] == 0
+
+    def test_descending_batch_skips_argsort(self):
+        import repro.nn.functional as F
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0), packed=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6, 3)))
+        gru(x, lengths=np.array([5, 3, 3, 1]))
+        assert F.packed_scan_counters["presorted"] == 1
+        assert F.packed_scan_counters["argsort"] == 0
+
+    def test_unsorted_batch_pays_argsort_once(self):
+        import repro.nn.functional as F
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0), packed=True)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6, 3)))
+        gru(x, lengths=np.array([3, 5, 1, 4]))
+        assert F.packed_scan_counters["argsort"] == 1
+
+
 class TestRecurrentDtype:
     """The recurrent path must follow the module/default dtype end to end —
     no silent float64 upcasts from initial states or length masks."""

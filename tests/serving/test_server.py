@@ -214,7 +214,8 @@ class TestOperationalEndpoints:
                        "drain_rate_rows_per_s", "worker_restarts",
                        "expired_requests", "expired_rows",
                        "lost_resolutions", "averted_respawns", "processes",
-                       "process_restarts", "process_busy_seconds"}
+                       "process_restarts", "process_busy_seconds",
+                       "quantized"}
         assert payload["scorers"], "at least one scorer pool must report"
         for stats in payload["scorers"].values():
             assert set(stats) == scorer_keys
